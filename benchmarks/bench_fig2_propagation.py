@@ -1,0 +1,28 @@
+"""Fig. 2 — propagation pattern of a single soft error at the paper's
+three injection sites (N=158, nb=32, injected between iterations 1 and 2).
+
+Shape target: area 3 → a single polluted element; area 1 → row-wise
+pollution; area 2 → most of the trailing matrix polluted.
+"""
+
+from conftest import emit
+
+from repro.analysis import paper_fig2_cases, render_fig2, run_propagation
+from repro.utils.rng import random_matrix
+
+
+def test_fig2_propagation(benchmark, results_dir):
+    a = random_matrix(158, seed=42)
+
+    def run_all():
+        return [run_propagation(a, i, j, it, nb=32) for (i, j, it) in paper_fig2_cases()]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = render_fig2(results, with_heatmap=True)
+    emit(results_dir, "fig2_propagation", text)
+
+    r3, r1, r2 = results
+    assert r3.classify_pattern() == "none"
+    assert r1.classify_pattern() == "row"
+    assert r2.classify_pattern() == "full"
+    assert r2.polluted_fraction > 0.5

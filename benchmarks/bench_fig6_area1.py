@@ -1,0 +1,24 @@
+"""Fig. 6(a) — FT-Hess overhead with one soft error in Area 1 (upper
+trailing matrix), uncertainty band over the injection moment.
+
+Shape targets: the band's upper edge decreases with N; at N=10110 the
+band sits in the sub-3%% range (paper: 0.47%–2.1%); the no-error line is
+its lower envelope.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig6_series, render_fig6
+
+
+def test_fig6_area1(benchmark, results_dir):
+    series = benchmark.pedantic(
+        lambda: fig6_series(1, moments=7, seed=1), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig6_area1", render_fig6(series))
+
+    pts = series.points
+    assert pts[0].overhead_max > pts[-1].overhead_max
+    assert pts[-1].overhead_max < 3.0
+    for p in pts:
+        assert p.overhead_no_error <= p.overhead_min <= p.overhead_max

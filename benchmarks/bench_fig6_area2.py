@@ -1,0 +1,23 @@
+"""Fig. 6(b) — FT-Hess overhead with one soft error in Area 2 (the
+trailing G block), uncertainty band over the injection moment.
+
+Shape targets: same decreasing band as Area 1 (paper: 0.61%–2.15% at
+N=10112); recovery here is the most expensive of the three areas.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig6_series, render_fig6
+
+
+def test_fig6_area2(benchmark, results_dir):
+    series = benchmark.pedantic(
+        lambda: fig6_series(2, moments=7, seed=2), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig6_area2", render_fig6(series))
+
+    pts = series.points
+    assert pts[0].overhead_max > pts[-1].overhead_max
+    assert pts[-1].overhead_max < 3.0
+    for p in pts:
+        assert p.overhead_no_error <= p.overhead_min <= p.overhead_max

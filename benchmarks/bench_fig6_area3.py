@@ -1,0 +1,23 @@
+"""Fig. 6(c) — FT-Hess overhead with one soft error in Area 3 (the
+finished Q data on the host).
+
+Shape targets (the paper's §VI-A discussion): the overhead closely
+follows the no-failure line, and the uncertainty band is near-zero at
+every size — area-3 errors are handled once, at the end, with a single
+dot product, regardless of when they struck.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig6_series, render_fig6
+
+
+def test_fig6_area3(benchmark, results_dir):
+    series = benchmark.pedantic(
+        lambda: fig6_series(3, moments=7, seed=3), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig6_area3", render_fig6(series))
+
+    for p in series.points:
+        assert p.overhead_max - p.overhead_min < 0.05, "area-3 band must be flat"
+        assert p.overhead_min - p.overhead_no_error < 0.15, "band hugs the no-error line"

@@ -1,0 +1,46 @@
+"""Extension bench — the future-work FT tridiagonal reduction: overhead
+of the two-tier detection scheme vs the plain reduction, and the
+audit-period trade-off.
+
+Shape target: ABFT flop overhead is bounded by ~2N³/audit_every on top of
+the 4/3·(2·full-storage)N³ base, shrinking as the audit period grows.
+"""
+
+from conftest import emit
+
+from repro.core.ft_tridiag import ft_sytrd
+from repro.linalg import FlopCounter
+from repro.linalg.sytd2 import sytd2
+from repro.utils.fmt import Table
+from repro.utils.rng import MatrixKind, random_matrix
+
+N = 128
+
+
+def test_ft_tridiag_overhead(benchmark, results_dir):
+    a0 = random_matrix(N, MatrixKind.SYMMETRIC, seed=0)
+
+    def sweep():
+        base_cnt = FlopCounter()
+        sytd2(a0.copy(order="F"), counter=base_cnt)
+        rows = []
+        for audit in (4, 16, 64):
+            res = ft_sytrd(a0, audit_every=audit)
+            extra = res.counter.category_total(
+                "abft_init", "abft_maintain", "abft_detect", "abft_locate"
+            )
+            base = res.counter.category_total("tridiag_update", "sytd2")
+            rows.append((audit, extra / base * 100.0))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(
+        ["audit period", "ABFT flop overhead %"],
+        title=f"FT tridiagonal reduction (extension), N={N}",
+    )
+    for audit, ovh in rows:
+        t.add_row([audit, f"{ovh:.2f}"])
+    emit(results_dir, "ft_tridiag_overhead", t.render())
+
+    assert rows[0][1] > rows[-1][1], "sparser audits must cost less"
+    assert rows[1][1] < 60.0

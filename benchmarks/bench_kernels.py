@@ -1,0 +1,89 @@
+"""Real wall-clock micro-benchmarks of the kernel layer (pytest-benchmark
+proper: these time the NumPy implementations, not the machine model).
+
+Not a paper table — the engineering baseline for the functional layer.
+"""
+
+import pytest
+
+from repro.core import FTConfig, HybridConfig, ft_gehrd, hybrid_gehrd
+from repro.linalg import gehrd
+from repro.linalg.lahr2 import lahr2
+from repro.utils.rng import random_matrix
+
+N = 192
+NB = 32
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_matrix(N, seed=0)
+
+
+def test_bench_lahr2_panel(benchmark, matrix):
+    def run():
+        a = matrix.copy(order="F")
+        return lahr2(a, 0, NB, N)
+
+    benchmark(run)
+
+
+def test_bench_gehrd(benchmark, matrix):
+    benchmark(lambda: gehrd(matrix.copy(order="F"), nb=NB))
+
+
+def test_bench_hybrid_driver(benchmark, matrix):
+    benchmark(lambda: hybrid_gehrd(matrix, HybridConfig(nb=NB)))
+
+
+def test_bench_ft_driver_no_error(benchmark, matrix):
+    benchmark(lambda: ft_gehrd(matrix, FTConfig(nb=NB)))
+
+
+def test_bench_functional_ft_overhead_ratio(benchmark, matrix):
+    """Wall-clock ratio of FT vs baseline functional runs — bounded, so
+    the test-suite cost of the FT machinery stays honest."""
+    import time
+
+    def measure():
+        t0 = time.perf_counter()
+        hybrid_gehrd(matrix, HybridConfig(nb=NB))
+        t1 = time.perf_counter()
+        ft_gehrd(matrix, FTConfig(nb=NB))
+        t2 = time.perf_counter()
+        return (t2 - t1) / max(t1 - t0, 1e-9)
+
+    ratio = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert ratio < 10.0
+
+
+def test_bench_sytrd_blocked(benchmark):
+    from repro.linalg import sytrd
+    from repro.utils.rng import MatrixKind, random_matrix
+
+    a0 = random_matrix(N, MatrixKind.SYMMETRIC, seed=1)
+    benchmark(lambda: sytrd(a0.copy(order="F"), nb=NB))
+
+
+def test_bench_gebrd_blocked(benchmark):
+    from repro.linalg import gebrd
+    from repro.utils.rng import random_matrix
+
+    a0 = random_matrix(N, seed=2)
+    benchmark(lambda: gebrd(a0.copy(order="F"), nb=NB))
+
+
+def test_bench_svd_pipeline(benchmark):
+    from repro.linalg import svdvals_via_bidiagonal
+    from repro.utils.rng import random_matrix
+
+    a0 = random_matrix(N, seed=3)
+    benchmark(lambda: svdvals_via_bidiagonal(a0))
+
+
+def test_bench_eig_pipeline(benchmark):
+    from repro.eigen import eigvals_via_hessenberg
+    from repro.utils.rng import random_matrix
+
+    a0 = random_matrix(N, seed=4)
+    benchmark(lambda: eigvals_via_hessenberg(a0))

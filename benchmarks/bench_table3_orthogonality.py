@@ -1,0 +1,26 @@
+"""Table III — orthogonality of Q: ``‖QQᵀ − I‖₁/N`` for the baseline and
+for FT-Hess with one error per (area × moment) cell.
+
+Shape target (the paper's §VI-C): all residuals stay at the 1e-17 order;
+recovery does not damage the orthogonality of Q.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table3, run_stability_sweep
+
+SIZES = [128, 256, 384]
+
+
+def test_table3_orthogonality(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_stability_sweep(SIZES, nb=32, seed=100), rounds=1, iterations=1
+    )
+    emit(results_dir, "table3_orthogonality", render_table3(rows))
+
+    for r in rows:
+        assert r.baseline_orthogonality < 1e-15
+        for c in r.cells:
+            assert c.orthogonality < 1e-14, (
+                f"N={r.n} area{c.area} {c.moment}: {c.orthogonality}"
+            )

@@ -1,0 +1,25 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it (visible with ``-s``; pytest-benchmark's own table always shows), and
+writes the rendered text under ``benchmarks/results/`` so the artifacts
+survive the run. EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it as an artifact."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Domain scenario 1 — trustworthy eigenvalues in a hostile environment.
+
+The paper's motivation (§I): a single soft error can silently alter a
+scientific result. This example builds the full eigenvalue pipeline the
+reduction exists for — FT Hessenberg reduction feeding our from-scratch
+Francis double-shift QR iteration — and contrasts three runs:
+
+  (a) clean baseline,
+  (b) baseline with one soft error     → eigenvalues silently wrong,
+  (c) FT-Hess with the same soft error → eigenvalues indistinguishable
+      from clean.
+
+The spectrum belongs to a small damped mechanical system (mass-spring
+chain), so "wrong eigenvalues" means wrong resonance frequencies — the
+kind of silent corruption the paper is about.
+
+Run:  python examples/eigenvalue_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import FTConfig, HybridConfig, ft_gehrd, hybrid_gehrd
+from repro.eigen import hessenberg_eigvals
+from repro.faults import FaultInjector, FaultSpec
+from repro.linalg import extract_hessenberg
+
+
+def mass_spring_state_matrix(n_masses: int, k: float = 4.0, c: float = 0.08) -> np.ndarray:
+    """First-order state matrix of a damped mass-spring chain:
+    x' = [[0, I], [-K, -C]] x with K the stiffness graph Laplacian."""
+    m = n_masses
+    K = 2 * np.eye(m) - np.eye(m, k=1) - np.eye(m, k=-1)
+    K *= k
+    C = c * np.eye(m)
+    top = np.hstack([np.zeros((m, m)), np.eye(m)])
+    bot = np.hstack([-K, -C])
+    return np.asfortranarray(np.vstack([top, bot]))
+
+
+def spectrum(a_packed) -> np.ndarray:
+    h = extract_hessenberg(a_packed)
+    return np.sort_complex(hessenberg_eigvals(h, check_input=False))
+
+
+def spectral_distance(e1: np.ndarray, e2: np.ndarray) -> float:
+    """Max distance under optimal matching — lightly damped modes share
+    their real parts to roundoff, so plain lexicographic sorting shuffles
+    conjugate pairs and fakes huge drift; assignment matching doesn't."""
+    from scipy.optimize import linear_sum_assignment
+
+    cost = np.abs(e1[:, None] - e2[None, :])
+    rows, cols = linear_sum_assignment(cost)
+    return float(cost[rows, cols].max())
+
+
+def main() -> None:
+    a = mass_spring_state_matrix(60)  # 120 x 120 state matrix
+    n = a.shape[0]
+    print(f"damped mass-spring chain, state matrix {n} x {n}")
+
+    clean = hybrid_gehrd(a, HybridConfig(nb=32))
+    ref = spectrum(clean.a)
+    freqs = np.sort(np.abs(ref.imag))[-5:]
+    print(f"  top resonance frequencies (clean): {np.round(freqs, 6)}")
+
+    # one soft error in the trailing matrix during iteration 1
+    fault = FaultSpec(iteration=1, row=70, col=90, kind="add", magnitude=0.5)
+
+    corrupted = hybrid_gehrd(a, HybridConfig(nb=32), injector=FaultInjector().add(fault))
+    bad = spectrum(corrupted.a)
+    drift_bad = spectral_distance(bad, ref)
+    print(f"\nbaseline with 1 soft error: max eigenvalue drift = {drift_bad:.3e}")
+    print("  -> silently wrong resonance frequencies:",
+          np.round(np.sort(np.abs(bad.imag))[-5:], 6))
+
+    protected = ft_gehrd(a, FTConfig(nb=32), injector=FaultInjector().add(fault))
+    good = spectrum(protected.a)
+    drift_good = spectral_distance(good, ref)
+    print(f"\nFT-Hess with the same error: max eigenvalue drift = {drift_good:.3e}")
+    print(f"  detections={protected.detections}, "
+          f"recoveries={len(protected.recoveries)}")
+    assert drift_good < 1e-9 < drift_bad
+    print("\nthe fault-tolerant pipeline returned the trustworthy spectrum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Domain scenario 4 — a fault-tolerant SVD pipeline.
+
+The SVD analogue of the paper's argument: the bidiagonal reduction
+(``B = Qᵀ A P``) is the expensive front-end of the dense SVD, and a soft
+error during it silently corrupts every singular value downstream. Our
+future-work extension ``ft_gebd2`` protects it with the same ABFT
+toolkit, and our from-scratch implicit-QR solver (``bdsqr``) turns the
+protected B into singular values.
+
+The workload is a low-rank-plus-noise data matrix — the typical PCA /
+model-compression setting where the leading singular values ARE the
+scientific result.
+
+Run:  python examples/ft_svd_pipeline.py
+"""
+
+import numpy as np
+
+from repro.core import ft_gebd2
+from repro.faults import FaultInjector, FaultSpec
+from repro.linalg import bidiagonal_svdvals, gebd2
+from repro.utils import make_rng
+
+
+def low_rank_plus_noise(n: int = 100, rank: int = 5, noise: float = 1e-3, seed: int = 0):
+    rng = make_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((n, rank)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, rank)))
+    s = np.linspace(10.0, 2.0, rank)
+    return np.asfortranarray((u * s) @ v.T + noise * rng.standard_normal((n, n)))
+
+
+def singular_values(packed) -> np.ndarray:
+    return bidiagonal_svdvals(np.diag(packed).copy(), np.diag(packed, 1).copy())
+
+
+def main() -> None:
+    a = low_rank_plus_noise()
+    ref = np.sort(np.linalg.svd(a, compute_uv=False))[::-1]
+    print("low-rank-plus-noise matrix, 100 x 100, rank 5 signal")
+    print(f"  leading singular values (reference): {np.round(ref[:5], 6)}")
+
+    # clean run through our pipeline
+    res = ft_gebd2(a)
+    sv = singular_values(res.a)
+    print(f"  FT bidiagonal + implicit QR, clean: drift {np.max(np.abs(sv - ref)):.2e}")
+
+    # the fault-prone baseline with one soft error
+    fault = FaultSpec(iteration=10, row=50, col=70, kind="add", magnitude=0.5)
+    work = a.copy(order="F")
+    work[fault.row, fault.col] += fault.magnitude  # corrupt before reducing
+    gebd2(work)
+    sv_bad = singular_values(work)
+    print(f"\nunprotected run with 1 soft error: "
+          f"singular-value drift {np.max(np.abs(sv_bad - ref)):.3e}")
+    print(f"  -> silently wrong leading values: {np.round(sv_bad[:5], 6)}")
+
+    # the protected run with the same error injected mid-reduction
+    inj = FaultInjector().add(fault)
+    res = ft_gebd2(a, injector=inj)
+    sv_good = singular_values(res.a)
+    e = res.recoveries[0].errors[0]
+    print(f"\nFT run with the same error: detected at step "
+          f"{res.recoveries[0].iteration}, located ({e.row}, {e.col}), corrected")
+    print(f"  singular-value drift after recovery: {np.max(np.abs(sv_good - ref)):.3e}")
+    assert np.max(np.abs(sv_good - ref)) < 1e-10 < np.max(np.abs(sv_bad - ref))
+    print("\nthe fault-tolerant pipeline returned the trustworthy spectrum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Domain scenario 3 — the future-work extension: fault-tolerant
+symmetric *tridiagonal* reduction protecting a spectral-clustering
+pipeline.
+
+The paper's conclusion promises soft-error resilience for "the rest of
+the hybrid two-sided factorizations"; this example exercises our
+implementation of that promise. The workload is spectral graph analysis:
+the eigenvalues of a graph Laplacian (built with networkx) come from the
+FT tridiagonal reduction, with a soft error injected mid-run — including
+the symmetric case's nasty *diagonal* corruption, which is invisible to
+the cheap per-column test and only caught by the periodic audit.
+
+Run:  python examples/ft_tridiagonal.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.core import ft_sytrd
+from repro.faults import FaultInjector, FaultSpec
+from repro.linalg.sytd2 import tridiagonal_of
+
+
+def laplacian(seed: int = 1, n: int = 90) -> np.ndarray:
+    g = nx.connected_watts_strogatz_graph(n, k=6, p=0.2, seed=seed)
+    return np.asfortranarray(nx.laplacian_matrix(g).toarray().astype(np.float64))
+
+
+def main() -> None:
+    lap = laplacian()
+    n = lap.shape[0]
+    ref = np.sort(np.linalg.eigvalsh(lap))
+    print(f"Watts-Strogatz graph Laplacian, {n} nodes")
+    print(f"  algebraic connectivity (λ₂), reference: {ref[1]:.6f}")
+
+    # clean FT run
+    res = ft_sytrd(lap)
+    ours = np.sort(np.linalg.eigvalsh(tridiagonal_of(res.a)))
+    print(f"  FT tridiagonal reduction, clean: λ₂ = {ours[1]:.6f} "
+          f"(drift {abs(ours[1]-ref[1]):.2e})")
+
+    # off-diagonal soft error: caught immediately by the Σ-gap test
+    inj = FaultInjector().add(FaultSpec(iteration=15, row=40, col=60, magnitude=2.0))
+    res = ft_sytrd(lap, injector=inj)
+    ours = np.sort(np.linalg.eigvalsh(tridiagonal_of(res.a)))
+    e = res.recoveries[0].errors[0]
+    print(f"\noff-diagonal error at (40, 60): detected at column "
+          f"{res.recoveries[0].iteration}, located ({e.row}, {e.col}), corrected")
+    print(f"  λ₂ drift after recovery: {abs(ours[1]-ref[1]):.2e}")
+
+    # DIAGONAL soft error: the symmetric blind spot (both checksum vectors
+    # drift identically) — caught by the tier-2 audit
+    inj = FaultInjector().add(FaultSpec(iteration=15, row=50, col=50, magnitude=2.0))
+    res = ft_sytrd(lap, injector=inj, audit_every=8)
+    ours = np.sort(np.linalg.eigvalsh(tridiagonal_of(res.a)))
+    e = res.recoveries[0].errors[0]
+    print(f"\ndiagonal error at (50, 50): invisible to the Σ test, caught by "
+          f"the periodic audit; located ({e.row}, {e.col}), "
+          f"magnitude {e.magnitude:+.3f}")
+    print(f"  λ₂ drift after recovery: {abs(ours[1]-ref[1]):.2e}")
+    print(f"  detections={res.detections}, checks={res.checks}")
+
+
+if __name__ == "__main__":
+    main()

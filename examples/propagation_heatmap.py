@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Reproduce Fig. 2 — how a single soft error propagates through the
+(unprotected) hybrid Hessenberg reduction, by region.
+
+Recreates the paper's exact setup: N=158, nb=32, error injected at the
+boundary between iterations 1 and 2, at the three sites of Fig. 2, and
+renders ASCII heat maps of |clean − faulty|.
+
+Run:  python examples/propagation_heatmap.py
+"""
+
+from repro.analysis import paper_fig2_cases, render_fig2, run_propagation
+from repro.utils import random_matrix
+
+
+def main() -> None:
+    a = random_matrix(158, seed=42)
+    results = [
+        run_propagation(a, i, j, it, nb=32) for (i, j, it) in paper_fig2_cases()
+    ]
+    print(render_fig2(results, with_heatmap=True))
+    print(
+        "\nreading the maps: area 3 leaves a single wrong element, area 1\n"
+        "pollutes its row across H, area 2 contaminates nearly the whole\n"
+        "trailing matrix — which is why the paper corrects errors at the\n"
+        "end of every iteration, before they can spread."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: fault-tolerant Hessenberg reduction in five minutes.
+
+1. Build a test matrix.
+2. Run the fault-prone hybrid baseline (the paper's Algorithm 2).
+3. Run the fault-tolerant version (Algorithm 3) with a soft error
+   injected mid-factorization, and watch it detect → roll back →
+   locate → correct → redo.
+4. Verify both results with the paper's residuals.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FTConfig, HybridConfig, ft_gehrd, hybrid_gehrd, overhead_percent
+from repro.faults import FaultInjector, FaultSpec
+from repro.linalg import (
+    extract_hessenberg,
+    factorization_residual,
+    orghr,
+    orthogonality_residual,
+)
+from repro.utils import random_matrix
+
+
+def main() -> None:
+    n, nb = 158, 32  # the paper's Fig. 2 configuration
+    a = random_matrix(n, seed=42)
+
+    # --- baseline: MAGMA-style hybrid reduction (no protection) ----------
+    base = hybrid_gehrd(a, HybridConfig(nb=nb))
+    q = orghr(base.a, base.taus)
+    h = extract_hessenberg(base.a)
+    print("baseline hybrid DGEHRD")
+    print(f"  residual |A-QHQ'|_1/(N|A|_1) = {factorization_residual(a, q, h):.3e}")
+    print(f"  orthogonality |QQ'-I|_1/N    = {orthogonality_residual(q):.3e}")
+    print(f"  simulated time on the paper's testbed: {base.seconds*1e3:.2f} ms "
+          f"({base.gflops:.1f} GFLOPS)")
+
+    # --- FT run with a soft error in the trailing matrix (area 2) --------
+    inj = FaultInjector().add(
+        FaultSpec(iteration=2, row=100, col=120, kind="add", magnitude=3.7)
+    )
+    ft = ft_gehrd(a, FTConfig(nb=nb), injector=inj)
+    q = orghr(ft.a, ft.taus)
+    h = extract_hessenberg(ft.a)
+    print("\nFT-Hess with one injected soft error (area 2, iteration 2)")
+    for rec in ft.recoveries:
+        for e in rec.errors:
+            print(f"  detected at iteration {rec.iteration} "
+                  f"(checksum gap {rec.gap:.2e}), located ({e.row}, {e.col}), "
+                  f"magnitude {e.magnitude:+.4f}, corrected")
+    print(f"  residual after recovery      = {factorization_residual(a, q, h):.3e}")
+    print(f"  orthogonality after recovery = {orthogonality_residual(q):.3e}")
+    print(f"  overhead vs baseline (simulated): {overhead_percent(ft, base):.2f}%")
+
+    # --- eigenvalues survive ------------------------------------------------
+    ref = np.sort_complex(np.linalg.eigvals(a))
+    ours = np.sort_complex(np.linalg.eigvals(h))
+    print(f"\nmax eigenvalue drift vs clean input: "
+          f"{np.max(np.abs(ours - ref)):.3e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Algorithm-based fault tolerance layer (paper §IV).
+
+Checksum encoding, checksum-extended updates, on-line detection, error
+location/correction, reverse computation, diskless checkpointing and
+Q-matrix protection.
+"""
+
+from repro.abft.encoding import EncodedMatrix, linear_weights, make_weight_block
+from repro.abft.checksums import (
+    v_col_checksums,
+    y_col_checksums,
+    right_update_encoded,
+    left_update_encoded,
+    reverse_left_update_encoded,
+    reverse_right_update_encoded,
+)
+from repro.abft.detection import Detector, ThresholdPolicy, DEFAULT_EPS_FACTOR
+from repro.abft.location import (
+    LocatedError,
+    LocationReport,
+    decode_residuals,
+    decode_residuals_weighted,
+    locate_errors,
+    residual_threshold,
+)
+from repro.abft.correction import apply_correction, correct_all
+from repro.abft.checkpoint import PanelCheckpoint, DisklessCheckpointStore
+from repro.abft.qprotect import QProtector
+from repro.abft.unwind import (
+    extract_panel_reflectors,
+    locate_errors_rowonly,
+    rebuild_col_checksums,
+    unwind_iteration,
+)
+
+__all__ = [
+    "EncodedMatrix",
+    "linear_weights",
+    "make_weight_block",
+    "v_col_checksums",
+    "y_col_checksums",
+    "right_update_encoded",
+    "left_update_encoded",
+    "reverse_left_update_encoded",
+    "reverse_right_update_encoded",
+    "Detector",
+    "ThresholdPolicy",
+    "DEFAULT_EPS_FACTOR",
+    "LocatedError",
+    "LocationReport",
+    "decode_residuals",
+    "decode_residuals_weighted",
+    "locate_errors",
+    "residual_threshold",
+    "apply_correction",
+    "correct_all",
+    "PanelCheckpoint",
+    "DisklessCheckpointStore",
+    "QProtector",
+    "extract_panel_reflectors",
+    "locate_errors_rowonly",
+    "rebuild_col_checksums",
+    "unwind_iteration",
+]

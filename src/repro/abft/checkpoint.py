@@ -1,0 +1,70 @@
+"""Diskless checkpointing of the active panel (paper §IV, Plank et al.).
+
+Before each panel factorization the fault-tolerant driver snapshots the
+panel columns (all N rows) and the column-checksum entries that the
+iteration will overwrite, into a main-memory buffer. On detection, the
+rollback restores the panel from this buffer — the factorization itself
+is *not* reversible (Householder generation is nonlinear in the data),
+which is exactly why the paper pairs reverse computation (for the linear
+trailing updates) with a diskless checkpoint (for the panel).
+
+The store keeps only the most recent checkpoint: once an iteration's
+detection check passes, the previous panel can never be needed again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.abft.encoding import EncodedMatrix
+
+
+@dataclass
+class PanelCheckpoint:
+    """Snapshot taken at the top of one iteration."""
+
+    p: int
+    ib: int
+    panel: np.ndarray        # (N, ib) copy of columns [p, p+ib)
+    col_chk_seg: np.ndarray  # (k, ib) copy of every channel's Ac_chk[p : p+ib]
+
+    @property
+    def nbytes(self) -> int:
+        return self.panel.nbytes + self.col_chk_seg.nbytes
+
+
+class DisklessCheckpointStore:
+    """Holds the single live panel checkpoint and usage statistics."""
+
+    def __init__(self) -> None:
+        self.current: PanelCheckpoint | None = None
+        self.saves = 0
+        self.restores = 0
+        self.peak_bytes = 0
+
+    def save(self, em: EncodedMatrix, p: int, ib: int) -> PanelCheckpoint:
+        """Snapshot panel ``[p, p+ib)`` of *em*; replaces any prior checkpoint."""
+        n = em.n
+        cp = PanelCheckpoint(
+            p=p,
+            ib=ib,
+            panel=em.data[:, p : p + ib].copy(order="F"),
+            col_chk_seg=em.ext[n:, p : p + ib].copy(order="F"),
+        )
+        self.current = cp
+        self.saves += 1
+        self.peak_bytes = max(self.peak_bytes, cp.nbytes)
+        return cp
+
+    def restore(self, em: EncodedMatrix) -> PanelCheckpoint:
+        """Write the checkpointed panel and checksum segments back into *em*."""
+        cp = self.current
+        if cp is None:
+            raise ReproError("no panel checkpoint to restore")
+        em.data[:, cp.p : cp.p + cp.ib] = cp.panel
+        em.ext[em.n :, cp.p : cp.p + cp.ib] = cp.col_chk_seg
+        self.restores += 1
+        return cp

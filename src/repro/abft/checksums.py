@@ -1,0 +1,211 @@
+"""Checksum-extended trailing-matrix updates (paper §IV-C/§IV-D),
+generalized to k weight channels.
+
+Theorem 1's invariant is maintained by applying each block update to the
+checksum-extended operands:
+
+* **right update** — extend the Householder block with its per-channel
+  weighted column checksums, ``Vce = [V; WᵀV]`` (with the paper's unit
+  channel this is the single row ``eᵀV``): the extra rows make the GEMM
+  ``A ← A − Y Vᵀ`` update every row-checksum column consistently, and
+  the precomputed ``Ychk = WᵀY = C_chk[:, p+1:] V T`` (two GEMVs per
+  channel, Algorithm 3 line 6) updates the column-checksum rows.
+* **left update** — the same ``Vce`` block applied through a modified
+  ``larfb``: ``Wk = Tᵀ (Vᵀ C)`` is computed from the *data* rows only,
+  then ``C ← C − V Wk`` and ``c_rows ← c_rows − (WᵀV) Wk``.
+
+The same weight slice ``W[:, p+1:n] @ V`` serves both sides because V's
+rows index exactly the global range ``p+1 .. n-1`` — as columns for the
+right update and as rows for the left one.
+
+These routines mutate the :class:`~repro.abft.encoding.EncodedMatrix`
+storage in place and are shared by the forward pass and (transposed) by
+the reverse-computation pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg import flops as F
+from repro.linalg.flops import FlopCounter
+from repro.linalg.lahr2 import PanelFactors
+from repro.abft.encoding import EncodedMatrix
+
+
+def v_col_checksums(
+    pf: PanelFactors,
+    em: EncodedMatrix | None = None,
+    *,
+    counter: FlopCounter | None = None,
+) -> np.ndarray:
+    """``Vchk = WᵀV`` — the (k, ib) weighted column checksums of the
+    Householder block (Algorithm 3 line 7; one GEMV per channel).
+
+    With *em* omitted (or single-channel) this is the paper's ``eᵀV`` as
+    a (1, ib) block.
+    """
+    m = pf.v.shape[0]
+    if em is None or em.k == 1:
+        if counter is not None:
+            counter.add("abft_maintain", F.gemv_flops(pf.ib, m))
+        return (np.ones(m) @ pf.v)[None, :]
+    w = em.weights[:, pf.p + 1 : pf.p + 1 + m]
+    if counter is not None:
+        counter.add("abft_maintain", em.k * F.gemv_flops(pf.ib, m))
+    return w @ pf.v
+
+
+def y_col_checksums(
+    em: EncodedMatrix, pf: PanelFactors, *, counter: FlopCounter | None = None
+) -> np.ndarray:
+    """``Ychk = WᵀY`` (k, ib), computed from the *maintained* checksums.
+
+    ``Y = A_pre V T`` so ``WᵀY = (WᵀA_pre) V T = C_chk[:, p+1:N] · V · T``
+    (Algorithm 3 line 6; two GEMVs per channel). Using the maintained
+    checksums rather than summing Y is what keeps the checksum rows an
+    *independent* information channel when the data is corrupted.
+    """
+    p, n = pf.p, em.n
+    w = em.col_checksum_block[:, p + 1 : n] @ pf.v
+    w = w @ pf.t
+    if counter is not None:
+        counter.add(
+            "abft_maintain", em.k * (F.gemv_flops(pf.ib, n - p - 1) + F.trmv_flops(pf.ib))
+        )
+    return w
+
+
+def _check_blocks(em: EncodedMatrix, pf: PanelFactors, vce: np.ndarray, ychk) -> None:
+    if vce.shape != (em.k, pf.ib):
+        raise ShapeError(f"Vce block must be ({em.k}, {pf.ib}), got {vce.shape}")
+    if ychk is not None and ychk.shape != (em.k, pf.ib):
+        raise ShapeError(f"Ychk block must be ({em.k}, {pf.ib}), got {ychk.shape}")
+
+
+def right_update_encoded(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    ychk: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """Apply the checksum-extended right update (Algorithm 3 lines 8+10).
+
+    Covers, in one pass over the extended storage:
+
+    * trailing data columns ``[p+ib, N)`` for all N rows (the GPU's M- and
+      G-updates of the plain hybrid algorithm),
+    * every row-checksum column (indices N..N+k-1) via the ``Vce`` rows,
+    * the in-panel top rows ``A[0:p+1, p+1:p+ib]`` (the CPU-facing part of
+      the M-update),
+    * every column-checksum row's trailing entries via ``Ychk``.
+    """
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    _check_blocks(em, pf, vce, ychk)
+    # trailing columns + checksum columns: E[0:N, p+ib : N+k] -= Y @ V2ceᵀ
+    v2ce = np.vstack([pf.v[ib - 1 :, :], vce])
+    em.ext[0:n, p + ib : n + k] -= pf.y[0:n, :] @ v2ce.T
+    if counter is not None:
+        counter.add("right_update", F.gemm_flops(n, n - p - ib, ib))
+        counter.add("abft_maintain", k * F.gemv_flops(n, ib))
+    # in-panel top rows (columns p+1 .. p+ib-1)
+    if ib > 1:
+        v1 = np.tril(pf.v[: ib - 1, : ib - 1])
+        em.ext[0 : p + 1, p + 1 : p + ib] -= pf.y[0 : p + 1, : ib - 1] @ v1.T
+        if counter is not None:
+            counter.add("right_update", F.trmm_flops(p + 1, ib - 1, False))
+    # column-checksum rows of trailing columns: C_chk[:, p+ib:N] -= Ychk @ V2ᵀ
+    em.ext[n:, p + ib : n] -= ychk @ pf.v[ib - 1 : n - p - 1, :].T
+    if counter is not None:
+        counter.add("abft_maintain", k * F.gemv_flops(n - p - ib, ib))
+
+
+def left_update_encoded(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """Apply the checksum-extended left update (Algorithm 3 line 11).
+
+    ``trail(A)fe ← trail(A)fe − Vce Tᵀ Vᵀ trail(A)``: the reflected rows
+    are the data rows ``[p+1, N)``; the checksum columns ride along as
+    extra *columns*, and each checksum row receives its ``w_qᵀV``-scaled
+    correction.
+    """
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    _check_blocks(em, pf, vce, None)
+    cols = slice(p + ib, n + k)  # trailing data columns + checksum columns
+    c_data = em.ext[p + 1 : n, cols]
+    w = pf.t.T @ (pf.v.T @ c_data)
+    c_data -= pf.v @ w
+    em.ext[n:, p + ib : n] -= vce @ w[:, : n - p - ib]
+    # NOTE: the checksum rows have no entries under the checksum columns
+    # (the (k x k) corner is unused), hence the width-limited slice above.
+    if counter is not None:
+        m = n - p - 1
+        ncols = n + k - (p + ib)
+        counter.add(
+            "left_update",
+            F.gemm_flops(ib, ncols, m) + F.trmm_flops(ib, ncols, True) + F.gemm_flops(m, ncols, ib),
+        )
+        counter.add("abft_maintain", k * F.gemv_flops(ncols, ib))
+
+
+def reverse_left_update_encoded(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """Undo :func:`left_update_encoded` (paper §IV-C line 14, left half).
+
+    The forward update multiplies by the orthogonal ``Uᵀ = I − V Tᵀ Vᵀ``;
+    its inverse is ``U = I − V T Vᵀ`` — same kernel, un-transposed T. The
+    checksum-row corrections re-add the forward ``W`` recomputed from the
+    recovered data rows.
+    """
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    cols = slice(p + ib, n + k)
+    c_data = em.ext[p + 1 : n, cols]
+    w_rev = pf.t @ (pf.v.T @ c_data)
+    c_data -= pf.v @ w_rev
+    # c_data now equals the pre-left-update state; recompute the forward
+    # correction that was applied to the checksum rows and add it back.
+    w_fwd = pf.t.T @ (pf.v.T @ c_data)
+    em.ext[n:, p + ib : n] += vce @ w_fwd[:, : n - p - ib]
+    if counter is not None:
+        m = n - p - 1
+        ncols = n + k - (p + ib)
+        counter.add("abft_recover", 2 * F.gemm_flops(ib, ncols, m) + F.gemm_flops(m, ncols, ib))
+
+
+def reverse_right_update_encoded(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    ychk: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """Undo :func:`right_update_encoded` by re-adding the Y products.
+
+    ``Y``, ``V``, ``T`` are still live in their buffers at detection time
+    (they are only destroyed by the *next* panel factorization — the
+    paper's reverse-computation premise), so the subtracted products can
+    be reconstructed exactly.
+    """
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    v2ce = np.vstack([pf.v[ib - 1 :, :], vce])
+    em.ext[0:n, p + ib : n + k] += pf.y[0:n, :] @ v2ce.T
+    if ib > 1:
+        v1 = np.tril(pf.v[: ib - 1, : ib - 1])
+        em.ext[0 : p + 1, p + 1 : p + ib] += pf.y[0 : p + 1, : ib - 1] @ v1.T
+    em.ext[n:, p + ib : n] += ychk @ pf.v[ib - 1 : n - p - 1, :].T
+    if counter is not None:
+        counter.add("abft_recover", F.gemm_flops(n, n - p - ib + k, ib))

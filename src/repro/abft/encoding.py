@@ -1,0 +1,213 @@
+"""Checksum encoding of the input matrix (paper §IV-B, Fig. 3) —
+generalized to multiple weight channels (Huang & Abraham, the paper's
+refs [11]–[13]).
+
+The paper's scheme is the single **unit channel**: the N x N input is
+embedded in an (N+1) x (N+1) array whose last column holds ``r = A e``
+(``Ar_chk``) and last row holds ``c = eᵀ A`` (``Ac_chk``). With ``k``
+channels the array is (N+k) x (N+k): channel ``q`` contributes the
+column ``A w_q`` and the row ``w_qᵀ A``, where ``w_0 = e`` and further
+channels default to the normalized linear weights ``w_1(i) = (i+1)/N``
+(kept O(1) so thresholds don't blow up). The extra channel buys
+**per-line error localisation by ratio** — ``(A w_1)_i / (A w_0)_i``
+recovers the faulty column index of a single error in row i — which is
+what resolves multi-error patterns the unit scheme alone provably cannot
+(see ``decode_residuals_weighted``).
+
+During the factorization the maintained checksums track the
+*mathematical* matrix — the one in which annihilated entries are
+genuinely zero even though the storage re-uses them for Householder
+vectors (the paper's "yellow part and red part" of Fig. 4(f)). The
+``fresh_*`` methods therefore mask the Q region (strictly below the
+first subdiagonal of *finished* columns) when recomputing sums for
+detection and location.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.flops import FlopCounter
+from repro.linalg import flops as F
+
+
+def linear_weights(n: int) -> np.ndarray:
+    """The default second channel: ``w(i) = (i+1)/n`` — strictly
+    increasing (so the ratio test inverts uniquely) and O(1)-bounded."""
+    return (np.arange(n, dtype=np.float64) + 1.0) / n
+
+
+def make_weight_block(n: int, channels: int) -> np.ndarray:
+    """The (k, n) weight matrix: unit row first, then the linear channel,
+    then (rarely needed) quadratic and higher polynomial channels."""
+    if channels < 1:
+        raise ShapeError(f"need at least one checksum channel, got {channels}")
+    rows = [np.ones(n)]
+    base = linear_weights(n)
+    for q in range(1, channels):
+        rows.append(base**q)
+    return np.vstack(rows)
+
+
+class EncodedMatrix:
+    """An N x N matrix extended with k checksum columns and k checksum rows.
+
+    Attributes
+    ----------
+    ext:
+        The (N+k) x (N+k) Fortran-ordered storage. ``ext[:N, :N]`` is the
+        matrix data, ``ext[:N, N:]`` the row-checksum columns (one per
+        channel), ``ext[N:, :N]`` the column-checksum rows. The
+        (k x k) corner is unused.
+    weights:
+        The (k, N) weight matrix; row 0 is all-ones (the paper's scheme).
+    """
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        *,
+        channels: int = 1,
+        weights: np.ndarray | None = None,
+        counter: FlopCounter | None = None,
+    ):
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ShapeError(f"EncodedMatrix needs a square matrix, got {a.shape}")
+        n = a.shape[0]
+        self.n = n
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.ndim != 2 or weights.shape[1] != n:
+                raise ShapeError(f"weights must be (k, {n}), got {weights.shape}")
+            if not np.allclose(weights[0], 1.0):
+                raise ShapeError("channel 0 must be the unit weights (the paper's scheme)")
+            self.weights = weights
+        else:
+            self.weights = make_weight_block(n, channels)
+        self.k = self.weights.shape[0]
+        self.ext = np.zeros((n + self.k, n + self.k), order="F")
+        self.ext[:n, :n] = a
+        self.encode(counter=counter)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The N x N matrix block (a view)."""
+        return self.ext[: self.n, : self.n]
+
+    @property
+    def row_checksums(self) -> np.ndarray:
+        """The unit-channel row-checksum column ``Ar_chk`` (a view)."""
+        return self.ext[: self.n, self.n]
+
+    @property
+    def col_checksums(self) -> np.ndarray:
+        """The unit-channel column-checksum row ``Ac_chk`` (a view)."""
+        return self.ext[self.n, : self.n]
+
+    @property
+    def row_checksum_block(self) -> np.ndarray:
+        """All k row-checksum columns, shape (N, k) (a view)."""
+        return self.ext[: self.n, self.n :]
+
+    @property
+    def col_checksum_block(self) -> np.ndarray:
+        """All k column-checksum rows, shape (k, N) (a view)."""
+        return self.ext[self.n :, : self.n]
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, *, counter: FlopCounter | None = None) -> None:
+        """(Re)compute every checksum vector from the matrix data.
+
+        This is the paper's Algorithm 3 line 2 — two GEMV-class sweeps
+        per channel (``FLOPinit = k(4N² − 2N)``).
+        """
+        n = self.n
+        self.ext[:n, n:] = self.data @ self.weights.T
+        self.ext[n:, :n] = self.weights @ self.data
+        if counter is not None:
+            counter.add("abft_init", 2 * self.k * n * F.dot_flops(n))
+
+    # -- fresh sums over the mathematical (yellow+red) matrix --------------
+
+    def _masked(self, finished_cols: int) -> np.ndarray:
+        """The mathematical matrix: Q-region of finished columns zeroed."""
+        n = self.n
+        m = self.data.copy()
+        for j in range(min(finished_cols, n)):
+            m[j + 2 :, j] = 0.0
+        return m
+
+    def fresh_row_sums(
+        self, finished_cols: int, *, counter: FlopCounter | None = None
+    ) -> np.ndarray:
+        """Recompute unit row sums of the mathematical matrix (length N)."""
+        n = self.n
+        if counter is not None:
+            counter.add("abft_locate", n * F.dot_flops(n))
+        return self._masked(finished_cols) @ np.ones(n)
+
+    def fresh_col_sums(
+        self, finished_cols: int, *, counter: FlopCounter | None = None
+    ) -> np.ndarray:
+        """Recompute unit column sums of the mathematical matrix (length N)."""
+        n = self.n
+        if counter is not None:
+            counter.add("abft_locate", n * F.dot_flops(n))
+        return np.ones(n) @ self._masked(finished_cols)
+
+    def fresh_row_block(
+        self, finished_cols: int, *, counter: FlopCounter | None = None
+    ) -> np.ndarray:
+        """All channels' fresh row checksums, shape (N, k)."""
+        n = self.n
+        if counter is not None:
+            counter.add("abft_locate", self.k * n * F.dot_flops(n))
+        return self._masked(finished_cols) @ self.weights.T
+
+    def fresh_col_block(
+        self, finished_cols: int, *, counter: FlopCounter | None = None
+    ) -> np.ndarray:
+        """All channels' fresh column checksums, shape (k, N)."""
+        n = self.n
+        if counter is not None:
+            counter.add("abft_locate", self.k * n * F.dot_flops(n))
+        return self.weights @ self._masked(finished_cols)
+
+    def refresh_finished_segment(
+        self, p: int, ib: int, *, counter: FlopCounter | None = None
+    ) -> None:
+        """Freeze the column checksums of newly finished columns.
+
+        When panel ``[p, p+ib)`` completes, its columns' final H values
+        are in place (rows ``0 .. j+1`` of column ``j``); every channel's
+        maintained column checksum for those columns is frozen to the
+        weighted column sum of H ("computed segment by segment", as the
+        paper describes for the analogous Q checksums in Fig. 5).
+        """
+        n = self.n
+        for j in range(p, min(p + ib, n)):
+            hi = min(j + 2, n)
+            self.ext[n:, j] = self.weights[:, :hi] @ self.ext[:hi, j]
+            if counter is not None:
+                counter.add("abft_maintain", self.k * F.dot_flops(hi))
+
+    # -- convenience -------------------------------------------------------
+
+    def checksum_gap(self) -> float:
+        """``|Sre − Sce|`` on the unit channel — the paper's detector
+        statistic (cross-channel statistics live in the Detector)."""
+        return abs(float(np.sum(self.row_checksums)) - float(np.sum(self.col_checksums)))
+
+    def cross_gaps(self) -> np.ndarray:
+        """The (k, k) matrix of cross-channel statistics
+        ``|r_p · w_q − c_q · w_p|``; every entry is ~0 on consistent
+        state because both sides equal ``w_pᵀ A w_q``."""
+        r = self.row_checksum_block  # (n, k): columns are A w_p
+        c = self.col_checksum_block  # (k, n): rows are w_qᵀ A
+        left = self.weights @ r      # (k, k): [q, p] = w_qᵀ (A w_p)
+        right = c @ self.weights.T   # (k, k): [q, p] = (w_qᵀ A) w_p
+        return np.abs(left - right)

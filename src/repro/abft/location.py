@@ -1,0 +1,324 @@
+"""Error location (paper §IV-F) — single errors and non-rectangular
+multi-error patterns.
+
+After the rollback restores a checksum-consistent previous state, fresh
+row/column sums of the mathematical matrix are recomputed and compared
+against the maintained checksum vectors. Rows and columns whose residual
+exceeds the threshold are candidates:
+
+* one row + one column           → a single data error at their crossing;
+* bad rows with *no* bad columns → the row-checksum elements themselves
+  were hit (a data error always perturbs both vectors); symmetric for
+  columns;
+* several rows and columns       → multiple simultaneous errors, resolved
+  by **iterative peeling**:
+
+  1. if only one bad row remains, every remaining bad column's error lies
+     in that row (magnitude = the column residual); symmetric for one bad
+     column;
+  2. otherwise peel any (row, column) pair whose residuals match uniquely
+     — such a pair can only be a lone error on both of its lines.
+
+  The paper's correctability condition — error positions not forming a
+  rectangle — is exactly the condition under which peeling makes progress
+  (a rectangle with consistent magnitudes leaves every line with ≥2
+  errors and no unique match). An unpeelable pattern raises
+  :class:`~repro.errors.UncorrectableError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import UncorrectableError
+from repro.linalg.flops import FlopCounter
+from repro.abft.encoding import EncodedMatrix
+
+
+@dataclass(frozen=True)
+class LocatedError:
+    """A located soft error.
+
+    ``kind`` is ``"data"`` (fix ``A[row, col]``), ``"row_checksum"``
+    (fix the row-checksum element ``[row]`` of *channel*) or
+    ``"col_checksum"`` (dito for a column checksum); ``magnitude`` is the
+    signed corruption the correction must remove (corrupted value minus
+    true value). *channel* is always 0 under the paper's unit encoding.
+    """
+
+    kind: str
+    row: int
+    col: int
+    magnitude: float
+    channel: int = 0
+
+
+@dataclass
+class LocationReport:
+    """Everything the locator derived, for reporting and tests."""
+
+    errors: list[LocatedError] = field(default_factory=list)
+    row_residuals: np.ndarray | None = None
+    col_residuals: np.ndarray | None = None
+
+    @property
+    def count(self) -> int:
+        return len(self.errors)
+
+
+def residual_threshold(em: EncodedMatrix, norm_a: float, eps_factor: float = 1.0e3) -> float:
+    """Per-line residual threshold for candidate selection."""
+    eps = float(np.finfo(np.float64).eps)
+    return eps_factor * eps * max(1.0, norm_a) * em.n
+
+
+def decode_residuals(dr: np.ndarray, dc: np.ndarray, tol: float) -> list[LocatedError]:
+    """Decode row/column residuals into located errors by peeling.
+
+    *dr*/*dc* hold ``fresh − maintained`` sums (a corruption of magnitude
+    ``m`` at (i, j) contributes ``+m`` to both ``dr[i]`` and ``dc[j]``; a
+    corrupted row-checksum element contributes ``−m`` to ``dr[i]`` only).
+    The arrays are consumed (modified in place on a copy made by the
+    caller). Shared by the H-matrix locator and the Q protector.
+    """
+    errors: list[LocatedError] = []
+
+    def close(a: float, b: float) -> bool:
+        # residual comparisons need a magnitude-relative term: the sums'
+        # roundoff scales with the corruption size itself
+        return abs(a - b) <= max(tol, 1e-9 * max(abs(a), abs(b)))
+
+    # non-finite residuals (Inf/NaN corruption) always count as bad lines —
+    # plain magnitude comparison would silently drop them
+    bad_rows = set(np.flatnonzero((np.abs(dr) > tol) | ~np.isfinite(dr)).tolist())
+    bad_cols = set(np.flatnonzero((np.abs(dc) > tol) | ~np.isfinite(dc)).tolist())
+
+    guard = len(bad_rows) + len(bad_cols) + 1
+    for _ in range(guard):
+        if not bad_rows and not bad_cols:
+            break
+
+        # Checksum-element corruption: residual on one side only. For a
+        # corrupted checksum the fresh sum is the truth, so the stored
+        # checksum is off by -residual.
+        if bad_rows and not bad_cols:
+            for i in sorted(bad_rows):
+                errors.append(LocatedError("row_checksum", i, -1, float(-dr[i])))
+            bad_rows.clear()
+            continue
+        if bad_cols and not bad_rows:
+            for j in sorted(bad_cols):
+                errors.append(LocatedError("col_checksum", -1, j, float(-dc[j])))
+            bad_cols.clear()
+            continue
+
+        # Structural rule: a single bad row owns every bad column's error.
+        if len(bad_rows) == 1:
+            i = next(iter(bad_rows))
+            total = sum(dc[j] for j in bad_cols)
+            if not close(dr[i], total) and np.isfinite(total):
+                raise UncorrectableError(
+                    f"inconsistent residuals: row {i} residual {dr[i]:.3e} vs "
+                    f"column total {total:.3e}"
+                )
+            for j in sorted(bad_cols):
+                errors.append(LocatedError("data", i, j, float(dc[j])))
+            bad_rows.clear()
+            bad_cols.clear()
+            continue
+        if len(bad_cols) == 1:
+            j = next(iter(bad_cols))
+            total = sum(dr[i] for i in bad_rows)
+            if not close(dc[j], total) and np.isfinite(total):
+                raise UncorrectableError(
+                    f"inconsistent residuals: column {j} residual {dc[j]:.3e} vs "
+                    f"row total {total:.3e}"
+                )
+            for i in sorted(bad_rows):
+                errors.append(LocatedError("data", i, j, float(dr[i])))
+            bad_rows.clear()
+            bad_cols.clear()
+            continue
+
+        # Magnitude peeling: a (row, col) pair matching uniquely on both
+        # sides must be a lone error on each of its lines.
+        peeled = False
+        for i in sorted(bad_rows):
+            matches = [j for j in bad_cols if close(dr[i], dc[j])]
+            if len(matches) == 1:
+                j = matches[0]
+                back = [i2 for i2 in bad_rows if close(dc[j], dr[i2])]
+                if len(back) == 1:
+                    m = float(dr[i])
+                    errors.append(LocatedError("data", i, j, m))
+                    dr[i] -= m
+                    dc[j] -= m
+                    bad_rows.discard(i)
+                    if abs(dc[j]) <= tol:
+                        bad_cols.discard(j)
+                    peeled = True
+                    break
+        if not peeled:
+            raise UncorrectableError(
+                "error pattern cannot be peeled (rectangular or ambiguous): "
+                f"rows {sorted(bad_rows)}, cols {sorted(bad_cols)}"
+            )
+    else:
+        raise UncorrectableError(
+            f"peeling did not converge: rows {sorted(bad_rows)}, cols {sorted(bad_cols)}"
+        )
+    return errors
+
+
+def locate_errors(
+    em: EncodedMatrix,
+    finished_cols: int,
+    norm_a: float,
+    *,
+    eps_factor: float = 1.0e3,
+    counter: FlopCounter | None = None,
+) -> LocationReport:
+    """Locate every correctable error in the (rolled-back) encoded matrix.
+
+    Parameters
+    ----------
+    em:
+        The encoded matrix, rolled back to a checksum-consistent state
+        (apart from the corruption being located).
+    finished_cols:
+        Number of reduced columns at the rolled-back state (their
+        sub-subdiagonal storage is Q data, excluded from the sums).
+    norm_a:
+        1-norm of the original input (threshold scale).
+
+    Raises
+    ------
+    UncorrectableError
+        If the residual pattern cannot be resolved by peeling (the paper's
+        rectangle condition) or is internally inconsistent.
+    """
+    tol = residual_threshold(em, norm_a, eps_factor)
+
+    if getattr(em, "k", 1) > 1:
+        fresh_rb = em.fresh_row_block(finished_cols, counter=counter)
+        fresh_cb = em.fresh_col_block(finished_cols, counter=counter)
+        drb = np.asarray(fresh_rb - em.row_checksum_block, dtype=np.float64).copy()
+        dcb = np.asarray(fresh_cb - em.col_checksum_block, dtype=np.float64).copy()
+        report = LocationReport(
+            row_residuals=drb[:, 0].copy(), col_residuals=dcb[0].copy()
+        )
+        report.errors = decode_residuals_weighted(drb, dcb, em.weights, tol)
+        return report
+
+    fresh_r = em.fresh_row_sums(finished_cols, counter=counter)
+    fresh_c = em.fresh_col_sums(finished_cols, counter=counter)
+    dr = np.asarray(fresh_r - em.row_checksums, dtype=np.float64).copy()
+    dc = np.asarray(fresh_c - em.col_checksums, dtype=np.float64).copy()
+
+    report = LocationReport(row_residuals=dr.copy(), col_residuals=dc.copy())
+    report.errors = decode_residuals(dr, dc, tol)
+    return report
+
+
+def decode_residuals_weighted(
+    drb: np.ndarray, dcb: np.ndarray, weights: np.ndarray, tol: float
+) -> list[LocatedError]:
+    """Decode residuals under the weighted (k ≥ 2) encoding.
+
+    *drb* is (N, k): per-row ``fresh − maintained`` for every channel;
+    *dcb* is (k, N) for the columns; *weights* is the (k, N) weight
+    matrix whose channel 1 is strictly increasing.
+
+    The extra channel turns location into a **ratio test** (Huang &
+    Abraham): a lone error of magnitude ``m`` at (i, j) gives
+    ``drb[i] = m · weights[:, j]``, so ``drb[i, 1] / drb[i, 0] = w₁(j)``
+    identifies ``j`` directly — per *line*, independent of the other
+    lines. Peeling a located error from all four residual vectors then
+    exposes the next one, which is what decodes patterns the unit
+    encoding provably cannot (the 2-rows × 2-cols L-shape).
+
+    A corrupted checksum *element* perturbs exactly one channel on one
+    side (``drb[i, q] = −m``, everything else clean) and is recognized by
+    that signature.
+    """
+    n, k = drb.shape
+    if k < 2:
+        raise UncorrectableError("weighted decode needs at least two channels")
+    w1 = weights[1]
+    errors: list[LocatedError] = []
+
+    def bad(x: np.ndarray) -> bool:
+        return bool(np.any(~np.isfinite(x)) or np.any(np.abs(x) > tol))
+
+    def match_tol(m: float) -> float:
+        return max(tol, 1e-8 * abs(m))
+
+    def try_line(vec: np.ndarray, along_rows: bool, idx: int) -> bool:
+        """Ratio-decode one line: *idx* is the row index when
+        *along_rows*, else the column index; the ratio recovers the
+        crossing index on the other axis."""
+        m = float(vec[0])
+        if not np.isfinite(m) or abs(m) <= tol:
+            return False
+        ratio = float(vec[1]) / m
+        other = int(round(ratio * n)) - 1
+        if not (0 <= other < n):
+            return False
+        # verify across ALL channels: vec ≈ m * weights[:, other]
+        target = m * weights[:, other]
+        if np.any(np.abs(vec - target) > match_tol(m)):
+            return False
+        if along_rows:
+            errors.append(LocatedError("data", idx, other, m))
+            drb[idx] -= target
+            dcb[:, other] -= m * weights[:, idx]
+        else:
+            errors.append(LocatedError("data", other, idx, m))
+            dcb[:, idx] -= target
+            drb[other] -= m * weights[:, idx]
+        return True
+
+    guard = 2 * n + 4
+    for _ in range(guard):
+        bad_rows = [i for i in range(n) if bad(drb[i])]
+        bad_cols = [j for j in range(n) if bad(dcb[:, j])]
+        if not bad_rows and not bad_cols:
+            break
+        progress = False
+        for i in bad_rows:
+            if try_line(drb[i], True, i):
+                progress = True
+                break
+        if progress:
+            continue
+        for j in bad_cols:
+            if try_line(dcb[:, j], False, j):
+                progress = True
+                break
+        if progress:
+            continue
+        # checksum-element signatures: exactly one channel of one side hot
+        for i in bad_rows:
+            hot = [q for q in range(k) if abs(drb[i, q]) > tol or not np.isfinite(drb[i, q])]
+            if len(hot) == 1:
+                q = hot[0]
+                errors.append(LocatedError("row_checksum", i, -1, float(-drb[i, q]), q))
+                drb[i, q] = 0.0
+                progress = True
+        for j in bad_cols:
+            hot = [q for q in range(k) if abs(dcb[q, j]) > tol or not np.isfinite(dcb[q, j])]
+            if len(hot) == 1:
+                q = hot[0]
+                errors.append(LocatedError("col_checksum", -1, j, float(-dcb[q, j]), q))
+                dcb[q, j] = 0.0
+                progress = True
+        if not progress:
+            raise UncorrectableError(
+                "weighted decode stalled: "
+                f"rows {bad_rows[:8]}, cols {bad_cols[:8]}"
+            )
+    else:
+        raise UncorrectableError("weighted decode did not converge")
+    return errors

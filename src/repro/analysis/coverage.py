@@ -1,0 +1,136 @@
+"""Empirical protection-coverage maps.
+
+For a grid of injection positions (and a fixed injection iteration), run
+the FT reduction once per position and classify the outcome:
+
+* ``R`` — recovered: the final residual is clean and the run corrected
+  something (rollback recovery or the end-of-run Q check);
+* ``.`` — silently harmless: nothing detected, residual still clean
+  (e.g. a sub-threshold fault);
+* ``X`` — silently harmful: nothing detected but the result is wrong —
+  a genuine coverage hole (for the paper's scheme: the finished-H
+  region);
+* ``F`` — refused: the run raised ``UncorrectableError`` (detected but
+  not locatable) — fail-stop, never silent corruption.
+
+The map makes the protection domains *visible*: the paper's Fig. 2a
+partition reappears as the R-region (areas 1/2 via rollback, area-3 Q
+storage via the final check) with the unprotected finished-H wedge as
+the only X cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import FTConfig
+from repro.core.ft_hessenberg import ft_gehrd
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.linalg.orghr import orghr
+from repro.linalg.verify import extract_hessenberg, factorization_residual
+from repro.utils.rng import random_matrix
+
+CATEGORIES = {
+    "R": "recovered",
+    ".": "harmless (undetected, result clean)",
+    "X": "SILENT CORRUPTION (undetected, result wrong)",
+    "F": "refused (detected, fail-stop)",
+}
+
+
+@dataclass
+class CoverageMap:
+    """Outcome grid of a coverage sweep."""
+
+    n: int
+    nb: int
+    iteration: int
+    rows: np.ndarray           # sampled row indices
+    cols: np.ndarray           # sampled column indices
+    grid: np.ndarray           # (len(rows), len(cols)) of category chars
+    residuals: np.ndarray = field(default=None)
+
+    def count(self, cat: str) -> int:
+        return int(np.count_nonzero(self.grid == cat))
+
+    @property
+    def silent_corruption_cells(self) -> list[tuple[int, int]]:
+        out = []
+        for a, i in enumerate(self.rows):
+            for b, j in enumerate(self.cols):
+                if self.grid[a, b] == "X":
+                    out.append((int(i), int(j)))
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"coverage map: N={self.n}, nb={self.nb}, fault at iteration "
+            f"{self.iteration} (rows down, columns across)",
+        ]
+        header = "      " + "".join(f"{int(j):>4d}" for j in self.cols)
+        lines.append(header)
+        for a, i in enumerate(self.rows):
+            lines.append(f"{int(i):>4d}  " + "".join(f"{c:>4}" for c in self.grid[a]))
+        lines.append("")
+        for cat, desc in CATEGORIES.items():
+            lines.append(f"  {cat} = {desc}: {self.count(cat)}")
+        return "\n".join(lines)
+
+
+def coverage_map(
+    n: int = 96,
+    nb: int = 32,
+    iteration: int = 1,
+    *,
+    grid: int = 12,
+    magnitude: float = 1.0,
+    channels: int = 1,
+    audit_every: int = 0,
+    seed: int = 0,
+    residual_tol: float = 1e-12,
+) -> CoverageMap:
+    """Sweep a ``grid x grid`` lattice of fault positions and classify.
+
+    One full FT run per lattice point — keep *n* and *grid* modest.
+    """
+    a0 = random_matrix(n, seed=seed)
+    rows = np.unique(np.linspace(0, n - 1, grid).astype(int))
+    cols = np.unique(np.linspace(0, n - 1, grid).astype(int))
+    out = np.full((rows.size, cols.size), "?", dtype="<U1")
+    resids = np.zeros((rows.size, cols.size))
+
+    for ai, i in enumerate(rows):
+        for bj, j in enumerate(cols):
+            inj = FaultInjector().add(
+                FaultSpec(iteration=iteration, row=int(i), col=int(j),
+                          magnitude=magnitude)
+            )
+            try:
+                res = ft_gehrd(
+                    a0,
+                    FTConfig(nb=nb, channels=channels, audit_every=audit_every),
+                    injector=inj,
+                )
+            except ReproError:
+                out[ai, bj] = "F"
+                resids[ai, bj] = np.nan
+                continue
+            q = orghr(res.a, res.taus)
+            h = extract_hessenberg(res.a)
+            r = factorization_residual(a0, q, h)
+            resids[ai, bj] = r
+            acted = bool(res.recoveries) or (
+                res.q_report is not None and res.q_report.count > 0
+            )
+            if r <= residual_tol:
+                out[ai, bj] = "R" if acted else "."
+            else:
+                out[ai, bj] = "X"
+
+    return CoverageMap(
+        n=n, nb=nb, iteration=iteration, rows=rows, cols=cols, grid=out,
+        residuals=resids,
+    )

@@ -1,0 +1,160 @@
+"""The paper's Section-V closed-form overhead model, implemented exactly.
+
+Every formula below is transcribed from §V (with the paper's convention
+that an n-term sum costs ``n + n − 1``-style exact flops). The benchmark
+``bench_section5_model`` compares these predictions against the flop
+counts *measured* by the instrumented functional driver, and the headline
+result — ``overhead = FLOP_extra / FLOP_orig = O(1/N) → 0`` — is asserted
+by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def flop_orig(n: int) -> float:
+    """``FLOP_orig ≈ 10/3 · N³`` — the baseline reduction."""
+    return 10.0 / 3.0 * float(n) ** 3
+
+
+def flop_init(n: int) -> float:
+    """Initial encoding: two GEMVs, ``2N(N + N − 1) = 4N² − 2N``."""
+    return 2.0 * n * (2 * n - 1)
+
+
+def flop_chk_v(n: int, nb: int) -> float:
+    """Column checksums of V, accumulated over the factorization."""
+    total = 0.0
+    for i in range(n // nb):
+        m = n - nb * i
+        total += nb * (2 * m - 1)
+    return total
+
+
+def flop_r_chk(n: int, nb: int) -> float:
+    """Work applied to the right-hand-side (row) checksums per §V."""
+    total = 0.0
+    for i in range(n // nb):
+        m = n - nb * i
+        total += m * (2 * nb - 1) + n * (2 * nb - 1) + nb * (2 * m - 1)
+    return total
+
+
+def flop_c_chk(n: int, nb: int) -> float:
+    """Work applied to the bottom (column) checksums per §V."""
+    total = 0.0
+    for i in range(n // nb):
+        m = n - nb * i
+        total += 2 * m * (2 * nb - 1)
+    return total
+
+
+def flop_common(n: int, nb: int) -> float:
+    """Intermediate results shared by both checksum updates: O(N)."""
+    return (n // nb) * nb * (2 * nb - 1)
+
+
+def flop_detect(n: int, nb: int) -> float:
+    """Per-iteration detection: two length-N sum reductions."""
+    return (n // nb) * 2 * (2 * n - 1)
+
+
+def flop_extra_no_error(n: int, nb: int) -> float:
+    """``FLOP_extra`` — total added flops when no error occurs (O(N²))."""
+    return (
+        flop_init(n)
+        + flop_chk_v(n, nb)
+        + flop_r_chk(n, nb)
+        + flop_c_chk(n, nb)
+        + flop_common(n, nb)
+        + flop_detect(n, nb)
+    )
+
+
+def overhead_ratio(n: int, nb: int) -> float:
+    """``FLOP_extra / FLOP_orig`` — tends to 0 as ``3/(10) · O(N²)/N³``."""
+    return flop_extra_no_error(n, nb) / flop_orig(n)
+
+
+def flop_locate(n: int) -> float:
+    """Locating the error: fresh row+column checksums, ``4N² − 2N``."""
+    return 2.0 * n * (2 * n - 1)
+
+
+def flop_correct(n: int) -> float:
+    """Correcting the error: one dot product and a subtraction, ``N − 1``."""
+    return float(n - 1)
+
+
+def flop_redo(n: int, nb: int, j: int) -> float:
+    """Re-execution cost when the error struck iteration *j* (§V).
+
+    The paper's expression: repeat the trailing updates and the panel of
+    the faulty iteration — a function of the remaining trailing size
+    ``N − j·nb``; O(N²) for any single error.
+    """
+    m = max(n - j * nb, 0)
+    repeat = n * m * (2 * nb - 1) + m * m * (2 * nb - 1)
+    panel = m * nb * (2 * m - 1) + m * nb * (2 * nb - 1)
+    return float(repeat + panel)
+
+
+def flop_reverse(n: int, nb: int, j: int) -> float:
+    """Reverse computation: one reverse left + one reverse right update on
+    the iteration-*j* trailing block (same kernel shapes as forward)."""
+    m = max(n - j * nb, 0)
+    return 2.0 * (2.0 * n * m * nb) if m else 0.0
+
+
+def flop_extra_one_error(n: int, nb: int, j: int) -> float:
+    """Total added flops with a single area-1/2 error at iteration *j*."""
+    return (
+        flop_extra_no_error(n, nb)
+        + flop_reverse(n, nb, j)
+        + flop_locate(n)
+        + flop_correct(n)
+        + flop_redo(n, nb, j)
+    )
+
+
+def storage_extra(n: int, nb: int) -> int:
+    """§V storage: a panel of workspace plus four checksum vectors,
+    ``S = nb·N + 4N`` elements."""
+    return nb * n + 4 * n
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """All §V terms for one (N, nb), for reporting."""
+
+    n: int
+    nb: int
+    init: float
+    chk_v: float
+    r_chk: float
+    c_chk: float
+    common: float
+    detect: float
+
+    @property
+    def total(self) -> float:
+        return self.init + self.chk_v + self.r_chk + self.c_chk + self.common + self.detect
+
+    @property
+    def ratio(self) -> float:
+        return self.total / flop_orig(self.n)
+
+
+def breakdown(n: int, nb: int) -> OverheadBreakdown:
+    """Compute every §V term for one problem size."""
+    return OverheadBreakdown(
+        n=n,
+        nb=nb,
+        init=flop_init(n),
+        chk_v=flop_chk_v(n, nb),
+        r_chk=flop_r_chk(n, nb),
+        c_chk=flop_c_chk(n, nb),
+        common=flop_common(n, nb),
+        detect=flop_detect(n, nb),
+    )

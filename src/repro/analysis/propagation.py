@@ -1,0 +1,136 @@
+"""Error-propagation experiments — Fig. 2 of the paper.
+
+Protocol (paper §IV-A): run the fault-*prone* hybrid reduction twice on
+the same input — once clean, once with a single element corrupted at an
+iteration boundary — and diff the packed results. The difference heat map
+classifies the region:
+
+* area 3 (finished columns):   exactly one polluted element;
+* area 1 (upper trailing):     pollution confined to (essentially) the
+  error row, spreading row-wise through H;
+* area 2 (lower trailing, G):  pollution across the trailing block in
+  both H and Q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import HybridConfig
+from repro.core.hybrid_hessenberg import hybrid_gehrd
+from repro.errors import ShapeError
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.regions import classify, finished_cols_at
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of one Fig. 2-style experiment."""
+
+    n: int
+    nb: int
+    spec: FaultSpec
+    area: int
+    diff: np.ndarray             # |clean − faulty| over the packed output
+    threshold: float
+
+    @property
+    def polluted(self) -> np.ndarray:
+        """Boolean mask of polluted elements."""
+        return self.diff > self.threshold
+
+    @property
+    def polluted_count(self) -> int:
+        return int(np.count_nonzero(self.polluted))
+
+    @property
+    def polluted_rows(self) -> int:
+        return int(np.count_nonzero(self.polluted.any(axis=1)))
+
+    @property
+    def polluted_cols(self) -> int:
+        return int(np.count_nonzero(self.polluted.any(axis=0)))
+
+    @property
+    def polluted_fraction(self) -> float:
+        return self.polluted_count / self.diff.size
+
+    def classify_pattern(self) -> str:
+        """``"none"`` (single element), ``"row"`` or ``"full"``.
+
+        Mirrors the paper's three heat maps: ≤ a handful of elements →
+        no propagation; pollution confined to ≲2 rows → row-wise;
+        otherwise full trailing-matrix pollution.
+        """
+        if self.polluted_count <= 4:
+            return "none"
+        if self.polluted_rows <= 2:
+            return "row"
+        return "full"
+
+    def heatmap_ascii(self, width: int = 48) -> str:
+        """Downsampled ASCII rendering of the |diff| magnitudes."""
+        n = self.diff.shape[0]
+        step = max(1, n // width)
+        glyphs = " .:*#@"
+        lines = []
+        with np.errstate(divide="ignore"):
+            logd = np.where(self.diff > 0, np.log10(self.diff), -np.inf)
+        for i in range(0, n, step):
+            row = []
+            for j in range(0, n, step):
+                block = logd[i : i + step, j : j + step]
+                mx = float(np.max(block))
+                if mx == -np.inf or self.diff[i : i + step, j : j + step].max() <= self.threshold:
+                    row.append(glyphs[0])
+                else:
+                    # map log10 magnitude [-16, 1] to glyph intensity
+                    level = int(np.clip((mx + 16.0) / 17.0 * (len(glyphs) - 1), 1, len(glyphs) - 1))
+                    row.append(glyphs[level])
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def run_propagation(
+    a: np.ndarray,
+    row: int,
+    col: int,
+    iteration: int,
+    *,
+    nb: int = 32,
+    magnitude: float = 1.0,
+    kind: str = "add",
+) -> PropagationResult:
+    """Diff a clean vs a faulted hybrid reduction of *a* (Fig. 2 protocol)."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"run_propagation needs a square matrix, got {a.shape}")
+    n = a.shape[0]
+    cfg = HybridConfig(nb=nb)
+    clean = hybrid_gehrd(a, cfg)
+
+    spec = FaultSpec(iteration=iteration, row=row, col=col, kind=kind, magnitude=magnitude)
+    inj = FaultInjector().add(spec)
+    cfg2 = HybridConfig(nb=nb)
+    faulty = hybrid_gehrd(a, cfg2, injector=inj)
+
+    diff = np.abs(clean.a - faulty.a)
+    scale = float(np.max(np.abs(clean.a)))
+    threshold = 1e-12 * max(scale, 1.0)
+    p = finished_cols_at(iteration, n, nb)
+    return PropagationResult(
+        n=n,
+        nb=nb,
+        spec=spec,
+        area=classify(row, col, p, n),
+        diff=diff,
+        threshold=threshold,
+    )
+
+
+def paper_fig2_cases(n: int = 158, nb: int = 32) -> list[tuple[int, int, int]]:
+    """The paper's three injection sites (1-based in the paper; converted
+    to 0-based): (53,16)→area 3, (31,127)→area 1, (63,127)→area 2, all at
+    the boundary between iterations 1 and 2 (our iteration index 1)."""
+    return [(52, 15, 1), (30, 126, 1), (62, 126, 1)]

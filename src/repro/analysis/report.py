@@ -1,0 +1,146 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark scripts call these to print paper-style output (the same
+rows/series the paper reports), and EXPERIMENTS.md embeds their output.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import Fig6Series
+from repro.analysis.overhead_model import breakdown, overhead_ratio, storage_extra
+from repro.analysis.propagation import PropagationResult
+from repro.analysis.stability import StabilityRow
+from repro.hybrid.machine import MachineSpec
+from repro.utils.fmt import Table, format_float
+
+
+def render_table1(machine: MachineSpec) -> str:
+    """Table I — the test-platform specification (machine-model preset)."""
+    t = Table(["", "CPU", "GPU"], title="Table I: simulated test platform")
+    t.add_row(["Processor model", machine.cpu.name, machine.gpu.name])
+    t.add_row(
+        ["Clock frequency", f"{machine.cpu.clock_mhz/1000:.1f} GHz", f"{machine.gpu.clock_mhz:.0f} MHz"]
+    )
+    t.add_row(["Memory", f"{machine.cpu.mem_gb:.0f} GB", f"{machine.gpu.mem_gb:.1f} GB"])
+    t.add_row(
+        [
+            "Peak DP",
+            f"{machine.cpu.peak_gflops:.1f} Gflop/s",
+            f"{machine.gpu.peak_gflops/1000:.2f} Tflop/s",
+        ]
+    )
+    t.add_row(
+        [
+            "Mem bandwidth (model)",
+            f"{machine.cpu.mem_bandwidth_gbs:.0f} GB/s",
+            f"{machine.gpu.mem_bandwidth_gbs:.0f} GB/s",
+        ]
+    )
+    t.add_row(["Link", machine.link.name, f"{machine.link.bandwidth_gbs:.0f} GB/s"])
+    return t.render()
+
+
+def render_table2(rows: list[StabilityRow]) -> str:
+    """Table II — numerical stability residuals."""
+    headers = ["N", "MAGMA Hess"]
+    for area in (1, 2):
+        for m in ("B", "M", "E"):
+            headers.append(f"A{area} {m}")
+    headers.append("A3 B/M/E")
+    t = Table(headers, title="Table II: residual |A - QHQ'|_1 / (N |A|_1)")
+    for r in rows:
+        cells: list[object] = [r.n, r.baseline_residual]
+        for area in (1, 2):
+            for m in ("B", "M", "E"):
+                cells.append(r.cell(area, m).residual)
+        a3 = max(r.cell(3, m).residual for m in ("B", "M", "E"))
+        cells.append(a3)
+        t.add_row(cells)
+    return t.render()
+
+
+def render_table3(rows: list[StabilityRow]) -> str:
+    """Table III — orthogonality of Q."""
+    headers = ["N", "MAGMA Hess"]
+    for area in (1, 2):
+        for m in ("B", "M", "E"):
+            headers.append(f"A{area} {m}")
+    headers.append("A3")
+    t = Table(headers, title="Table III: orthogonality |QQ' - I|_1 / N")
+    for r in rows:
+        cells: list[object] = [r.n, r.baseline_orthogonality]
+        for area in (1, 2):
+            for m in ("B", "M", "E"):
+                cells.append(r.cell(area, m).orthogonality)
+        a3 = max(r.cell(3, m).orthogonality for m in ("B", "M", "E"))
+        cells.append(a3)
+        t.add_row(cells)
+    return t.render()
+
+
+def render_fig2(results: list[PropagationResult], *, with_heatmap: bool = False) -> str:
+    """Fig. 2 — propagation pattern summary per injection site."""
+    t = Table(
+        ["location", "area", "pattern", "polluted", "rows", "cols", "fraction"],
+        title="Fig. 2: propagation of a single soft error (baseline, no FT)",
+    )
+    for r in results:
+        t.add_row(
+            [
+                f"({r.spec.row},{r.spec.col})@it{r.spec.iteration}",
+                r.area,
+                r.classify_pattern(),
+                r.polluted_count,
+                r.polluted_rows,
+                r.polluted_cols,
+                f"{r.polluted_fraction:.4f}",
+            ]
+        )
+    out = t.render()
+    if with_heatmap:
+        for r in results:
+            out += (
+                f"\n\n|clean - faulty| heat map, error at ({r.spec.row},{r.spec.col}), "
+                f"area {r.area}:\n" + r.heatmap_ascii()
+            )
+    return out
+
+
+def render_fig6(series: Fig6Series) -> str:
+    """Fig. 6 — one area panel: GFLOPS + overhead lines + gray band."""
+    t = Table(
+        ["N", "MAGMA GFLOPS", "FT GFLOPS", "ovh no-err %", "ovh 1-fault min %", "ovh 1-fault max %"],
+        title=f"Fig. 6 area {series.area} (nb={series.nb}, {series.machine_desc})",
+    )
+    for p in series.points:
+        t.add_row(
+            [
+                p.n,
+                f"{p.base_gflops:.1f}",
+                f"{p.ft_gflops:.1f}",
+                f"{p.overhead_no_error:.3f}",
+                f"{p.overhead_min:.3f}",
+                f"{p.overhead_max:.3f}",
+            ]
+        )
+    return t.render()
+
+
+def render_section5(sizes: list[int], nb: int = 32) -> str:
+    """§V — the closed-form overhead model across sizes."""
+    t = Table(
+        ["N", "FLOP_extra", "FLOP_orig", "ratio", "storage (elems)"],
+        title="Section V: analytic FT overhead model (no-error case)",
+    )
+    for n in sizes:
+        b = breakdown(n, nb)
+        t.add_row(
+            [
+                n,
+                format_float(b.total),
+                format_float(10.0 / 3.0 * n**3),
+                format_float(overhead_ratio(n, nb)),
+                storage_extra(n, nb),
+            ]
+        )
+    return t.render()

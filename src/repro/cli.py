@@ -1,0 +1,258 @@
+"""Command-line interface: regenerate any paper table/figure from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig2 --n 158 --nb 32 --heatmap
+    python -m repro fig6 --area 1 --sizes 1022,2046,4030 --moments 5
+    python -m repro table2 --sizes 128,256
+    python -m repro table3 --sizes 128,256
+    python -m repro section5 --sizes 1022,4030,10110
+    python -m repro campaign --n 128 --moments 4
+    python -m repro demo
+
+Each subcommand prints the same rendered text the benchmark harness
+writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _sizes(arg: str) -> list[int]:
+    try:
+        return [int(x) for x in arg.split(",") if x]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad size list {arg!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of Jia/Luszczek/Dongarra, "
+        "IPDPSW'16 (fault-tolerant Hessenberg reduction).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="the simulated test platform (Table I)")
+
+    f2 = sub.add_parser("fig2", help="error-propagation patterns (Fig. 2)")
+    f2.add_argument("--n", type=int, default=158)
+    f2.add_argument("--nb", type=int, default=32)
+    f2.add_argument("--seed", type=int, default=42)
+    f2.add_argument("--heatmap", action="store_true", help="include ASCII heat maps")
+
+    f6 = sub.add_parser("fig6", help="FT overhead curves (Fig. 6)")
+    f6.add_argument("--area", type=int, choices=(1, 2, 3), default=1)
+    f6.add_argument("--sizes", type=_sizes, default=None,
+                    help="comma-separated sizes (default: the paper's grid)")
+    f6.add_argument("--moments", type=int, default=5)
+    f6.add_argument("--nb", type=int, default=32)
+
+    t2 = sub.add_parser("table2", help="numerical stability (Table II)")
+    t2.add_argument("--sizes", type=_sizes, default=[128, 256])
+    t2.add_argument("--nb", type=int, default=32)
+    t2.add_argument("--seed", type=int, default=0)
+
+    t3 = sub.add_parser("table3", help="orthogonality of Q (Table III)")
+    t3.add_argument("--sizes", type=_sizes, default=[128, 256])
+    t3.add_argument("--nb", type=int, default=32)
+    t3.add_argument("--seed", type=int, default=0)
+
+    s5 = sub.add_parser("section5", help="the closed-form overhead model (§V)")
+    s5.add_argument("--sizes", type=_sizes,
+                    default=[1022, 2046, 4030, 6014, 8062, 10110])
+    s5.add_argument("--nb", type=int, default=32)
+
+    c = sub.add_parser("campaign", help="fault-injection recovery campaign")
+    c.add_argument("--n", type=int, default=128)
+    c.add_argument("--nb", type=int, default=32)
+    c.add_argument("--moments", type=int, default=4)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--channels", type=int, default=1,
+                   help="checksum channels (2 enables weighted decode)")
+
+    d = sub.add_parser("demo", help="one FT run with an injected error")
+    d.add_argument("--n", type=int, default=158)
+    d.add_argument("--nb", type=int, default=32)
+    d.add_argument("--seed", type=int, default=42)
+
+    tr = sub.add_parser("trace", help="export a simulated FT run's timeline "
+                                      "as Chrome-trace JSON (chrome://tracing)")
+    tr.add_argument("--n", type=int, default=1022)
+    tr.add_argument("--nb", type=int, default=32)
+    tr.add_argument("--out", type=str, default="ft_hess_trace.json")
+
+    cv = sub.add_parser("coverage", help="empirical protection-coverage map "
+                                         "(one FT run per fault position)")
+    cv.add_argument("--n", type=int, default=96)
+    cv.add_argument("--nb", type=int, default=32)
+    cv.add_argument("--iteration", type=int, default=1)
+    cv.add_argument("--grid", type=int, default=10)
+    cv.add_argument("--audit-every", type=int, default=0,
+                    help="enable the full-audit extension (closes the "
+                         "finished-H hole)")
+
+    return p
+
+
+def _cmd_table1() -> str:
+    from repro.analysis import render_table1
+    from repro.hybrid import paper_testbed
+
+    return render_table1(paper_testbed())
+
+
+def _cmd_fig2(args) -> str:
+    from repro.analysis import paper_fig2_cases, render_fig2, run_propagation
+    from repro.utils.rng import random_matrix
+
+    a = random_matrix(args.n, seed=args.seed)
+    if args.n == 158 and args.nb == 32:
+        cases = paper_fig2_cases()
+    else:
+        from repro.faults import finished_cols_at, sample_in_area
+        import numpy as np
+
+        rng = np.random.default_rng(args.seed)
+        p = finished_cols_at(1, args.n, args.nb)
+        cases = [(*sample_in_area(area, p, args.n, rng), 1) for area in (3, 1, 2)]
+    results = [run_propagation(a, i, j, it, nb=args.nb) for (i, j, it) in cases]
+    return render_fig2(results, with_heatmap=args.heatmap)
+
+
+def _cmd_fig6(args) -> str:
+    from repro.analysis import PAPER_SIZES, fig6_series, render_fig6
+
+    sizes = tuple(args.sizes) if args.sizes else PAPER_SIZES
+    series = fig6_series(args.area, sizes=sizes, nb=args.nb, moments=args.moments)
+    return render_fig6(series)
+
+
+def _cmd_table2(args) -> str:
+    from repro.analysis import render_table2, run_stability_sweep
+
+    return render_table2(run_stability_sweep(args.sizes, nb=args.nb, seed=args.seed))
+
+
+def _cmd_table3(args) -> str:
+    from repro.analysis import render_table3, run_stability_sweep
+
+    return render_table3(run_stability_sweep(args.sizes, nb=args.nb, seed=args.seed))
+
+
+def _cmd_section5(args) -> str:
+    from repro.analysis import render_section5
+
+    return render_section5(args.sizes, nb=args.nb)
+
+
+def _cmd_campaign(args) -> str:
+    from repro.core.config import FTConfig
+    from repro.faults import run_campaign
+    from repro.utils import Table
+    from repro.utils.rng import random_matrix
+
+    a = random_matrix(args.n, seed=args.seed)
+    res = run_campaign(
+        a,
+        nb=args.nb,
+        moments=args.moments,
+        seed=args.seed,
+        config=FTConfig(nb=args.nb, channels=args.channels),
+    )
+    t = Table(
+        ["area", "trials", "detected", "recovered", "worst residual"],
+        title=f"campaign on N={args.n} (nb={args.nb}, channels={args.channels})",
+    )
+    for area in (1, 2, 3):
+        trials = res.by_area(area)
+        t.add_row(
+            [
+                area,
+                len(trials),
+                sum(x.detected for x in trials),
+                sum(x.recovered for x in trials),
+                max(x.residual for x in trials),
+            ]
+        )
+    return t.render() + f"\noverall recovery rate: {res.recovery_rate:.0%}"
+
+
+def _cmd_trace(args) -> str:
+    from repro.core import FTConfig, ft_gehrd
+
+    res = ft_gehrd(args.n, FTConfig(nb=args.nb, functional=False))
+    with open(args.out, "w") as fh:
+        fh.write(res.timeline.to_chrome_trace())
+    return (
+        f"wrote {len(res.timeline.ops)} simulated ops "
+        f"(makespan {res.seconds:.4f}s on the Table-I machine) to {args.out}\n"
+        + res.timeline.gantt(width=90)
+    )
+
+
+def _cmd_coverage(args) -> str:
+    from repro.analysis import coverage_map
+
+    cmap = coverage_map(
+        n=args.n, nb=args.nb, iteration=args.iteration, grid=args.grid,
+        audit_every=args.audit_every,
+    )
+    return cmap.render()
+
+
+def _cmd_demo(args) -> str:
+    from repro.core import FTConfig, HybridConfig, ft_gehrd, hybrid_gehrd, overhead_percent
+    from repro.faults import FaultInjector, FaultSpec
+    from repro.linalg import (
+        extract_hessenberg,
+        factorization_residual,
+        orghr,
+    )
+    from repro.utils.rng import random_matrix
+
+    a = random_matrix(args.n, seed=args.seed)
+    base = hybrid_gehrd(a, HybridConfig(nb=args.nb))
+    i, j = args.n // 2, min(args.n - 2, 3 * args.n // 4)
+    inj = FaultInjector().add(FaultSpec(iteration=1, row=i, col=j, magnitude=2.0))
+    ft = ft_gehrd(a, FTConfig(nb=args.nb), injector=inj)
+    q = orghr(ft.a, ft.taus)
+    h = extract_hessenberg(ft.a)
+    lines = [
+        f"N={args.n}, nb={args.nb}: injected +2.0 at ({i}, {j}) before iteration 1",
+        f"detections: {ft.detections}, recoveries: {len(ft.recoveries)}",
+    ]
+    for rec in ft.recoveries:
+        for e in rec.errors:
+            lines.append(
+                f"  located ({e.row}, {e.col}), magnitude {e.magnitude:+.4f}, corrected"
+            )
+    lines.append(f"residual after recovery: {factorization_residual(a, q, h):.3e}")
+    lines.append(f"simulated overhead vs baseline: {overhead_percent(ft, base):.2f}%")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    dispatch = {
+        "table1": lambda: _cmd_table1(),
+        "fig2": lambda: _cmd_fig2(args),
+        "fig6": lambda: _cmd_fig6(args),
+        "table2": lambda: _cmd_table2(args),
+        "table3": lambda: _cmd_table3(args),
+        "section5": lambda: _cmd_section5(args),
+        "campaign": lambda: _cmd_campaign(args),
+        "demo": lambda: _cmd_demo(args),
+        "trace": lambda: _cmd_trace(args),
+        "coverage": lambda: _cmd_coverage(args),
+    }
+    print(dispatch[args.command]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""The hybrid (MAGMA-style) Hessenberg reduction — the paper's Algorithm 2.
+
+The fault-*prone* baseline every experiment compares against. The GPU
+owns the trailing-matrix updates, the host owns the panel factorization;
+the lower part of the next panel travels device→host before each panel,
+the finished ``nb`` columns of M travel back asynchronously, overlapped
+with the G update (the two red lines of Algorithm 2).
+
+The driver plays this schedule on the simulated machine while executing
+the numerically identical LAPACK-style kernels of :mod:`repro.linalg`
+(when ``functional=True``). With ``functional=False`` only the schedule
+is priced, enabling paper-scale N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import HybridConfig
+from repro.core.results import HybridResult
+from repro.errors import ShapeError
+from repro.faults.injector import FaultInjector
+from repro.hybrid.runtime import HybridRuntime
+from repro.hybrid.engine import SimOp
+from repro.linalg.flops import FlopCounter
+from repro.linalg.gehrd import apply_left_update, apply_right_updates
+from repro.linalg.lahr2 import lahr2
+
+
+def iteration_plan(n: int, nb: int) -> list[tuple[int, int]]:
+    """The (p, ib) sequence of blocked iterations for an n x n matrix."""
+    plan = []
+    p = 0
+    while n - 1 - p > 0:
+        ib = min(nb, n - 1 - p)
+        plan.append((p, ib))
+        p += ib
+    return plan
+
+
+def schedule_iteration(
+    rt: HybridRuntime,
+    n: int,
+    p: int,
+    ib: int,
+    deps: list[SimOp],
+    *,
+    panel_fn=None,
+    right_fn=None,
+    left_fn=None,
+    tag: str = "",
+) -> tuple[list[SimOp], SimOp]:
+    """Submit one Algorithm-2 iteration's ops; returns (frontier, panel op).
+
+    The frontier is the set of ops the next iteration must wait on. The
+    async d2h of the finished columns (line 6) deliberately stays *out*
+    of the compute dependency chain — it only joins the frontier so the
+    final result is complete — which is exactly the overlap the paper
+    highlights (lines 6 and 7 in red).
+    """
+    m = n - p
+    B = 8  # float64 bytes
+
+    # line 3: lower part of the next panel, device -> host
+    op_down = rt.copy_d2h(B * (m - 1) * ib, deps, name=f"panel_down{tag}", category="transfer")
+    # line 4: hybrid panel factorization (host + per-column GPU gemvs)
+    op_panel = rt.panel(m, ib, [op_down], name=f"panel{tag}", fn=panel_fn)
+    # factorized panel (V + H columns) back to the device for the updates
+    op_up = rt.copy_h2d(B * m * ib, [op_panel], name=f"panel_up{tag}", category="transfer")
+
+    # line 5: right update to M (upper block rows x trailing columns)
+    dur_m = rt.cost.gemm("gpu", p + ib, ib, m - 1) + rt.cost.gemm("gpu", p + ib, m - ib, ib)
+    op_m = rt.submit(f"right_M{tag}", "gpu", dur_m, [op_up], "right_update", right_fn)
+    # line 6: async send of the finished nb columns of M to the host …
+    op_send = rt.copy_d2h(B * (p + ib) * ib, [op_m], name=f"send_M{tag}", category="transfer")
+    # line 7: … overlapped with the right update to G
+    op_g = rt.gemm(
+        "gpu", m - ib, m - ib, ib, [op_m], name=f"right_G{tag}", category="right_update"
+    )
+    # line 8: left update (DLARFB) to the trailing block
+    op_l = rt.larfb("gpu", m - 1, m - ib, ib, [op_g], name=f"larfb{tag}", fn=left_fn)
+
+    return [op_l, op_send], op_panel
+
+
+def hybrid_gehrd(
+    a: np.ndarray | int,
+    config: HybridConfig | None = None,
+    *,
+    injector: FaultInjector | None = None,
+) -> HybridResult:
+    """Run Algorithm 2 on the simulated hybrid machine.
+
+    Parameters
+    ----------
+    a:
+        Square matrix (functional mode) or just the order N (metadata
+        mode — pass ``functional=False`` in *config*).
+    config:
+        Driver settings.
+    injector:
+        Optional fault injector; faults strike at iteration starts. The
+        baseline has **no detection** — this is how the propagation
+        experiments of Fig. 2 corrupt a run.
+    """
+    config = config or HybridConfig()
+    if isinstance(a, (int, np.integer)):
+        n = int(a)
+        work = None
+        if config.functional:
+            raise ShapeError("functional mode needs a concrete matrix, not an order")
+    else:
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ShapeError(f"hybrid_gehrd needs a square matrix, got {a.shape}")
+        n = a.shape[0]
+        work = np.asfortranarray(a, dtype=np.float64).copy(order="F")
+    config.validate(n)
+
+    counter = FlopCounter()
+    rt = HybridRuntime(config.machine, functional=config.functional)
+    taus = np.zeros(max(n - 1, 0)) if work is not None else None
+
+    B = 8
+    # line 1: ship A to the device
+    frontier: list[SimOp] = [rt.copy_h2d(B * n * n, name="upload_A", category="transfer")]
+
+    plan = iteration_plan(n, config.nb)
+    for it, (p, ib) in enumerate(plan):
+        if work is not None and injector is not None:
+            injector.apply_to_array(work, it)
+
+        pf_cell: dict = {}
+
+        def panel_fn(p=p, ib=ib):
+            pf_cell["pf"] = lahr2(work, p, ib, n, counter=counter)
+            taus[p : p + ib] = pf_cell["pf"].taus
+
+        def right_fn(p=p, ib=ib):
+            apply_right_updates(work, pf_cell["pf"], n, counter=counter)
+
+        def left_fn(p=p, ib=ib):
+            apply_left_update(work, pf_cell["pf"], n, counter=counter)
+
+        frontier, _ = schedule_iteration(
+            rt,
+            n,
+            p,
+            ib,
+            frontier,
+            panel_fn=panel_fn if work is not None else None,
+            right_fn=right_fn if work is not None else None,
+            left_fn=left_fn if work is not None else None,
+            tag=f"@{it}",
+        )
+
+    # final drain of whatever of the result still lives on the device
+    rt.copy_d2h(B * n * config.nb, frontier, name="final_down", category="transfer")
+
+    # any faults planned beyond the last iteration strike the finished matrix
+    if work is not None and injector is not None:
+        for it in range(len(plan), len(plan) + 2):
+            injector.apply_to_array(work, it)
+
+    tl = rt.timeline()
+    return HybridResult(
+        n=n,
+        nb=config.nb,
+        a=work,
+        taus=taus,
+        timeline=tl,
+        seconds=tl.makespan,
+        counter=counter,
+        iterations=len(plan),
+    )

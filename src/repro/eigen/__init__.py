@@ -1,0 +1,17 @@
+"""Eigenvalue substrate: Francis double-shift QR on Hessenberg form —
+the application the reduction feeds (paper §III)."""
+
+from repro.eigen.hqr import hessenberg_eigvals, eigvals_via_hessenberg
+from repro.eigen.schur import hessenberg_schur, schur_eigvals, is_quasi_triangular
+from repro.eigen.eigvec import hessenberg_solve, hessenberg_eigvecs, eig_via_hessenberg
+
+__all__ = [
+    "hessenberg_eigvals",
+    "eigvals_via_hessenberg",
+    "hessenberg_schur",
+    "schur_eigvals",
+    "is_quasi_triangular",
+    "hessenberg_solve",
+    "hessenberg_eigvecs",
+    "eig_via_hessenberg",
+]

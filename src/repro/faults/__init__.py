@@ -1,0 +1,56 @@
+"""Soft-error injection: fault specs, the injector hook, the Fig. 2a
+region partition, campaign sweeps, and SER arrival models."""
+
+from repro.faults.injector import (
+    FaultSpec,
+    FaultInjector,
+    InjectionRecord,
+    flip_bit,
+    SPACES,
+    KINDS,
+)
+from repro.faults.ser import (
+    SoftErrorModel,
+    fit_to_errors_per_second,
+    expected_errors,
+)
+from repro.faults.campaign import TrialOutcome, CampaignResult, run_campaign
+from repro.faults.regions import (
+    AREA_NO_PROPAGATION,
+    AREA_ROW_PROPAGATION,
+    AREA_FULL_PROPAGATION,
+    classify,
+    sample_in_area,
+    Moment,
+    BEGIN,
+    MIDDLE,
+    END,
+    iteration_count,
+    finished_cols_at,
+)
+
+__all__ = [
+    "SoftErrorModel",
+    "fit_to_errors_per_second",
+    "expected_errors",
+    "TrialOutcome",
+    "CampaignResult",
+    "run_campaign",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectionRecord",
+    "flip_bit",
+    "SPACES",
+    "KINDS",
+    "AREA_NO_PROPAGATION",
+    "AREA_ROW_PROPAGATION",
+    "AREA_FULL_PROPAGATION",
+    "classify",
+    "sample_in_area",
+    "Moment",
+    "BEGIN",
+    "MIDDLE",
+    "END",
+    "iteration_count",
+    "finished_cols_at",
+]

@@ -1,0 +1,126 @@
+"""Fault-injection campaigns: sweeps over areas, moments and sizes.
+
+A campaign runs the FT driver repeatedly under a grid of single-fault
+plans and aggregates recovery outcomes — the machinery behind the Fig. 6
+uncertainty bands and the recovery-coverage tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.regions import finished_cols_at, iteration_count, sample_in_area
+from repro.linalg.orghr import orghr
+from repro.linalg.verify import extract_hessenberg, factorization_residual
+from repro.utils.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from repro.core.config import FTConfig
+
+
+@dataclass
+class TrialOutcome:
+    """One injected run's result."""
+
+    spec: FaultSpec
+    area: int
+    detected: bool
+    corrected: bool
+    residual: float
+    recoveries: int
+    q_corrections: int
+    failure: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        return self.corrected and not self.failure
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over a campaign's trials."""
+
+    n: int
+    nb: int
+    trials: list[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def recovery_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.recovered for t in self.trials) / len(self.trials)
+
+    @property
+    def worst_residual(self) -> float:
+        return max((t.residual for t in self.trials), default=0.0)
+
+    def by_area(self, area: int) -> list[TrialOutcome]:
+        return [t for t in self.trials if t.area == area]
+
+
+def run_campaign(
+    a: np.ndarray,
+    *,
+    nb: int = 32,
+    areas: tuple[int, ...] = (1, 2, 3),
+    moments: int = 4,
+    seed: int = 0,
+    magnitude: float = 1.0,
+    residual_tol: float = 1e-13,
+    config: "FTConfig | None" = None,
+) -> CampaignResult:
+    """Inject one fault per (area x moment) cell and verify full recovery.
+
+    ``residual_tol`` is the pass bar on the Table II residual after
+    recovery — recovered runs must be as good as fault-free ones.
+    """
+    from repro.core.config import FTConfig
+    from repro.core.ft_hessenberg import ft_gehrd
+
+    n = a.shape[0]
+    rng = make_rng(seed)
+    total = iteration_count(n, nb)
+    result = CampaignResult(n=n, nb=nb)
+
+    for area in areas:
+        for k in range(moments):
+            frac = k / max(moments - 1, 1)
+            it = int(round(frac * (total - 1)))
+            it = max(it, 1) if area == 3 else min(it, total - 1)
+            p = finished_cols_at(it, n, nb)
+            i, j = sample_in_area(area, p, n, rng)
+            spec = FaultSpec(iteration=it, row=i, col=j, magnitude=magnitude)
+            inj = FaultInjector().add(spec)
+            cfg = config or FTConfig(nb=nb)
+            failure = ""
+            try:
+                ft = ft_gehrd(a, cfg, injector=inj)
+                q = orghr(ft.a, ft.taus)
+                h = extract_hessenberg(ft.a)
+                residual = factorization_residual(a, q, h)
+                detected = ft.detections > 0 or (ft.q_report is not None and ft.q_report.count > 0)
+                corrected = residual <= residual_tol
+                recov = len(ft.recoveries)
+                qcorr = ft.q_report.count if ft.q_report else 0
+            except ReproError as exc:  # recovery machinery failed outright
+                residual, detected, corrected, recov, qcorr = float("inf"), False, False, 0, 0
+                failure = f"{type(exc).__name__}: {exc}"
+            result.trials.append(
+                TrialOutcome(
+                    spec=spec,
+                    area=area,
+                    detected=detected,
+                    corrected=corrected,
+                    residual=residual,
+                    recoveries=recov,
+                    q_corrections=qcorr,
+                    failure=failure,
+                )
+            )
+    return result

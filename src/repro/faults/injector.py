@@ -1,0 +1,172 @@
+"""Soft-error injection (the paper's experimental methodology).
+
+Faults are *planned* as :class:`FaultSpec` records — which element, at
+the start of which iteration, corrupted how — and *applied* by the
+drivers through a :class:`FaultInjector` hook at iteration boundaries
+(matching the paper's protocol: "the soft error is injected when the
+first iteration has finished, and the second iteration has not yet
+started").
+
+Corruption models:
+
+* ``"add"``   — add a signed magnitude (the analytical default; its
+  detectability is magnitude-controlled),
+* ``"set"``   — overwrite with a value,
+* ``"bitflip"`` — flip one bit of the IEEE-754 representation (the
+  physical model: an SEU in DRAM).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+from repro.abft.encoding import EncodedMatrix
+
+#: Memory spaces a fault can strike.
+SPACES = ("matrix", "row_checksum", "col_checksum")
+KINDS = ("add", "set", "bitflip")
+
+
+def flip_bit(x: float, bit: int) -> float:
+    """Flip one bit (0 = LSB of mantissa … 63 = sign) of a float64."""
+    if not (0 <= bit < 64):
+        raise FaultConfigError(f"bit index must be in [0, 64), got {bit}")
+    (as_int,) = struct.unpack("<Q", struct.pack("<d", float(x)))
+    (flipped,) = struct.unpack("<d", struct.pack("<Q", as_int ^ (1 << bit)))
+    return flipped
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned soft error.
+
+    Attributes
+    ----------
+    iteration:
+        0-based blocked-iteration index; the fault is applied at the
+        *start* of this iteration (= the previous iteration's boundary).
+    row, col:
+        Target element. For ``space="row_checksum"`` only *row* is used;
+        for ``space="col_checksum"`` only *col*.
+    kind, magnitude, bit:
+        Corruption model parameters (*magnitude* for add/set, *bit* for
+        bitflip).
+    """
+
+    iteration: int
+    row: int
+    col: int
+    kind: str = "add"
+    magnitude: float = 1.0
+    bit: int = 52
+    space: str = "matrix"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultConfigError(f"unknown fault kind {self.kind!r}")
+        if self.space not in SPACES:
+            raise FaultConfigError(f"unknown fault space {self.space!r}")
+        if self.iteration < 0:
+            raise FaultConfigError(f"iteration must be >= 0, got {self.iteration}")
+
+    def corrupt(self, value: float) -> float:
+        if self.kind == "add":
+            return value + self.magnitude
+        if self.kind == "set":
+            return self.magnitude
+        return flip_bit(value, self.bit)
+
+
+@dataclass
+class InjectionRecord:
+    """What actually happened when a fault was applied."""
+
+    spec: FaultSpec
+    old_value: float
+    new_value: float
+
+
+@dataclass
+class FaultInjector:
+    """Applies planned faults at iteration boundaries.
+
+    Drivers call :meth:`apply_at` once per iteration start. The injector
+    is idempotent per fault (each spec fires once) and records old/new
+    values so tests can verify exact recovery.
+    """
+
+    faults: list[FaultSpec] = field(default_factory=list)
+    injected: list[InjectionRecord] = field(default_factory=list)
+    _fired: set[int] = field(default_factory=set)
+
+    def add(self, spec: FaultSpec) -> "FaultInjector":
+        self.faults.append(spec)
+        return self
+
+    def pending(self, iteration: int) -> list[FaultSpec]:
+        """Faults scheduled for this iteration that have not fired yet."""
+        return [
+            f
+            for idx, f in enumerate(self.faults)
+            if f.iteration == iteration and idx not in self._fired
+        ]
+
+    def pending_after(self, iteration: int) -> list[FaultSpec]:
+        """Faults scheduled at or after this iteration (end-of-run injection
+        uses ``iteration >= iteration_count``)."""
+        return [
+            f
+            for idx, f in enumerate(self.faults)
+            if f.iteration >= iteration and idx not in self._fired
+        ]
+
+    def apply_at(self, em: EncodedMatrix, iteration: int) -> list[InjectionRecord]:
+        """Corrupt the encoded matrix per the plan; returns the records."""
+        records = []
+        for idx, f in enumerate(self.faults):
+            if f.iteration != iteration or idx in self._fired:
+                continue
+            n = em.n
+            if f.space == "matrix":
+                if not (0 <= f.row < n and 0 <= f.col < n):
+                    raise FaultConfigError(f"fault target ({f.row}, {f.col}) out of range")
+                old = float(em.data[f.row, f.col])
+                new = f.corrupt(old)
+                em.data[f.row, f.col] = new
+            elif f.space == "row_checksum":
+                old = float(em.row_checksums[f.row])
+                new = f.corrupt(old)
+                em.ext[f.row, n] = new
+            else:  # col_checksum
+                old = float(em.col_checksums[f.col])
+                new = f.corrupt(old)
+                em.ext[n, f.col] = new
+            rec = InjectionRecord(spec=f, old_value=old, new_value=new)
+            records.append(rec)
+            self.injected.append(rec)
+            self._fired.add(idx)
+        return records
+
+    def apply_to_array(self, a: np.ndarray, iteration: int) -> list[InjectionRecord]:
+        """Corrupt a plain (unencoded) matrix — used against the baseline
+        driver for the propagation experiments (Fig. 2)."""
+        records = []
+        for idx, f in enumerate(self.faults):
+            if f.iteration != iteration or idx in self._fired or f.space != "matrix":
+                continue
+            old = float(a[f.row, f.col])
+            new = f.corrupt(old)
+            a[f.row, f.col] = new
+            rec = InjectionRecord(spec=f, old_value=old, new_value=new)
+            records.append(rec)
+            self.injected.append(rec)
+            self._fired.add(idx)
+        return records
+
+    @property
+    def count_fired(self) -> int:
+        return len(self._fired)

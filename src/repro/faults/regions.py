@@ -1,0 +1,129 @@
+"""The paper's matrix partition into fault regions (Fig. 2a).
+
+At an iteration boundary with ``p`` finished columns, the matrix splits
+into three areas by how an error there propagates (§IV-A, Fig. 2):
+
+* **Area 1** — the *upper* part of the not-yet-finished columns (rows
+  above the trailing block): rows ``0..p``, columns ``p..N-1``. An error
+  here is carried along by subsequent right updates and pollutes its row
+  of H (Fig. 2c).
+* **Area 2** — the trailing matrix proper, rows ``p+1..N-1``, columns
+  ``p..N-1`` (the G block): an error feeds into the panel factorization
+  and both updates and pollutes essentially everything to its right
+  (Fig. 2d).
+* **Area 3** — the finished part on the host, columns ``0..p-1`` (both
+  the H values above the subdiagonal and the Householder vectors below):
+  never read again by the factorization, so the error stays put
+  (Fig. 2b).
+
+The paper's example (N=158, nb=32, injection after iteration 1, i.e.
+p=32) places (53, 16) in area 3, (31, 127) in area 1, (63, 127) in
+area 2 — reproduced in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+
+
+AREA_NO_PROPAGATION = 3
+AREA_ROW_PROPAGATION = 1
+AREA_FULL_PROPAGATION = 2
+
+
+def classify(i: int, j: int, p: int, n: int) -> int:
+    """Area (1, 2 or 3) of element (i, j) when ``p`` columns are finished."""
+    if not (0 <= i < n and 0 <= j < n):
+        raise FaultConfigError(f"element ({i}, {j}) outside an {n} x {n} matrix")
+    if j < p:
+        return AREA_NO_PROPAGATION
+    if i <= p:
+        return AREA_ROW_PROPAGATION
+    return AREA_FULL_PROPAGATION
+
+
+def sample_in_area(
+    area: int,
+    p: int,
+    n: int,
+    rng: np.random.Generator,
+) -> tuple[int, int]:
+    """Draw a uniformly random element of the given area.
+
+    Raises :class:`FaultConfigError` when the area is empty at this *p*
+    (e.g. area 3 before any column has finished).
+    """
+    if area == AREA_NO_PROPAGATION:
+        # The paper's area-3 experiments strike the Q data (the Householder
+        # vectors below the first subdiagonal of finished columns) — the
+        # finished H entries above them are never read again either, but
+        # only the Q region is covered by the end-of-run check, so that is
+        # where the region sampler aims.
+        jmax = min(p, n - 2)
+        if jmax <= 0:
+            raise FaultConfigError("area 3 is empty before the first panel finishes")
+        j = int(rng.integers(0, jmax))
+        i = int(rng.integers(j + 2, n))
+    elif area == AREA_ROW_PROPAGATION:
+        if p >= n:
+            raise FaultConfigError("area 1 is empty once the factorization is done")
+        i = int(rng.integers(0, p + 1))
+        j = int(rng.integers(p, n))
+    elif area == AREA_FULL_PROPAGATION:
+        if p + 1 >= n:
+            raise FaultConfigError("area 2 is empty once the trailing block vanishes")
+        i = int(rng.integers(p + 1, n))
+        j = int(rng.integers(p, n))
+    else:
+        raise FaultConfigError(f"unknown area {area}")
+    assert classify(i, j, p, n) == area
+    return i, j
+
+
+@dataclass(frozen=True)
+class Moment:
+    """When during the factorization a fault strikes.
+
+    The paper's Tables II/III use Begin / Middle / End; expressed here as
+    a fraction of the iteration count, resolved against a concrete
+    (n, nb) at injection-planning time.
+    """
+
+    fraction: float
+    label: str = ""
+
+    def iteration(self, num_iters: int) -> int:
+        if not (0.0 <= self.fraction <= 1.0):
+            raise FaultConfigError(f"moment fraction must be in [0,1], got {self.fraction}")
+        if num_iters <= 0:
+            raise FaultConfigError("factorization has no iterations")
+        return min(int(round(self.fraction * (num_iters - 1))), num_iters - 1)
+
+
+BEGIN = Moment(0.0, "B")
+MIDDLE = Moment(0.5, "M")
+END = Moment(1.0, "E")
+
+
+def iteration_count(n: int, nb: int) -> int:
+    """Number of blocked iterations the FT driver performs for (n, nb)."""
+    count = 0
+    p = 0
+    while n - 1 - p > 0:
+        count += 1
+        p += min(nb, n - 1 - p)
+    return count
+
+
+def finished_cols_at(iteration: int, n: int, nb: int) -> int:
+    """Finished columns ``p`` at the *start* of the given iteration."""
+    p = 0
+    for _ in range(iteration):
+        if n - 1 - p <= 0:
+            break
+        p += min(nb, n - 1 - p)
+    return p

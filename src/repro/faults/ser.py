@@ -1,0 +1,94 @@
+"""Soft-error-rate models (paper §I's FIT arithmetic).
+
+The paper motivates the design with measured rates: DRAM at 1k–10k
+FIT/chip [Baumann], SRAM at ~100k FIT/130nm-chip [Jacob], ASC Q's 51.7
+errors/week [Michalak], and GPU error probabilities ~2e-5 per MemtestG80
+iteration [Haque & Pande]. These helpers convert between FIT, expected
+errors per run, and Poisson arrival plans usable by the injector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+from repro.faults.injector import FaultSpec
+from repro.faults.regions import finished_cols_at, iteration_count, sample_in_area
+from repro.utils.rng import make_rng
+
+#: One FIT = one failure per 1e9 device-hours (paper footnote 1).
+HOURS_PER_FIT_UNIT = 1e9
+
+
+def fit_to_errors_per_second(fit: float) -> float:
+    """Convert a FIT rate to expected errors per second of exposure."""
+    if fit < 0:
+        raise FaultConfigError(f"FIT rate must be non-negative, got {fit}")
+    return fit / (HOURS_PER_FIT_UNIT * 3600.0)
+
+
+def expected_errors(fit: float, runtime_seconds: float, chips: int = 1) -> float:
+    """Expected soft-error count for a run of the given duration."""
+    if runtime_seconds < 0 or chips < 1:
+        raise FaultConfigError("runtime must be >= 0 and chips >= 1")
+    return fit_to_errors_per_second(fit) * runtime_seconds * chips
+
+
+@dataclass(frozen=True)
+class SoftErrorModel:
+    """Poisson arrivals at a FIT-derived rate over a factorization run.
+
+    ``errors_per_iteration`` distributes the run's exposure uniformly over
+    the blocked iterations — adequate because iterations shorten only
+    mildly and the paper's failure model is one error at a time anyway.
+    """
+
+    fit: float
+    runtime_seconds: float
+    chips: int = 1
+
+    @property
+    def lam(self) -> float:
+        """Poisson mean for the whole run."""
+        return expected_errors(self.fit, self.runtime_seconds, self.chips)
+
+    def sample_count(self, rng: np.random.Generator) -> int:
+        return int(rng.poisson(self.lam))
+
+    def probability_of_any(self) -> float:
+        """P(at least one error during the run)."""
+        return 1.0 - math.exp(-self.lam)
+
+    def sample_plan(
+        self,
+        n: int,
+        nb: int,
+        rng: np.random.Generator | int | None = 0,
+        *,
+        magnitude: float = 1.0,
+    ) -> list[FaultSpec]:
+        """Draw a fault plan: Poisson count, uniform iterations, uniform
+        elements within the active areas at each strike."""
+        rng = make_rng(rng)
+        total = iteration_count(n, nb)
+        plan: list[FaultSpec] = []
+        for _ in range(self.sample_count(rng)):
+            it = int(rng.integers(0, total))
+            p = finished_cols_at(it, n, nb)
+            # areas weighted by their element counts at this moment
+            n_a3 = p * n
+            n_a1 = (p + 1) * (n - p)
+            n_a2 = (n - p - 1) * (n - p)
+            weights = np.array([n_a1, n_a2, n_a3], dtype=float)
+            if weights.sum() <= 0:
+                continue
+            area = int(rng.choice([1, 2, 3], p=weights / weights.sum()))
+            try:
+                i, j = sample_in_area(area, p, n, rng)
+            except FaultConfigError:
+                continue
+            plan.append(FaultSpec(iteration=it, row=i, col=j, magnitude=magnitude))
+        return plan

@@ -1,0 +1,188 @@
+"""Hybrid runtime: functional execution + simulated time, in one place.
+
+Drivers express their algorithm as submissions against this runtime. Each
+submission names a kernel shape (so the cost model can price it), a
+resource (so the event engine can schedule it), and optionally a thunk
+that performs the actual NumPy computation. The thunk runs eagerly at
+submission — program order respects data dependencies in the drivers —
+so functional results are exact regardless of the simulated schedule,
+while the schedule determines the reported (simulated) wall time.
+
+Running with ``functional=False`` prices the same schedule without
+touching data ("metadata mode"), which is how the Fig. 6 benchmarks reach
+the paper's N≈10000 sizes instantly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.hybrid.engine import SimEngine, SimOp
+from repro.hybrid.machine import MachineSpec, paper_testbed
+from repro.hybrid.perfmodel import CostModel
+from repro.hybrid.trace import Timeline
+
+_DTYPE_BYTES = 8
+
+
+class HybridRuntime:
+    """Schedules kernels on the simulated machine and (optionally) runs them."""
+
+    def __init__(
+        self,
+        machine: MachineSpec | None = None,
+        *,
+        cost: CostModel | None = None,
+        functional: bool = True,
+    ):
+        self.machine = machine or paper_testbed()
+        self.cost = cost or CostModel(self.machine)
+        self.functional = functional
+        self.engine = SimEngine()
+
+    # -- generic submission ---------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        resource: str,
+        duration: float,
+        deps: Iterable[SimOp] = (),
+        category: str = "",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        """Schedule one op; execute its thunk now if in functional mode."""
+        if fn is not None and self.functional:
+            fn()
+        return self.engine.submit(name, resource, duration, deps, category)
+
+    # -- priced kernel wrappers -------------------------------------------------
+
+    def gemm(
+        self,
+        device: str,
+        m: int,
+        n: int,
+        k: int,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "gemm",
+        category: str = "gemm",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        return self.submit(name, device, self.cost.gemm(device, m, n, k), deps, category, fn)
+
+    def gemv(
+        self,
+        device: str,
+        m: int,
+        n: int,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "gemv",
+        category: str = "gemv",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        return self.submit(name, device, self.cost.gemv(device, m, n), deps, category, fn)
+
+    def larfb(
+        self,
+        device: str,
+        m: int,
+        n: int,
+        k: int,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "larfb",
+        category: str = "left_update",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        return self.submit(name, device, self.cost.larfb(device, m, n, k), deps, category, fn)
+
+    def reduction(
+        self,
+        device: str,
+        n: int,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "reduce",
+        category: str = "abft_detect",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        return self.submit(name, device, self.cost.reduction(device, n), deps, category, fn)
+
+    def dot(
+        self,
+        device: str,
+        n: int,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "dot",
+        category: str = "abft_correct",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        return self.submit(name, device, self.cost.dot(device, n), deps, category, fn)
+
+    def copy_h2d(
+        self,
+        nbytes: float,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "h2d",
+        category: str = "transfer",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        return self.submit(name, "h2d", self.cost.copy(nbytes), deps, category, fn)
+
+    def copy_d2h(
+        self,
+        nbytes: float,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "d2h",
+        category: str = "transfer",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        return self.submit(name, "d2h", self.cost.copy(nbytes), deps, category, fn)
+
+    def panel(
+        self,
+        m: int,
+        ib: int,
+        deps: Iterable[SimOp] = (),
+        *,
+        name: str = "panel",
+        fn: Callable[[], object] | None = None,
+    ) -> SimOp:
+        """The hybrid panel factorization (MAGMA_DLAHR2).
+
+        Modeled as a serialized CPU↔GPU ping-pong (the per-column trailing
+        GEMVs on the GPU, reflector generation on the host, plus the
+        per-column synchronization latencies). Two chained ops keep both
+        resources busy for their respective shares — neither can overlap
+        other work during the panel, matching MAGMA's behaviour.
+        """
+        gpu_op = self.submit(
+            f"{name}:gpu", "gpu", self.cost.panel_gpu_part(m, ib), deps, "panel", fn
+        )
+        cpu_op = self.submit(
+            f"{name}:cpu",
+            "cpu",
+            self.cost.panel_cpu_part(m, ib) + self.cost.panel_sync_overhead(ib),
+            (gpu_op,),
+            "panel",
+        )
+        return cpu_op
+
+    # -- results -----------------------------------------------------------------
+
+    def timeline(self) -> Timeline:
+        return Timeline(self.engine)
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated makespan so far, in seconds."""
+        return self.engine.makespan
+
+    def matrix_bytes(self, rows: int, cols: int = 1) -> float:
+        return float(_DTYPE_BYTES) * rows * cols

@@ -1,0 +1,149 @@
+"""Singular values of an upper-bidiagonal matrix (DBDSQR-style).
+
+Implicit-shift Golub-Kahan QR on the (d, e) arrays with Givens
+rotations, Wilkinson shift from the trailing 2x2 of BᵀB, standard
+deflation, and the zero-diagonal chase. Together with
+:mod:`repro.linalg.gebd2` this completes the from-scratch dense SVD
+pipeline: ``A → (Q, B, P) → Σ``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ShapeError
+
+
+def _rot(f: float, g: float) -> tuple[float, float, float]:
+    """Givens rotation: returns (c, s, r) with c·f + s·g = r and
+    −s·f + c·g = 0 (LAPACK DLARTG semantics)."""
+    if g == 0.0:
+        return 1.0, 0.0, f
+    if f == 0.0:
+        return 0.0, 1.0, g
+    r = math.copysign(math.hypot(f, g), f)
+    return f / r, g / r, r
+
+
+def _gk_step(d: np.ndarray, e: np.ndarray, lo: int, hi: int) -> None:
+    """One implicit-shift Golub-Kahan sweep on the unreduced block
+    ``d[lo..hi], e[lo..hi-1]`` (all entries nonzero)."""
+    dm, dn, em = d[hi - 1], d[hi], e[hi - 1]
+    emm = e[hi - 2] if hi - 2 >= lo else 0.0
+    t11 = dm * dm + emm * emm
+    t22 = dn * dn + em * em
+    t12 = dm * em
+    dd = (t11 - t22) / 2.0
+    if dd == 0.0 and t12 == 0.0:
+        mu = t22
+    else:
+        mu = t22 - t12 * t12 / (dd + math.copysign(math.hypot(dd, t12), dd))
+
+    f = d[lo] * d[lo] - mu
+    g = d[lo] * e[lo]
+    for k in range(lo, hi):
+        # right rotation on columns (k, k+1)
+        c, s, r = _rot(f, g)
+        if k > lo:
+            e[k - 1] = r
+        f = c * d[k] + s * e[k]
+        e[k] = c * e[k] - s * d[k]
+        g = s * d[k + 1]
+        d[k + 1] = c * d[k + 1]
+        # left rotation on rows (k, k+1) to chase the bulge
+        c, s, r = _rot(f, g)
+        d[k] = r
+        f = c * e[k] + s * d[k + 1]
+        d[k + 1] = c * d[k + 1] - s * e[k]
+        if k < hi - 1:
+            g = s * e[k + 1]
+            e[k + 1] = c * e[k + 1]
+    e[hi - 1] = f
+
+
+def _chase_zero_diagonal(d: np.ndarray, e: np.ndarray, i: int, hi: int) -> None:
+    """``d[i] == 0``: annihilate ``e[i]`` by left rotations involving row i
+    and rows ``i+1..hi``, pushing the coupling off the end."""
+    g = e[i]
+    e[i] = 0.0
+    for j in range(i + 1, hi + 1):
+        c, s, r = _rot(d[j], g)
+        d[j] = r
+        if j < hi:
+            g = -s * e[j]
+            e[j] = c * e[j]
+        else:
+            g = 0.0
+
+
+def bidiagonal_svdvals(
+    d_in: np.ndarray,
+    e_in: np.ndarray,
+    *,
+    max_sweeps_per_value: int = 30,
+) -> np.ndarray:
+    """Singular values (descending) of the upper-bidiagonal matrix with
+    diagonal *d_in* and superdiagonal *e_in*.
+
+    Raises :class:`ConvergenceError` if a deflation stalls beyond the
+    sweep budget.
+    """
+    d = np.asarray(d_in, dtype=np.float64).copy()
+    e = np.asarray(e_in, dtype=np.float64).copy()
+    n = d.size
+    if e.size != max(n - 1, 0):
+        raise ShapeError(f"superdiagonal must have length {n - 1}, got {e.size}")
+    if n == 0:
+        return np.zeros(0)
+    if n == 1:
+        return np.abs(d)
+
+    eps = np.finfo(np.float64).eps
+    scale = max(float(np.max(np.abs(d))), float(np.max(np.abs(e))) if e.size else 0.0, 1e-300)
+
+    hi = n - 1
+    budget = max_sweeps_per_value * n + 20
+    total = 0
+    while hi > 0:
+        total += 1
+        if total > budget:
+            raise ConvergenceError("bidiagonal QR exceeded its sweep budget")
+        # deflate negligible superdiagonals from the bottom
+        while hi > 0 and abs(e[hi - 1]) <= eps * (abs(d[hi - 1]) + abs(d[hi]) + scale * eps):
+            e[hi - 1] = 0.0
+            hi -= 1
+        if hi == 0:
+            break
+        # find the unreduced block [lo, hi]
+        lo = hi
+        while lo > 0 and abs(e[lo - 1]) > eps * (abs(d[lo - 1]) + abs(d[lo]) + scale * eps):
+            lo -= 1
+        # zero (or negligible) diagonal inside the block needs the chase
+        deflated_zero = False
+        for i in range(lo, hi):
+            if abs(d[i]) <= eps * scale:
+                d[i] = 0.0
+                _chase_zero_diagonal(d, e, i, hi)
+                deflated_zero = True
+                break
+        if deflated_zero:
+            continue
+        _gk_step(d, e, lo, hi)
+
+    return np.sort(np.abs(d))[::-1]
+
+
+def svdvals_via_bidiagonal(a: np.ndarray) -> np.ndarray:
+    """Singular values of a general square matrix through our pipeline:
+    bidiagonal reduction then implicit-QR iteration."""
+    from repro.linalg.gebd2 import gebd2
+
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"svdvals_via_bidiagonal needs a square matrix, got {a.shape}")
+    work = np.array(a, dtype=np.float64, order="F", copy=True)
+    gebd2(work)
+    d = np.diag(work).copy()
+    e = np.diag(work, 1).copy()
+    return bidiagonal_svdvals(d, e)

@@ -1,0 +1,122 @@
+"""Floating-point operation counts for the kernels used by the reduction.
+
+These closed-form counts serve two purposes:
+
+1. The :class:`FlopCounter` lets the functional layer *measure* the extra
+   work done by the fault-tolerant algorithm, which the Section-V analysis
+   benchmark compares against the paper's closed-form overhead model.
+2. The hybrid-machine performance model (:mod:`repro.hybrid.perfmodel`)
+   converts these counts into kernel durations at paper-scale matrix sizes
+   without touching any data.
+
+Conventions follow the standard LAPACK working notes: a fused
+multiply-add counts as two flops; `gemm` on (m x k)(k x n) costs
+``2*m*n*k`` (the paper's own Section V uses ``m*(2k-1)*n``-style exact
+counts for dot products, which we expose via :func:`dot_flops`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """Flops for ``C <- alpha*A@B + beta*C`` with A (m x k), B (k x n)."""
+    return 2 * m * n * k
+
+
+def gemv_flops(m: int, n: int) -> int:
+    """Flops for ``y <- alpha*A@x + beta*y`` with A (m x n)."""
+    return 2 * m * n
+
+
+def dot_flops(n: int) -> int:
+    """Exact flops for an n-term dot product (n multiplies, n-1 adds)."""
+    return max(0, 2 * n - 1)
+
+
+def axpy_flops(n: int) -> int:
+    """Flops for ``y <- a*x + y``."""
+    return 2 * n
+
+
+def scal_flops(n: int) -> int:
+    """Flops for ``x <- a*x``."""
+    return n
+
+
+def ger_flops(m: int, n: int) -> int:
+    """Flops for the rank-1 update ``A <- A + alpha*x@yT``."""
+    return 2 * m * n
+
+
+def trmm_flops(side_m: int, side_n: int, left: bool) -> int:
+    """Flops for a triangular matrix-matrix multiply.
+
+    For ``B <- op(T) @ B`` with T (m x m): ``n*m^2``; for the right side
+    with T (n x n): ``m*n^2``.
+    """
+    m, n = side_m, side_n
+    return n * m * m if left else m * n * n
+
+
+def trmv_flops(n: int) -> int:
+    """Flops for a triangular matrix-vector multiply with T (n x n)."""
+    return n * n
+
+
+def larfg_flops(n: int) -> int:
+    """Flops to generate a Householder reflector on an n-vector.
+
+    Dominated by the norm (2n) and the scaling (n).
+    """
+    return 3 * n
+
+
+def gehrd_flops(n: int) -> float:
+    """Total flops of the blocked Hessenberg reduction, ~10/3 n^3.
+
+    This is the paper's ``FLOP_orig`` (Section V).
+    """
+    return 10.0 / 3.0 * n**3
+
+
+def orghr_flops(n: int) -> float:
+    """Flops to form Q explicitly from the reflectors, ~4/3 n^3."""
+    return 4.0 / 3.0 * n**3
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates flop counts, bucketed by a free-form category label.
+
+    The FT algorithm tags ABFT-related work (checksum maintenance,
+    detection, recovery) separately from the baseline factorization work so
+    the measured overhead ratio can be reported directly.
+    """
+
+    by_category: Counter = field(default_factory=Counter)
+
+    def add(self, category: str, flops: int | float) -> None:
+        """Record *flops* under *category* (negative counts are rejected)."""
+        if flops < 0:
+            raise ValueError(f"negative flop count {flops} for {category!r}")
+        self.by_category[category] += flops
+
+    @property
+    def total(self) -> float:
+        """Total flops across every category."""
+        return float(sum(self.by_category.values()))
+
+    def category_total(self, *categories: str) -> float:
+        """Sum of the named categories (missing categories count as zero)."""
+        return float(sum(self.by_category.get(c, 0) for c in categories))
+
+    def merge(self, other: "FlopCounter") -> None:
+        """Fold *other*'s counts into this counter."""
+        self.by_category.update(other.by_category)
+
+    def snapshot(self) -> dict[str, float]:
+        """Return a plain-dict copy of the per-category totals."""
+        return {k: float(v) for k, v in self.by_category.items()}

@@ -1,0 +1,117 @@
+"""Unblocked bidiagonal reduction (DGEBD2-style) and its helpers.
+
+The third two-sided factorization of the family the paper's conclusion
+targets: ``B = Qᵀ A P`` with B upper bidiagonal and Q, P orthogonal —
+the front-end of the dense SVD, exactly as the Hessenberg reduction is
+the front-end of the nonsymmetric eigensolver.
+
+Column reflectors (building Q) are stored below the diagonal, row
+reflectors (building P) above the first superdiagonal, LAPACK-style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.flops import FlopCounter
+from repro.linalg.householder import larfg
+
+
+def gebd2(
+    a: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "gebd2",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce the square matrix *a* to upper bidiagonal form in place.
+
+    Returns ``(tau_q, tau_p)``: the scales of the column (left/Q) and row
+    (right/P) reflectors. On return the diagonal and first superdiagonal
+    of *a* hold B; reflector vectors live below the diagonal and right of
+    the first superdiagonal.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"gebd2 needs a square matrix, got {a.shape}")
+    n = a.shape[0]
+    tau_q = np.zeros(n)
+    tau_p = np.zeros(max(n - 1, 0))
+
+    for i in range(n):
+        # column reflector: annihilate a[i+1:, i]
+        refl = larfg(a[i, i], a[i + 1 : n, i], counter=counter, category=category)
+        tau_q[i] = refl.tau
+        d = refl.beta
+        a[i, i] = 1.0
+        u = a[i:n, i]
+        if refl.tau != 0.0 and i + 1 < n:
+            block = a[i:n, i + 1 : n]
+            w = u @ block
+            block -= refl.tau * np.outer(u, w)
+            if counter is not None:
+                counter.add(category, 4.0 * (n - i) * (n - i - 1))
+        a[i, i] = d
+
+        if i < n - 2:
+            # row reflector: annihilate a[i, i+2:]
+            refl = larfg(a[i, i + 1], a[i, i + 2 : n], counter=counter, category=category)
+            tau_p[i] = refl.tau
+            e = refl.beta
+            a[i, i + 1] = 1.0
+            v = a[i, i + 1 : n]
+            if refl.tau != 0.0:
+                block = a[i + 1 : n, i + 1 : n]
+                w = block @ v
+                block -= refl.tau * np.outer(w, v)
+                if counter is not None:
+                    counter.add(category, 4.0 * (n - i - 1) * (n - i - 1))
+            a[i, i + 1] = e
+    return tau_q, tau_p
+
+
+def bidiagonal_of(a_packed: np.ndarray) -> np.ndarray:
+    """Extract the explicit upper-bidiagonal B from packed storage."""
+    n = a_packed.shape[0]
+    b = np.zeros((n, n), order="F")
+    idx = np.arange(n)
+    b[idx, idx] = np.diag(a_packed)
+    if n > 1:
+        sup = np.diag(a_packed, 1)
+        b[idx[:-1], idx[1:]] = sup
+    return b
+
+
+def orgbr_q(a_packed: np.ndarray, tau_q: np.ndarray) -> np.ndarray:
+    """Form the left orthogonal factor Q from the column reflectors."""
+    n = a_packed.shape[0]
+    q = np.eye(n, order="F")
+    for i in range(n - 1, -1, -1):
+        tau = tau_q[i]
+        if tau == 0.0:
+            continue
+        u = np.empty(n - i)
+        u[0] = 1.0
+        u[1:] = a_packed[i + 1 : n, i]
+        block = q[i:n, i:n]
+        w = u @ block
+        block -= tau * np.outer(u, w)
+    return q
+
+
+def orgbr_p(a_packed: np.ndarray, tau_p: np.ndarray) -> np.ndarray:
+    """Form the right orthogonal factor P from the row reflectors."""
+    n = a_packed.shape[0]
+    p = np.eye(n, order="F")
+    for i in range(n - 3, -1, -1):
+        tau = tau_p[i]
+        if tau == 0.0:
+            continue
+        v = np.empty(n - i - 1)
+        v[0] = 1.0
+        v[1:] = a_packed[i, i + 2 : n]
+        block = p[i + 1 : n, i + 1 : n]
+        # P accumulates the reflectors applied from the right of A; the
+        # explicit factor applies them to the identity from the left
+        w = v @ block
+        block -= tau * np.outer(v, w)
+    return p

@@ -1,0 +1,154 @@
+"""Blocked bidiagonal reduction (DLABRD + DGEBRD, square/upper variant).
+
+The blocked counterpart of :mod:`repro.linalg.gebd2`: panels of ``nb``
+column/row reflector pairs are aggregated with companion blocks X, Y so
+the trailing matrix receives two GEMMs
+
+    ``A ← A − V Yᵀ − X Uᵀ``
+
+instead of ``2·nb`` rank-1 updates — completing the blocked family
+(gehrd, sytrd, gebrd) exactly as LAPACK structures it. Faithful 0-based
+translation of ``DLABRD`` for the square case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.flops import FlopCounter
+from repro.linalg.householder import larfg
+
+DEFAULT_NB = 32
+
+
+def labrd(
+    a: np.ndarray,
+    p: int,
+    nb: int,
+    n: int,
+    tau_q: np.ndarray,
+    tau_p: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "labrd",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce ``nb`` rows and columns starting at *p*; returns (X, Y, d, e).
+
+    X is (n−p, nb) (rows ↔ global rows p..n−1), Y is (n−p, nb) (rows ↔
+    global *columns* p..n−1). On return the packed reflector storage is
+    in place but the processed diagonal/superdiagonal entries still hold
+    the reflector units — the caller applies the trailing update first
+    and then restores the returned band values d, e (DGEBRD's order).
+    """
+    if not (0 <= p and p + nb <= n <= min(a.shape)):
+        raise ShapeError(f"invalid panel: p={p}, nb={nb}, n={n}, A {a.shape}")
+    m = n  # square
+    x = np.zeros((n - p, nb), order="F")
+    y = np.zeros((n - p, nb), order="F")
+    d = np.zeros(nb)
+    e = np.zeros(nb)
+
+    for i in range(nb):
+        c = p + i
+        # ---- update column c with the accumulated V·Yᵀ + X·Uᵀ pieces ----
+        if i > 0:
+            a[c:m, c] -= a[c:m, p:c] @ y[c - p, :i]
+            a[c:m, c] -= x[c - p :, :i] @ a[p:c, c]
+            if counter is not None:
+                counter.add(category, 4.0 * (m - c) * i)
+
+        # ---- column (Q-side) reflector -----------------------------------
+        refl = larfg(a[c, c], a[c + 1 : m, c], counter=counter, category=category)
+        tau_q[c] = refl.tau
+        d[i] = refl.beta
+        if c < n - 1:
+            a[c, c] = 1.0
+            u = a[c:m, c]
+
+            # ---- Y(:, i): the left-update companion -----------------------
+            yi = a[c:m, c + 1 : n].T @ u
+            if i > 0:
+                t1 = a[c:m, p:c].T @ u
+                yi -= y[c + 1 - p :, :i] @ t1
+                t2 = x[c - p :, :i].T @ u
+                yi -= a[p:c, c + 1 : n].T @ t2
+            yi *= refl.tau
+            y[c + 1 - p :, i] = yi
+            if counter is not None:
+                counter.add(category, 2.0 * (m - c) * (n - c - 1) + 8.0 * (m - c) * i)
+
+            # ---- update row c beyond the diagonal --------------------------
+            a[c, c + 1 : n] -= y[c + 1 - p :, : i + 1] @ a[c, p : c + 1]
+            if i > 0:
+                a[c, c + 1 : n] -= a[p:c, c + 1 : n].T @ x[c - p, :i]
+            if counter is not None:
+                counter.add(category, 4.0 * (n - c - 1) * (i + 1))
+
+            # ---- row (P-side) reflector ------------------------------------
+            reflp = larfg(a[c, c + 1], a[c, c + 2 : n], counter=counter,
+                          category=category)
+            tau_p[c] = reflp.tau
+            e[i] = reflp.beta
+            a[c, c + 1] = 1.0
+            v = a[c, c + 1 : n]
+
+            # ---- X(:, i): the right-update companion ------------------------
+            xi = a[c + 1 : m, c + 1 : n] @ v
+            s1 = y[c + 1 - p :, : i + 1].T @ v
+            xi -= a[c + 1 : m, p : c + 1] @ s1
+            if i > 0:
+                s2 = a[p:c, c + 1 : n] @ v
+                xi -= x[c + 1 - p :, :i] @ s2
+            xi *= reflp.tau
+            x[c + 1 - p :, i] = xi
+            if counter is not None:
+                counter.add(
+                    category, 2.0 * (m - c - 1) * (n - c - 1) + 8.0 * (n - c) * (i + 1)
+                )
+    return x, y, d, e
+
+
+def gebrd(
+    a: np.ndarray,
+    *,
+    nb: int = DEFAULT_NB,
+    counter: FlopCounter | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Blocked reduction of square *a* to upper bidiagonal form in place
+    (same output convention as :func:`~repro.linalg.gebd2.gebd2`).
+    Returns ``(tau_q, tau_p)``.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"gebrd needs a square matrix, got {a.shape}")
+    n = a.shape[0]
+    tau_q = np.zeros(n)
+    tau_p = np.zeros(max(n - 1, 0))
+
+    p = 0
+    while n - p > nb + 2:
+        x, y, d, e = labrd(a, p, nb, n, tau_q, tau_p, counter=counter)
+        # trailing update: A ← A − V Yᵀ − X Uᵀ over the unreduced block
+        lo = nb  # X/Y row index of global row/col p+nb
+        a[p + nb : n, p + nb : n] -= a[p + nb : n, p : p + nb] @ y[lo:, :].T
+        a[p + nb : n, p + nb : n] -= x[lo:, :] @ a[p : p + nb, p + nb : n]
+        if counter is not None:
+            sz = n - p - nb
+            counter.add("gebrd_update", 4.0 * sz * sz * nb)
+        # restore the band values the panel left as reflector units
+        for j in range(nb):
+            a[p + j, p + j] = d[j]
+            if p + j < n - 1:
+                a[p + j, p + j + 1] = e[j]
+        p += nb
+
+    # unblocked clean-up on the remaining block, then merge back
+    if p < n:
+        from repro.linalg.gebd2 import gebd2 as _gebd2
+
+        sub = np.asfortranarray(a[p:n, p:n].copy())
+        tq, tp = _gebd2(sub, counter=counter)
+        a[p:n, p:n] = sub
+        tau_q[p:n] = tq
+        tau_p[p : n - 1] = tp[: n - 1 - p]
+    return tau_q, tau_p

@@ -1,0 +1,66 @@
+"""Unblocked Hessenberg reduction (DGEHD2).
+
+The reference algorithm from Section III-A of the paper: a sequence of
+Householder similarity transformations, one column at a time. Used both as
+the correctness oracle for the blocked code and as the clean-up pass for
+the final columns of the blocked driver (LAPACK's crossover behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.flops import FlopCounter
+from repro.linalg.householder import larfg, larf_left, larf_right
+
+
+def gehd2(
+    a: np.ndarray,
+    ilo: int = 0,
+    ihi: int | None = None,
+    *,
+    taus_out: np.ndarray | None = None,
+    counter: FlopCounter | None = None,
+    category: str = "gehd2",
+) -> np.ndarray:
+    """Reduce columns ``ilo .. ihi-2`` of *a* to Hessenberg form in place.
+
+    On return the upper triangle plus first subdiagonal of *a* hold H and
+    the Householder vectors are stored below the first subdiagonal
+    (LAPACK convention). Returns the tau vector (length ``a.shape[1]-1``,
+    zeros outside the reduced range).
+
+    Parameters
+    ----------
+    a:
+        Square active matrix (may have extra trailing rows/columns, which
+        are ignored when *ihi* is given explicitly).
+    ilo, ihi:
+        Active range, 0-based half-open on *ihi* (defaults to the whole
+        matrix).
+    taus_out:
+        Optional pre-allocated tau vector to fill (used by the blocked
+        driver's clean-up pass).
+    """
+    n = a.shape[0] if ihi is None else ihi
+    if ihi is None:
+        if a.shape[0] != a.shape[1]:
+            raise ShapeError(f"gehd2 needs a square matrix, got {a.shape}")
+    if not (0 <= ilo <= n <= a.shape[0]):
+        raise ShapeError(f"invalid range ilo={ilo}, ihi={n} for shape {a.shape}")
+
+    ncols = a.shape[1]
+    taus = taus_out if taus_out is not None else np.zeros(max(ncols - 1, 0))
+    for i in range(ilo, n - 1):
+        # Annihilate a[i+2 : n, i]
+        refl = larfg(a[i + 1, i], a[i + 2 : n, i], counter=counter, category=category)
+        aii = refl.beta
+        a[i + 1, i] = 1.0
+        u = a[i + 1 : n, i]
+        # Similarity transformation: right then left (DGEHD2 order)
+        larf_right(refl.tau, u, a[0:n, i + 1 : n], counter=counter, category=category)
+        larf_left(refl.tau, u, a[i + 1 : n, i + 1 : ncols], counter=counter, category=category)
+        a[i + 1, i] = aii
+        taus[i] = refl.tau
+    return taus

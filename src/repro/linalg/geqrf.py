@@ -1,0 +1,133 @@
+"""Householder QR factorization (DGEQR2 / DGEQRF / DORGQR).
+
+The one-sided factorization the paper's related work protects (Du,
+Luszczek, Tomov, Dongarra — "Soft error resilient QR factorization for
+hybrid system with GPGPU", the paper's ref [8]). Implemented here as the
+substrate for the FT-QR comparator in :mod:`repro.core.ft_qr`: the
+blocked driver reuses the compact-WY machinery (`larft`/`larfb`) shared
+with the Hessenberg path.
+
+Storage is LAPACK-packed: R in the upper triangle, Householder vectors
+below the diagonal (unit entries implicit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.flops import FlopCounter
+from repro.linalg.householder import larfg
+from repro.linalg.wy import larfb, larft
+
+
+def geqr2(
+    a: np.ndarray,
+    col0: int = 0,
+    col1: int | None = None,
+    *,
+    ncols_apply: int | None = None,
+    taus_out: np.ndarray | None = None,
+    counter: FlopCounter | None = None,
+    category: str = "geqr2",
+) -> np.ndarray:
+    """Unblocked QR on columns ``[col0, col1)`` of *a*, in place.
+
+    Reflector ``j`` annihilates ``a[j+1:, j]``; each reflector is applied
+    to the remaining columns up to ``ncols_apply`` (defaults to all of
+    *a*'s columns — the fault-tolerant driver passes the extended width so
+    the checksum columns ride along). Returns the taus for the processed
+    columns (written into *taus_out* when given).
+    """
+    m, ntot = a.shape
+    col1 = min(col1 if col1 is not None else ntot, m, ntot)
+    ncols_apply = ntot if ncols_apply is None else ncols_apply
+    taus = taus_out if taus_out is not None else np.zeros(min(m, ntot))
+    for j in range(col0, col1):
+        refl = larfg(a[j, j], a[j + 1 : m, j], counter=counter, category=category)
+        taus[j] = refl.tau
+        beta = refl.beta
+        if refl.tau != 0.0 and j + 1 < ncols_apply:
+            a[j, j] = 1.0
+            u = a[j:m, j]
+            block = a[j:m, j + 1 : ncols_apply]
+            w = u @ block
+            block -= refl.tau * np.outer(u, w)
+            if counter is not None:
+                counter.add(category, 4.0 * (m - j) * (ncols_apply - j - 1))
+        a[j, j] = beta
+    return taus
+
+
+def geqrf(
+    a: np.ndarray,
+    *,
+    nb: int = 32,
+    ncols_apply: int | None = None,
+    counter: FlopCounter | None = None,
+) -> np.ndarray:
+    """Blocked Householder QR of *a* (m x n, m >= n), in place.
+
+    Returns the tau vector. ``ncols_apply`` extends the trailing updates
+    beyond column n (the FT driver's checksum columns).
+    """
+    m, ntot = a.shape
+    n = min(m, ntot)
+    ncols_apply = ntot if ncols_apply is None else ncols_apply
+    taus = np.zeros(n)
+    p = 0
+    while p < n:
+        ib = min(nb, n - p)
+        # factor the panel, applying reflectors within the panel only
+        geqr2(a, p, p + ib, ncols_apply=p + ib, taus_out=taus, counter=counter)
+        if p + ib < ncols_apply:
+            # aggregate the panel and update the trailing columns
+            v = np.zeros((m - p, ib), order="F")
+            for j in range(ib):
+                v[j, j] = 1.0
+                v[j + 1 :, j] = a[p + j + 1 : m, p + j]
+            t = larft(v, taus[p : p + ib], counter=counter, category="qr_larft")
+            larfb(
+                v,
+                t,
+                a[p:m, p + ib : ncols_apply],
+                side="left",
+                trans=True,
+                counter=counter,
+                category="qr_update",
+            )
+        p += ib
+    return taus
+
+
+def orgqr(a_packed: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    """Form the explicit m x m orthogonal Q from packed reflectors."""
+    m = a_packed.shape[0]
+    n = min(m, a_packed.shape[1], taus.shape[0])
+    q = np.eye(m, order="F")
+    for j in range(n - 1, -1, -1):
+        tau = taus[j]
+        if tau == 0.0:
+            continue
+        u = np.empty(m - j)
+        u[0] = 1.0
+        u[1:] = a_packed[j + 1 : m, j]
+        block = q[j:m, j:m]
+        w = u @ block
+        block -= tau * np.outer(u, w)
+    return q
+
+
+def r_of(a_packed: np.ndarray) -> np.ndarray:
+    """Extract the upper-triangular R from packed storage."""
+    return np.asfortranarray(np.triu(a_packed[: a_packed.shape[1], :]))
+
+
+def qr_residual(a: np.ndarray, q: np.ndarray, r: np.ndarray) -> float:
+    """``‖A − Q R‖₁ / (N ‖A‖₁)`` — the QR analogue of the paper's residual."""
+    n = a.shape[0]
+    na = float(np.linalg.norm(a, 1))
+    if na == 0.0:
+        return 0.0
+    qr = q[:, : r.shape[0]] @ r
+    return float(np.linalg.norm(a - qr, 1)) / (n * na)

@@ -1,0 +1,110 @@
+"""LU factorization with partial pivoting (DGETRF/DGETRS-style).
+
+The substrate for the HPL-flavoured related work (Du et al., the paper's
+refs [6]-[7]): right-looking Gaussian elimination, packed ``L\\U``
+storage, and the triangular solves. ``ncols_apply`` lets the
+fault-tolerant wrapper extend every elimination step over appended
+checksum columns, which therefore ride the factorization exactly
+(``L⁻¹P [A | AWᵀ] = [U | UWᵀ]``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ConvergenceError
+from repro.linalg.flops import FlopCounter
+
+
+def getrf(
+    a: np.ndarray,
+    *,
+    ncols_apply: int | None = None,
+    counter: FlopCounter | None = None,
+    category: str = "getrf",
+) -> np.ndarray:
+    """Factorize ``P A = L U`` in place (partial pivoting).
+
+    *a* is n x (n + extra); elimination runs over the first n columns,
+    updates extend to ``ncols_apply`` columns. Returns the pivot array
+    (``piv[k]`` = row swapped with row k at step k, LAPACK-style).
+    """
+    n = a.shape[0]
+    if a.shape[1] < n:
+        raise ShapeError(f"getrf needs at least n columns, got {a.shape}")
+    ncols_apply = a.shape[1] if ncols_apply is None else ncols_apply
+    piv = np.arange(n)
+    for k in range(n):
+        p = k + int(np.argmax(np.abs(a[k:n, k])))
+        if a[p, k] == 0.0:
+            raise ConvergenceError(f"getrf: exact singularity at column {k}")
+        piv[k] = p
+        if p != k:
+            a[[k, p], :ncols_apply] = a[[p, k], :ncols_apply]
+        if k + 1 < n:
+            a[k + 1 : n, k] /= a[k, k]
+            a[k + 1 : n, k + 1 : ncols_apply] -= np.outer(
+                a[k + 1 : n, k], a[k, k + 1 : ncols_apply]
+            )
+            if counter is not None:
+                counter.add(category, 2.0 * (n - k - 1) * (ncols_apply - k - 1))
+    return piv
+
+
+def getrs(
+    lu: np.ndarray,
+    piv: np.ndarray,
+    b: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "getrs",
+) -> np.ndarray:
+    """Solve ``A x = b`` from the packed factorization; returns x."""
+    n = lu.shape[0]
+    if b.shape != (n,):
+        raise ShapeError(f"getrs: b must have length {n}, got {b.shape}")
+    x = b.astype(np.result_type(lu.dtype, b.dtype, np.float64), copy=True)
+    # apply the pivots
+    for k in range(n):
+        p = int(piv[k])
+        if p != k:
+            x[k], x[p] = x[p], x[k]
+    # forward substitution with unit-lower L
+    for k in range(n):
+        x[k + 1 : n] -= lu[k + 1 : n, k] * x[k]
+    # back substitution with U
+    for k in range(n - 1, -1, -1):
+        x[k] -= lu[k, k + 1 : n] @ x[k + 1 : n]
+        x[k] /= lu[k, k]
+    if counter is not None:
+        counter.add(category, 2.0 * n * n)
+    return x
+
+
+def lower_solve(lu: np.ndarray, piv: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L y = P b`` only (the FT locator's tool)."""
+    n = lu.shape[0]
+    y = b.astype(np.float64, copy=True)
+    for k in range(n):
+        p = int(piv[k])
+        if p != k:
+            y[k], y[p] = y[p], y[k]
+    for k in range(n):
+        y[k + 1 : n] -= lu[k + 1 : n, k] * y[k]
+    return y
+
+
+def lu_residual(a: np.ndarray, lu: np.ndarray, piv: np.ndarray) -> float:
+    """``‖P A − L U‖₁ / (N ‖A‖₁)``."""
+    n = a.shape[0]
+    l = np.tril(lu[:, :n], -1) + np.eye(n)
+    u = np.triu(lu[:, :n])
+    pa = a.copy()
+    for k in range(n):
+        p = int(piv[k])
+        if p != k:
+            pa[[k, p]] = pa[[p, k]]
+    na = float(np.linalg.norm(a, 1))
+    if na == 0.0:
+        return 0.0
+    return float(np.linalg.norm(pa - l @ u, 1)) / (n * na)

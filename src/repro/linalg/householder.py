@@ -1,0 +1,121 @@
+"""Householder reflector generation and application (DLARFG / DLARF).
+
+A reflector is represented LAPACK-style: ``H = I - tau * u uᵀ`` with
+``u = [1; v]`` — the leading 1 is implicit and only ``v`` is stored (in the
+factorization it lives below the subdiagonal of the panel, which is what
+makes the in-place blocked algorithm and the checksum bookkeeping work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg import flops as F
+from repro.linalg.flops import FlopCounter
+
+
+@dataclass(frozen=True)
+class Reflector:
+    """A generated Householder reflector.
+
+    Attributes
+    ----------
+    beta:
+        The value the pivot entry is mapped to (``H @ [alpha; x] = [beta; 0]``).
+    tau:
+        Reflector scale; ``tau == 0`` encodes the identity (nothing to do).
+    v:
+        The stored part of the Householder vector (the implicit leading 1
+        is *not* included).
+    """
+
+    beta: float
+    tau: float
+    v: np.ndarray
+
+
+def larfg(
+    alpha: float,
+    x: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "larfg",
+) -> Reflector:
+    """Generate a reflector annihilating *x* below the pivot *alpha*.
+
+    Mirrors LAPACK ``DLARFG``: returns ``(beta, tau, v)`` with
+    ``(I - tau [1;v][1;v]ᵀ) [alpha; x] = [beta; 0]``. *x* is modified in
+    place to hold ``v`` (callers store it back under the subdiagonal).
+    """
+    if x.ndim != 1:
+        raise ShapeError(f"larfg expects a vector, got shape {x.shape}")
+    n = x.size
+    if counter is not None:
+        counter.add(category, F.larfg_flops(n + 1))
+    if n == 0:
+        return Reflector(beta=float(alpha), tau=0.0, v=x)
+    xnorm = float(np.linalg.norm(x))
+    if xnorm == 0.0:
+        return Reflector(beta=float(alpha), tau=0.0, v=x)
+    beta = -math.copysign(math.hypot(alpha, xnorm), alpha)
+    tau = (beta - alpha) / beta
+    x /= alpha - beta
+    return Reflector(beta=float(beta), tau=float(tau), v=x)
+
+
+def full_vector(refl: Reflector) -> np.ndarray:
+    """Return the explicit Householder vector ``u = [1; v]``."""
+    return np.concatenate(([1.0], refl.v))
+
+
+def larf_left(
+    tau: float,
+    u: np.ndarray,
+    c: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "larf",
+) -> np.ndarray:
+    """Apply ``H = I - tau u uᵀ`` from the left: ``C <- H @ C`` in place.
+
+    *u* is the explicit vector (leading 1 included).
+    """
+    if u.shape != (c.shape[0],):
+        raise ShapeError(f"larf_left shape mismatch: u {u.shape}, C {c.shape}")
+    if tau == 0.0:
+        return c
+    w = u @ c  # uᵀ C
+    c -= tau * np.outer(u, w)
+    if counter is not None:
+        counter.add(category, 4 * c.shape[0] * c.shape[1])
+    return c
+
+
+def larf_right(
+    tau: float,
+    u: np.ndarray,
+    c: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "larf",
+) -> np.ndarray:
+    """Apply ``H = I - tau u uᵀ`` from the right: ``C <- C @ H`` in place."""
+    if u.shape != (c.shape[1],):
+        raise ShapeError(f"larf_right shape mismatch: u {u.shape}, C {c.shape}")
+    if tau == 0.0:
+        return c
+    w = c @ u  # C u
+    c -= tau * np.outer(w, u)
+    if counter is not None:
+        counter.add(category, 4 * c.shape[0] * c.shape[1])
+    return c
+
+
+def reflector_matrix(tau: float, u: np.ndarray) -> np.ndarray:
+    """Return the explicit ``H = I - tau u uᵀ`` (for tests and analysis only)."""
+    n = u.size
+    return np.eye(n) - tau * np.outer(u, u)

@@ -1,0 +1,193 @@
+"""Panel factorization for the blocked Hessenberg reduction (DLAHR2).
+
+``lahr2`` reduces ``ib`` columns of A starting at column ``p`` so that the
+elements below the first subdiagonal of those columns are annihilated,
+returning the compact-WY factors ``V`` and ``T`` of the aggregated block
+reflector ``U = I - V T Vᵀ`` together with ``Y = Ã V T`` (the product with
+the *partially updated* matrix, exactly as LAPACK computes it — this is
+the quantity the trailing right update ``A ← A − Y Vᵀ`` consumes).
+
+The routine is a faithful 0-based translation of LAPACK's ``DLAHR2``
+(the routine MAGMA's hybrid algorithm calls ``MAGMA_DLAHR2``), operating
+in place: on return the Householder vectors are stored below the first
+subdiagonal of the panel columns of *a*, the panel's upper-triangular part
+holds the corresponding columns of H, and the subdiagonal entry below the
+last panel column holds ``ei`` (the β of the last reflector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg import flops as F
+from repro.linalg.flops import FlopCounter
+from repro.linalg.householder import larfg
+
+
+@dataclass
+class PanelFactors:
+    """Output of one panel factorization.
+
+    Attributes
+    ----------
+    p:
+        0-based global column index of the first panel column.
+    ib:
+        Panel width (number of reflectors aggregated).
+    v:
+        Dense Householder-vector block, shape ``(n - p - 1, ib)``: row ``r``
+        corresponds to global row ``p + 1 + r``; the unit entries are
+        explicit, entries above them are zero. This is the ``V`` the paper's
+        updates (and their checksum extensions ``Vce``) multiply with.
+    t:
+        ``(ib, ib)`` upper-triangular T of the compact WY form.
+    y:
+        ``(n, ib)``: ``Y = Ã V T`` over all n active rows.
+    taus:
+        The ``ib`` reflector scales.
+    ei:
+        β of the last reflector — the subdiagonal value A[p+ib, p+ib-1]
+        that the trailing update temporarily replaces with 1.
+    """
+
+    p: int
+    ib: int
+    v: np.ndarray
+    t: np.ndarray
+    y: np.ndarray
+    taus: np.ndarray
+    ei: float
+
+
+def lahr2(
+    a: np.ndarray,
+    p: int,
+    ib: int,
+    n: int,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "panel",
+) -> PanelFactors:
+    """Factorize the panel ``a[:, p : p+ib]`` of the n-active matrix *a*.
+
+    Parameters
+    ----------
+    a:
+        The full matrix (may be larger than ``n x n`` — e.g. the
+        checksum-extended matrix of the fault-tolerant algorithm; only
+        indices ``< n`` are read or written).
+    p:
+        0-based first panel column.
+    ib:
+        Panel width; requires ``p + ib < n`` (there must be at least one
+        row below the last reflector's pivot).
+    n:
+        Active dimension (rows and columns participating in the
+        reduction).
+    """
+    if not (0 <= p and p + ib < n <= min(a.shape)):
+        raise ShapeError(f"invalid panel: p={p}, ib={ib}, n={n}, A shape {a.shape}")
+    if ib < 1:
+        raise ShapeError(f"panel width must be >= 1, got {ib}")
+
+    taus = np.zeros(ib)
+    t = np.zeros((ib, ib), order="F")
+    y = np.zeros((n, ib), order="F")
+    ei = 0.0
+
+    for j in range(ib):
+        c = p + j  # global column of reflector j
+        if j > 0:
+            # Update column c with the previous reflectors:
+            # (1) right update contribution:  A[p+1:n, c] -= Y[p+1:n, :j] @ V[row p+j-1? ...]
+            #     LAPACK uses the V-row at global row p+j (the unit row of
+            #     reflector j-1 is p+j) — A[p+j, p:p+j] holds that row with
+            #     its unit entry currently overwritten below; the unit entry
+            #     of reflector j-1 sits at A[p+j, p+j-1] which was set to 1.
+            vrow = a[p + j, p : p + j]
+            a[p + 1 : n, c] -= y[p + 1 : n, :j] @ vrow
+            if counter is not None:
+                counter.add(category, F.gemv_flops(n - p - 1, j))
+
+            # (2) left update: apply (I - V Tᵀ Vᵀ) to this column b.
+            #     b1 = a[p+1 : p+j+1, c] (j rows), b2 = a[p+j+1 : n, c]
+            v1 = a[p + 1 : p + j + 1, p : p + j]  # unit lower triangular j x j
+            v2 = a[p + j + 1 : n, p : p + j]
+            b1 = a[p + 1 : p + j + 1, c]
+            b2 = a[p + j + 1 : n, c]
+            # w := V1ᵀ b1 (unit lower triangle)
+            w = np.tril(v1, -1).T @ b1 + b1.copy()
+            # w += V2ᵀ b2
+            w += v2.T @ b2
+            # w := Tᵀ w
+            w = t[:j, :j].T @ w
+            # b2 -= V2 w ; b1 -= V1 w
+            b2 -= v2 @ w
+            b1 -= np.tril(v1, -1) @ w + w
+            if counter is not None:
+                counter.add(
+                    category,
+                    2 * F.trmv_flops(j) + 2 * F.gemv_flops(n - p - j - 1, j) + F.trmv_flops(j),
+                )
+            # restore the subdiagonal entry overwritten by the unit of
+            # reflector j-1
+            a[p + j, p + j - 1] = ei
+
+        # Generate reflector j annihilating a[p+j+2 : n, c]
+        pivot_row = p + j + 1
+        refl = larfg(a[pivot_row, c], a[pivot_row + 1 : n, c], counter=counter, category=category)
+        ei = refl.beta
+        a[pivot_row, c] = 1.0
+
+        vj = a[pivot_row:n, c]  # full reflector vector (unit entry in place)
+
+        # Y[p+1:n, j] = tau_j * ( A[p+1:n, p+j+1:n] @ vj  -  Y[p+1:n, :j] @ (V2ᵀ vj) )
+        y[p + 1 : n, j] = a[p + 1 : n, pivot_row : n] @ vj
+        if j > 0:
+            tcol = a[pivot_row:n, p : p + j].T @ vj
+            y[p + 1 : n, j] -= y[p + 1 : n, :j] @ tcol
+            # T[:j, j] = -tau_j * T[:j,:j] @ tcol
+            t[:j, j] = t[:j, :j] @ (-refl.tau * tcol)
+        y[p + 1 : n, j] *= refl.tau
+        t[j, j] = refl.tau
+        taus[j] = refl.tau
+        if counter is not None:
+            counter.add(
+                category,
+                F.gemv_flops(n - p - 1, n - pivot_row)
+                + (F.gemv_flops(n - pivot_row, j) + F.gemv_flops(n - p - 1, j) + F.trmv_flops(j) if j > 0 else 0)
+                + F.scal_flops(n - p - 1),
+            )
+
+    # restore the subdiagonal entry below the last panel column
+    a[p + ib, p + ib - 1] = ei
+
+    # Build the dense V block (rows p+1 .. n-1), unit entries explicit.
+    v = np.zeros((n - p - 1, ib), order="F")
+    for j in range(ib):
+        v[j:, j] = a[p + 1 + j : n, p + j]
+        v[j, j] = 1.0
+
+    # Compute Y[0 : p+1, :] — the top rows: Y_top = A_top @ V (split into
+    # the unit-lower-trapezoid part and the rectangular remainder), then @ T.
+    k = p + 1
+    if k > 0:
+        y_top = a[0:k, p + 1 : p + 1 + ib].copy()
+        v1 = v[:ib, :]  # unit lower triangular ib x ib
+        y_top = y_top @ np.tril(v1)
+        if n > p + 1 + ib:
+            y_top += a[0:k, p + 1 + ib : n] @ v[ib:, :]
+        y_top = y_top @ np.triu(t)
+        y[0:k, :] = y_top
+        if counter is not None:
+            counter.add(
+                category,
+                F.trmm_flops(k, ib, False)
+                + F.gemm_flops(k, ib, max(0, n - p - 1 - ib))
+                + F.trmm_flops(k, ib, False),
+            )
+
+    return PanelFactors(p=p, ib=ib, v=v, t=t, y=y, taus=taus, ei=float(ei))

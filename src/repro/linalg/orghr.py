@@ -1,0 +1,87 @@
+"""Form the orthogonal factor Q of a Hessenberg reduction (DORGHR).
+
+``Q = H_0 H_1 ... H_{n-2}`` where ``H_i = I - tau_i u_i u_iᵀ`` and the
+``u_i`` are stored below the first subdiagonal of the packed factorization
+output. Q satisfies ``A = Q H Qᵀ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.flops import FlopCounter
+
+
+def orghr(
+    a_packed: np.ndarray,
+    taus: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "orghr",
+) -> np.ndarray:
+    """Return the explicit Q from packed reflectors and taus.
+
+    Parameters
+    ----------
+    a_packed:
+        The in-place output of ``gehrd``/``gehd2`` (Householder vectors
+        below the first subdiagonal). Only the strictly-sub-subdiagonal
+        part is read.
+    taus:
+        Reflector scales, length ``n - 1``.
+    """
+    n = a_packed.shape[0]
+    if a_packed.shape[1] < n or taus.shape[0] < max(n - 1, 0):
+        raise ShapeError(f"orghr: inconsistent shapes A {a_packed.shape}, taus {taus.shape}")
+    q = np.eye(n, order="F")
+    # Accumulate Q = H_0 H_1 ... H_{n-2} by applying reflectors backwards;
+    # H_i only touches rows i+1.., whose columns <= i stay canonical, so the
+    # update can be confined to the trailing principal block.
+    for i in range(n - 2, -1, -1):
+        tau = taus[i]
+        if tau == 0.0:
+            continue
+        u = np.empty(n - i - 1)
+        u[0] = 1.0
+        u[1:] = a_packed[i + 2 : n, i]
+        block = q[i + 1 : n, i + 1 : n]
+        w = u @ block
+        block -= tau * np.outer(u, w)
+        if counter is not None:
+            counter.add(category, 4 * (n - i - 1) * (n - i - 1))
+    return q
+
+
+def apply_q(
+    a_packed: np.ndarray,
+    taus: np.ndarray,
+    c: np.ndarray,
+    *,
+    trans: bool = False,
+    counter: FlopCounter | None = None,
+    category: str = "apply_q",
+) -> np.ndarray:
+    """Compute ``Q @ C`` (or ``Qᵀ @ C``) without forming Q, in place.
+
+    Applying the reflectors directly costs ``O(n^2 m)`` like the explicit
+    product but needs no ``n x n`` workspace; it is the standard way the
+    eigenvalue back-transformation consumes the reduction.
+    """
+    n = a_packed.shape[0]
+    if c.shape[0] != n:
+        raise ShapeError(f"apply_q: C has {c.shape[0]} rows, expected {n}")
+    order = range(n - 1) if trans else range(n - 2, -1, -1)
+    for i in order:
+        tau = taus[i]
+        if tau == 0.0:
+            continue
+        u = np.empty(n - i - 1)
+        u[0] = 1.0
+        u[1:] = a_packed[i + 2 : n, i]
+        rows = c[i + 1 : n, :]
+        w = u @ rows
+        rows -= tau * np.outer(u, w)
+        if counter is not None:
+            counter.add(category, 4 * (n - i - 1) * c.shape[1])
+    return c

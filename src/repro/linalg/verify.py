@@ -1,0 +1,70 @@
+"""Verification metrics — the residuals the paper's Tables II and III report.
+
+* factorization residual (Table II):  ``r = ‖A − Q H Qᵀ‖₁ / (N ‖A‖₁)``
+* orthogonality of Q (Table III):     ``r = ‖Q Qᵀ − I‖₁ / N``
+
+plus structural checks used throughout the test-suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def one_norm(a: np.ndarray) -> float:
+    """Matrix 1-norm (max absolute column sum)."""
+    if a.ndim != 2:
+        raise ShapeError(f"one_norm expects a matrix, got shape {a.shape}")
+    return float(np.max(np.sum(np.abs(a), axis=0))) if a.size else 0.0
+
+
+def factorization_residual(a: np.ndarray, q: np.ndarray, h: np.ndarray) -> float:
+    """Paper Table II residual ``‖A − Q H Qᵀ‖₁ / (N ‖A‖₁)``."""
+    n = a.shape[0]
+    if a.shape != q.shape or a.shape != h.shape:
+        raise ShapeError(f"shape mismatch: A {a.shape}, Q {q.shape}, H {h.shape}")
+    na = one_norm(a)
+    if na == 0.0:
+        return 0.0
+    return one_norm(a - q @ h @ q.T) / (n * na)
+
+
+def orthogonality_residual(q: np.ndarray) -> float:
+    """Paper Table III residual ``‖Q Qᵀ − I‖₁ / N``."""
+    n = q.shape[0]
+    if q.shape != (n, n):
+        raise ShapeError(f"Q must be square, got {q.shape}")
+    return one_norm(q @ q.T - np.eye(n)) / n
+
+
+def hessenberg_defect(h: np.ndarray) -> float:
+    """Largest magnitude below the first subdiagonal (0 for exact Hessenberg)."""
+    n = h.shape[0]
+    if n <= 2:
+        return 0.0
+    mask = np.tril(np.ones((n, n), dtype=bool), -2)
+    return float(np.max(np.abs(h[mask]))) if mask.any() else 0.0
+
+
+def is_hessenberg(h: np.ndarray, tol: float = 0.0) -> bool:
+    """True when *h* is upper Hessenberg up to *tol*."""
+    return hessenberg_defect(h) <= tol
+
+
+def extract_hessenberg(a_packed: np.ndarray) -> np.ndarray:
+    """Extract H from a packed ``gehrd`` output (zero below first subdiagonal)."""
+    return np.asfortranarray(np.triu(a_packed, -1))
+
+
+def eigenvalue_drift(a: np.ndarray, h: np.ndarray) -> float:
+    """Max relative distance between sorted eigenvalues of A and H.
+
+    The whole point of the reduction is spectrum preservation; this metric
+    backs the integration tests (it is not in the paper's tables).
+    """
+    ea = np.sort_complex(np.linalg.eigvals(a))
+    eh = np.sort_complex(np.linalg.eigvals(h))
+    scale = max(np.max(np.abs(ea)), 1e-300)
+    return float(np.max(np.abs(ea - eh)) / scale)

@@ -1,0 +1,120 @@
+"""Compact WY representation of products of Householder reflectors.
+
+A group of ``k`` reflectors is aggregated as ``U = H_1 H_2 ... H_k =
+I - V T Vᵀ`` (Schreiber & Van Loan's storage-efficient WY form, the
+representation the paper's Section III-B quotes). ``V`` is the (m x k)
+matrix of Householder vectors (unit "diagonal" made explicit by the
+caller) and ``T`` is k x k upper triangular.
+
+The block application :func:`larfb` is the workhorse of both the right and
+left trailing-matrix updates — and of their *reversals*: because
+``I - V T Vᵀ`` is orthogonal, the reverse of a left update is a left
+update with the transposed T, through this very same routine
+(:mod:`repro.abft.reverse` relies on that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg import flops as F
+from repro.linalg.flops import FlopCounter
+
+
+def larft(
+    v: np.ndarray,
+    taus: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "larft",
+) -> np.ndarray:
+    """Form the upper-triangular T of the compact WY form (DLARFT,
+    forward / columnwise).
+
+    Parameters
+    ----------
+    v:
+        (m x k) matrix of Householder vectors, *including* the explicit
+        unit entries (row i of column i is 1, zeros above).
+    taus:
+        Length-k reflector scales.
+    """
+    m, k = v.shape
+    if taus.shape != (k,):
+        raise ShapeError(f"larft: taus {taus.shape} does not match V {v.shape}")
+    t = np.zeros((k, k), order="F")
+    for i in range(k):
+        tau = taus[i]
+        if tau == 0.0:
+            continue
+        if i > 0:
+            # T(0:i, i) = -tau * V(:, 0:i)ᵀ @ V(:, i), then T(0:i,0:i) @ that
+            w = v[:, :i].T @ v[:, i]
+            t[:i, i] = t[:i, :i] @ (-tau * w)
+            if counter is not None:
+                counter.add(category, F.gemv_flops(i, m) + F.trmv_flops(i))
+        t[i, i] = tau
+    return t
+
+
+def block_reflector(v: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Return the explicit orthogonal factor ``U = I - V T Vᵀ`` (tests only)."""
+    m = v.shape[0]
+    return np.eye(m) - v @ t @ v.T
+
+
+def larfb(
+    v: np.ndarray,
+    t: np.ndarray,
+    c: np.ndarray,
+    *,
+    side: str = "left",
+    trans: bool = False,
+    counter: FlopCounter | None = None,
+    category: str = "larfb",
+) -> np.ndarray:
+    """Apply the block reflector ``U = I - V T Vᵀ`` to C in place (DLARFB).
+
+    ``side='left', trans=False``:  ``C <- U C    = C - V T (Vᵀ C)``
+    ``side='left', trans=True``:   ``C <- Uᵀ C   = C - V Tᵀ (Vᵀ C)``
+    ``side='right', trans=False``: ``C <- C U    = C - (C V) T Vᵀ``
+    ``side='right', trans=True``:  ``C <- C Uᵀ   = C - (C V) Tᵀ Vᵀ``
+
+    *v* is dense with explicit unit entries; this is deliberate — the
+    fault-tolerant algorithm substitutes the checksum-extended ``Vce``
+    here, and the reverse-computation path substitutes the transposed T.
+    """
+    m, k = v.shape
+    if t.shape != (k, k):
+        raise ShapeError(f"larfb: T {t.shape} does not match V {v.shape}")
+    opt = t.T if trans else t
+    if side == "left":
+        if c.shape[0] != m:
+            raise ShapeError(f"larfb left: V {v.shape} vs C {c.shape}")
+        n = c.shape[1]
+        w = v.T @ c              # k x n
+        w = opt @ w              # k x n
+        c -= v @ w
+        if counter is not None:
+            counter.add(
+                category,
+                F.gemm_flops(k, n, m) + F.trmm_flops(k, n, True) + F.gemm_flops(m, n, k),
+            )
+    elif side == "right":
+        if c.shape[1] != m:
+            raise ShapeError(f"larfb right: V {v.shape} vs C {c.shape}")
+        rows = c.shape[0]
+        w = c @ v                # rows x k
+        w = w @ opt              # rows x k
+        c -= w @ v.T
+        if counter is not None:
+            counter.add(
+                category,
+                F.gemm_flops(rows, k, m)
+                + F.trmm_flops(rows, k, False)
+                + F.gemm_flops(rows, m, k),
+            )
+    else:
+        raise ShapeError(f"larfb side must be 'left' or 'right', got {side!r}")
+    return c

@@ -1,0 +1,28 @@
+"""Shared utilities: argument validation, deterministic matrix generators,
+and plain-text report formatting."""
+
+from repro.utils.validation import (
+    as_fortran,
+    check_matrix,
+    check_square,
+    require,
+)
+from repro.utils.rng import (
+    MatrixKind,
+    random_matrix,
+    make_rng,
+)
+from repro.utils.fmt import Table, format_float, format_si
+
+__all__ = [
+    "as_fortran",
+    "check_matrix",
+    "check_square",
+    "require",
+    "MatrixKind",
+    "random_matrix",
+    "make_rng",
+    "Table",
+    "format_float",
+    "format_si",
+]

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for the reproduction harness.
+
+The benchmark scripts regenerate the paper's tables as aligned ASCII so the
+paper-vs-measured comparison can be read straight off the terminal (and
+diffed in CI). No plotting dependency is assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def format_float(x: float, *, sig: int = 4) -> str:
+    """Format a float in the paper's scientific style, e.g. ``6.2529e-18``."""
+    if x != x:  # NaN
+        return "nan"
+    if x == 0.0:
+        return "0"
+    return f"{x:.{sig}e}"
+
+
+def format_si(x: float, unit: str = "") -> str:
+    """Format with SI magnitude prefixes (1.43e12 -> ``1.43 T``)."""
+    prefixes = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")]
+    for mag, pre in prefixes:
+        if abs(x) >= mag:
+            return f"{x / mag:.3g} {pre}{unit}"
+    return f"{x:.3g} {unit}".rstrip()
+
+
+@dataclass
+class Table:
+    """Minimal aligned-column table builder.
+
+    >>> t = Table(["N", "residual"])
+    >>> t.add_row([1022, 6.25e-18])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row; floats are formatted scientifically, rest via str()."""
+        formatted: list[str] = []
+        for v in values:
+            if isinstance(v, float):
+                formatted.append(format_float(v))
+            else:
+                formatted.append(str(v))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,68 @@
+"""Argument validation helpers used across the kernel layer.
+
+The linear-algebra kernels in :mod:`repro.linalg` operate *in place* on
+Fortran-ordered ``float64`` arrays — the layout the paper's algorithms
+assume (LAPACK column-major storage). These helpers centralize the checks
+so individual kernels stay readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ShapeError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ShapeError(message)
+
+
+def as_fortran(a: np.ndarray) -> np.ndarray:
+    """Return *a* as a Fortran-ordered float64 array, copying only if needed.
+
+    A one-dimensional array is returned as float64 without layout changes
+    (layout is meaningless for vectors).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim <= 1:
+        return a
+    return np.asfortranarray(a)
+
+
+def check_matrix(a: np.ndarray, name: str = "A", *, writeable: bool = False) -> None:
+    """Validate that *a* is a 2-D float64 Fortran-ordered matrix.
+
+    Parameters
+    ----------
+    a:
+        Candidate array.
+    name:
+        Name used in error messages.
+    writeable:
+        When true additionally require that the array is writeable (kernels
+        that update in place need this).
+    """
+    if not isinstance(a, np.ndarray):
+        raise ShapeError(f"{name} must be a numpy array, got {type(a).__name__}")
+    require(a.ndim == 2, f"{name} must be 2-D, got ndim={a.ndim}")
+    require(a.dtype == np.float64, f"{name} must be float64, got {a.dtype}")
+    require(
+        a.flags.f_contiguous or a.flags.c_contiguous or _strided_ok(a),
+        f"{name} must be contiguous or a simple strided view",
+    )
+    if writeable:
+        require(a.flags.writeable, f"{name} must be writeable")
+
+
+def _strided_ok(a: np.ndarray) -> bool:
+    """Views produced by basic slicing of Fortran arrays are acceptable."""
+    return all(s % a.itemsize == 0 for s in a.strides)
+
+
+def check_square(a: np.ndarray, name: str = "A") -> int:
+    """Validate that *a* is a square 2-D float64 matrix; return its order."""
+    check_matrix(a, name)
+    require(a.shape[0] == a.shape[1], f"{name} must be square, got shape {a.shape}")
+    return a.shape[0]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_matrix():
+    """A 24x24 uniform test matrix (fast path for kernel tests)."""
+    return random_matrix(24, seed=7)
+
+
+@pytest.fixture
+def medium_matrix():
+    """A 96x96 uniform test matrix (multi-panel blocked runs)."""
+    return random_matrix(96, seed=11)
+
+
+@pytest.fixture
+def paper_small_matrix():
+    """The paper's Fig. 2 configuration: N=158, nb=32."""
+    return random_matrix(158, seed=42)
+
+
+@pytest.fixture
+def symmetric_matrix():
+    return random_matrix(64, MatrixKind.SYMMETRIC, seed=3)

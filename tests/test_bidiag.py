@@ -1,0 +1,181 @@
+"""Tests for the bidiagonal substrate: gebd2, the implicit-QR singular
+value solver, and the fault-tolerant ft_gebd2 driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import ft_gebd2
+from repro.errors import ConvergenceError, ShapeError
+from repro.faults import FaultInjector, FaultSpec
+from repro.linalg import (
+    bidiagonal_of,
+    bidiagonal_svdvals,
+    gebd2,
+    orgbr_p,
+    orgbr_q,
+    svdvals_via_bidiagonal,
+)
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+def _verify(a0, packed, tau_q, tau_p):
+    b = bidiagonal_of(packed)
+    q = orgbr_q(packed, tau_q)
+    p = orgbr_p(packed, tau_p)
+    n = a0.shape[0]
+    resid = np.linalg.norm(a0 - q @ b @ p.T, 1) / max(np.linalg.norm(a0, 1), 1e-300)
+    orth = max(
+        np.linalg.norm(q @ q.T - np.eye(n), 1),
+        np.linalg.norm(p @ p.T - np.eye(n), 1),
+    )
+    return resid, orth, b
+
+
+class TestGebd2:
+    @pytest.mark.parametrize("n", [2, 3, 8, 31, 64])
+    def test_correctness(self, n):
+        a0 = random_matrix(n, seed=n)
+        a = a0.copy(order="F")
+        tq, tp = gebd2(a)
+        resid, orth, b = _verify(a0, a, tq, tp)
+        assert resid < 1e-13 and orth < 1e-13
+
+    def test_output_is_upper_bidiagonal(self):
+        a0 = random_matrix(20, seed=1)
+        a = a0.copy(order="F")
+        gebd2(a)
+        b = bidiagonal_of(a)
+        mask = ~(np.eye(20, dtype=bool) | np.eye(20, k=1, dtype=bool))
+        assert np.all(b[mask] == 0.0)
+
+    def test_singular_values_preserved(self):
+        a0 = random_matrix(30, seed=2)
+        a = a0.copy(order="F")
+        gebd2(a)
+        b = bidiagonal_of(a)
+        ref = np.sort(np.linalg.svd(a0, compute_uv=False))
+        got = np.sort(np.linalg.svd(b, compute_uv=False))
+        np.testing.assert_allclose(got, ref, atol=1e-12)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ShapeError):
+            gebd2(np.zeros((3, 4), order="F"))
+
+
+class TestBdsqr:
+    @pytest.mark.parametrize("n", [1, 2, 7, 33, 100])
+    def test_random_bidiagonal(self, n, rng):
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(max(n - 1, 0))
+        b = np.diag(d) + (np.diag(e, 1) if n > 1 else 0.0)
+        got = bidiagonal_svdvals(d, e)
+        ref = np.sort(np.linalg.svd(b, compute_uv=False))[::-1]
+        np.testing.assert_allclose(got, ref, atol=1e-12 * max(1.0, abs(ref[0])))
+
+    def test_values_descending_nonnegative(self, rng):
+        got = bidiagonal_svdvals(rng.standard_normal(20), rng.standard_normal(19))
+        assert np.all(got >= 0)
+        assert np.all(np.diff(got) <= 0)
+
+    def test_zero_diagonal_chase(self):
+        d = np.array([1.0, 0.0, 2.0, 3.0])
+        e = np.array([0.5, 0.7, 0.9])
+        b = np.diag(d) + np.diag(e, 1)
+        got = bidiagonal_svdvals(d, e)
+        ref = np.sort(np.linalg.svd(b, compute_uv=False))[::-1]
+        np.testing.assert_allclose(got, ref, atol=1e-13)
+
+    def test_diagonal_matrix(self):
+        got = bidiagonal_svdvals(np.array([3.0, -1.0, 2.0]), np.zeros(2))
+        np.testing.assert_allclose(got, [3.0, 2.0, 1.0])
+
+    def test_mismatched_superdiagonal(self):
+        with pytest.raises(ShapeError):
+            bidiagonal_svdvals(np.ones(4), np.ones(4))
+
+    @pytest.mark.parametrize("kind", [MatrixKind.UNIFORM, MatrixKind.GRADED,
+                                      MatrixKind.WELL_CONDITIONED])
+    def test_full_pipeline_families(self, kind):
+        a = random_matrix(48, kind, seed=3)
+        got = svdvals_via_bidiagonal(a)
+        ref = np.sort(np.linalg.svd(a, compute_uv=False))[::-1]
+        np.testing.assert_allclose(got, ref, atol=1e-11 * max(1.0, ref[0]))
+
+
+class TestFTBidiag:
+    @pytest.mark.parametrize("n", [8, 32, 80])
+    def test_no_error(self, n):
+        a0 = random_matrix(n, seed=n + 5)
+        res = ft_gebd2(a0)
+        resid, orth, _ = _verify(a0, res.a, res.tau_q, res.tau_p)
+        assert resid < 1e-13 and orth < 1e-13
+        assert res.detections == 0
+
+    def test_trailing_error_recovered(self):
+        a0 = random_matrix(80, seed=6)
+        inj = FaultInjector().add(FaultSpec(iteration=10, row=40, col=55, magnitude=2.0))
+        res = ft_gebd2(a0, injector=inj)
+        resid, _, _ = _verify(a0, res.a, res.tau_q, res.tau_p)
+        assert resid < 1e-13
+        e = res.recoveries[0].errors[0]
+        assert (e.row, e.col) == (40, 55)
+        assert e.magnitude == pytest.approx(2.0, rel=1e-8)
+
+    def test_diagonal_error_caught_by_audit(self):
+        a0 = random_matrix(80, seed=7)
+        inj = FaultInjector().add(FaultSpec(iteration=10, row=50, col=50, magnitude=2.0))
+        res = ft_gebd2(a0, injector=inj, audit_every=8)
+        resid, _, _ = _verify(a0, res.a, res.tau_q, res.tau_p)
+        assert resid < 1e-13
+        assert res.detections == 1
+
+    def test_checksum_element_error(self):
+        a0 = random_matrix(64, seed=8)
+        inj = FaultInjector().add(
+            FaultSpec(iteration=20, row=30, col=-1, space="row_checksum", magnitude=3.0)
+        )
+        res = ft_gebd2(a0, injector=inj)
+        resid, _, _ = _verify(a0, res.a, res.tau_q, res.tau_p)
+        assert resid < 1e-13
+        assert res.recoveries[0].errors[0].kind == "row_checksum"
+
+    def test_singular_values_survive_error(self):
+        """The SVD analogue of the paper's trust argument."""
+        a0 = random_matrix(80, seed=9)
+        inj = FaultInjector().add(FaultSpec(iteration=5, row=30, col=60, magnitude=1.5))
+        res = ft_gebd2(a0, injector=inj)
+        sv = bidiagonal_svdvals(np.diag(res.a).copy(), np.diag(res.a, 1).copy())
+        ref = np.sort(np.linalg.svd(a0, compute_uv=False))[::-1]
+        assert np.max(np.abs(sv - ref)) < 1e-11 * ref[0]
+
+    def test_two_errors_different_steps(self):
+        a0 = random_matrix(80, seed=10)
+        inj = FaultInjector()
+        inj.add(FaultSpec(iteration=8, row=30, col=45, magnitude=1.0))
+        inj.add(FaultSpec(iteration=30, row=60, col=70, magnitude=2.0))
+        res = ft_gebd2(a0, injector=inj)
+        resid, _, _ = _verify(a0, res.a, res.tau_q, res.tau_p)
+        assert resid < 1e-13
+        assert res.detections == 2
+
+    def test_retry_budget(self):
+        a0 = random_matrix(48, seed=11)
+        inj = FaultInjector().add(FaultSpec(iteration=5, row=20, col=30, magnitude=1.0))
+        with pytest.raises(ConvergenceError):
+            ft_gebd2(a0, injector=inj, max_retries=0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ShapeError):
+            ft_gebd2(np.zeros((3, 4)))
+        with pytest.raises(ShapeError):
+            ft_gebd2(random_matrix(8, seed=0), audit_every=0)
+
+    def test_error_near_end(self):
+        n = 64
+        a0 = random_matrix(n, seed=12)
+        inj = FaultInjector().add(
+            FaultSpec(iteration=n - 3, row=n - 2, col=n - 1, magnitude=1.0)
+        )
+        res = ft_gebd2(a0, injector=inj)
+        resid, _, _ = _verify(a0, res.a, res.tau_q, res.tau_p)
+        assert resid < 1e-13

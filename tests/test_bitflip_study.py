@@ -1,0 +1,35 @@
+"""Tests for the bit-position sensitivity harness."""
+
+import warnings
+
+import pytest
+
+from repro.analysis import bitflip_study
+
+
+class TestBitflipStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return bitflip_study(n=64, trials=3, bits=(0, 40, 55, 62, 63), seed=1)
+
+    def test_no_silent_harm_anywhere(self, study):
+        for o in study.outcomes:
+            assert o.safe, f"bit {o.bit} produced silent harm"
+
+    def test_low_bits_harmless(self, study):
+        o = {x.bit: x for x in study.outcomes}[0]
+        assert o.harmless + o.recovered == o.trials
+
+    def test_mid_bits_recover(self, study):
+        o = {x.bit: x for x in study.outcomes}[40]
+        assert o.recovered == o.trials
+
+    def test_render(self, study):
+        out = study.render()
+        assert "mantissa" in out and "exponent" in out and "sign" in out
+
+    def test_outcome_counts_sum(self, study):
+        for o in study.outcomes:
+            assert o.recovered + o.harmless + o.refused + o.silent_harmful == o.trials

@@ -1,0 +1,158 @@
+"""Unit tests for the BLAS-like kernel layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg import FlopCounter
+from repro.linalg import blas
+
+
+def _mats(rng, m, n, k):
+    a = np.asfortranarray(rng.standard_normal((m, k)))
+    b = np.asfortranarray(rng.standard_normal((k, n)))
+    c = np.asfortranarray(rng.standard_normal((m, n)))
+    return a, b, c
+
+
+class TestGemm:
+    def test_plain_product(self, rng):
+        a, b, c = _mats(rng, 5, 4, 3)
+        ref = 2.0 * a @ b + 0.5 * c
+        blas.gemm(2.0, a, b, 0.5, c)
+        np.testing.assert_allclose(c, ref, rtol=1e-14)
+
+    def test_beta_zero_overwrites_garbage(self, rng):
+        a, b, c = _mats(rng, 4, 4, 4)
+        c[:] = np.nan  # beta=0 must not propagate NaNs from C
+        blas.gemm(1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-14)
+
+    def test_transposes(self, rng):
+        at = np.asfortranarray(rng.standard_normal((3, 5)))
+        bt = np.asfortranarray(rng.standard_normal((4, 3)))
+        c2 = np.zeros((5, 4), order="F")
+        blas.gemm(1.0, at, bt, 0.0, c2, trans_a=True, trans_b=True)
+        np.testing.assert_allclose(c2, at.T @ bt.T, rtol=1e-14)
+
+    def test_accumulate_minus_one(self, rng):
+        a, b, c = _mats(rng, 4, 4, 4)
+        ref = c - a @ b
+        blas.gemm(-1.0, a, b, 1.0, c)
+        np.testing.assert_allclose(c, ref, rtol=1e-14)
+
+    def test_shape_mismatch_raises(self, rng):
+        a, b, c = _mats(rng, 5, 4, 3)
+        with pytest.raises(ShapeError):
+            blas.gemm(1.0, a, b[:2], 1.0, c)
+
+    def test_flop_count(self, rng):
+        a, b, c = _mats(rng, 5, 4, 3)
+        cnt = FlopCounter()
+        blas.gemm(1.0, a, b, 1.0, c, counter=cnt)
+        assert cnt.total == 2 * 5 * 4 * 3
+
+    def test_updates_view_in_place(self, rng):
+        big = np.zeros((8, 8), order="F")
+        a, b, _ = _mats(rng, 3, 3, 3)
+        blas.gemm(1.0, a, b, 0.0, big[2:5, 2:5])
+        np.testing.assert_allclose(big[2:5, 2:5], a @ b, rtol=1e-14)
+        assert np.all(big[:2] == 0)
+
+
+class TestGemv:
+    def test_plain(self, rng):
+        a = np.asfortranarray(rng.standard_normal((5, 3)))
+        x = rng.standard_normal(3)
+        y = rng.standard_normal(5)
+        ref = 2.0 * a @ x + y
+        blas.gemv(2.0, a, x, 1.0, y)
+        np.testing.assert_allclose(y, ref, rtol=1e-14)
+
+    def test_trans(self, rng):
+        a = np.asfortranarray(rng.standard_normal((5, 3)))
+        x = rng.standard_normal(5)
+        y = np.zeros(3)
+        blas.gemv(1.0, a, x, 0.0, y, trans=True)
+        np.testing.assert_allclose(y, a.T @ x, rtol=1e-14)
+
+    def test_shape_mismatch(self, rng):
+        a = np.asfortranarray(rng.standard_normal((5, 3)))
+        with pytest.raises(ShapeError):
+            blas.gemv(1.0, a, np.zeros(4), 0.0, np.zeros(5))
+
+    def test_flops(self, rng):
+        a = np.asfortranarray(rng.standard_normal((5, 3)))
+        cnt = FlopCounter()
+        blas.gemv(1.0, a, np.zeros(3), 0.0, np.zeros(5), counter=cnt)
+        assert cnt.total == 2 * 5 * 3
+
+
+class TestTrmm:
+    def test_left_upper(self, rng):
+        t = np.asfortranarray(rng.standard_normal((4, 4)))
+        b = np.asfortranarray(rng.standard_normal((4, 3)))
+        ref = np.triu(t) @ b
+        blas.trmm(1.0, t, b)
+        np.testing.assert_allclose(b, ref, rtol=1e-14)
+
+    def test_right_lower_unit_transpose(self, rng):
+        t = np.asfortranarray(rng.standard_normal((3, 3)))
+        b = np.asfortranarray(rng.standard_normal((5, 3)))
+        tri = np.tril(t)
+        np.fill_diagonal(tri, 1.0)
+        ref = b @ tri.T
+        blas.trmm(1.0, t, b, side="right", lower=True, trans=True, unit=True)
+        np.testing.assert_allclose(b, ref, rtol=1e-14)
+
+    def test_ignores_garbage_in_other_triangle(self, rng):
+        t = np.full((3, 3), np.nan, order="F")
+        t[np.triu_indices(3)] = 1.0
+        b = np.ones((3, 2), order="F")
+        blas.trmm(1.0, t, b)  # NaNs in the strict lower part must not leak
+        assert np.all(np.isfinite(b))
+
+    def test_bad_side(self, rng):
+        t = np.eye(3, order="F")
+        with pytest.raises(ShapeError):
+            blas.trmm(1.0, t, np.ones((3, 2), order="F"), side="middle")
+
+
+class TestVectorOps:
+    def test_ger(self, rng):
+        a = np.zeros((3, 4), order="F")
+        x, y = rng.standard_normal(3), rng.standard_normal(4)
+        blas.ger(2.0, x, y, a)
+        np.testing.assert_allclose(a, 2.0 * np.outer(x, y), rtol=1e-14)
+
+    def test_axpy(self, rng):
+        x, y = rng.standard_normal(6), rng.standard_normal(6)
+        ref = 3.0 * x + y
+        blas.axpy(3.0, x, y)
+        np.testing.assert_allclose(y, ref, rtol=1e-14)
+
+    def test_scal(self):
+        x = np.arange(4.0)
+        blas.scal(-2.0, x)
+        np.testing.assert_allclose(x, [-0.0, -2.0, -4.0, -6.0])
+
+    def test_dot_and_flops(self, rng):
+        x, y = rng.standard_normal(7), rng.standard_normal(7)
+        cnt = FlopCounter()
+        d = blas.dot(x, y, counter=cnt)
+        assert d == pytest.approx(float(x @ y))
+        assert cnt.total == 13  # 2*7 - 1
+
+    def test_nrm2(self, rng):
+        x = rng.standard_normal(9)
+        assert blas.nrm2(x) == pytest.approx(float(np.linalg.norm(x)))
+
+    def test_trmv_unit_lower(self, rng):
+        t = np.asfortranarray(rng.standard_normal((4, 4)))
+        x = rng.standard_normal(4)
+        tri = np.tril(t, -1) + np.eye(4)
+        ref = tri @ x
+        blas.trmv(t, x.copy(), lower=True, unit=True)
+        got = x.copy()
+        blas.trmv(t, got, lower=True, unit=True)
+        np.testing.assert_allclose(got, ref, rtol=1e-14)

@@ -1,0 +1,54 @@
+"""Tests for the injection campaign runner — blanket recovery coverage."""
+
+import pytest
+
+from repro.faults import run_campaign
+from repro.utils.rng import random_matrix
+
+
+class TestCampaign:
+    def test_full_grid_recovers(self):
+        a = random_matrix(128, seed=20)
+        res = run_campaign(a, nb=32, moments=3, seed=1)
+        assert len(res.trials) == 9
+        assert res.recovery_rate == 1.0
+        assert res.worst_residual < 1e-13
+
+    def test_all_trials_detected(self):
+        a = random_matrix(96, seed=21)
+        res = run_campaign(a, nb=32, moments=2, seed=2)
+        assert all(t.detected for t in res.trials)
+
+    def test_by_area_grouping(self):
+        a = random_matrix(96, seed=22)
+        res = run_campaign(a, nb=32, moments=2, seed=3)
+        for area in (1, 2, 3):
+            assert len(res.by_area(area)) == 2
+
+    def test_area3_trials_use_q_corrections(self):
+        a = random_matrix(96, seed=23)
+        res = run_campaign(a, nb=32, areas=(3,), moments=2, seed=4)
+        assert all(t.q_corrections == 1 for t in res.trials)
+        assert all(t.recoveries == 0 for t in res.trials)
+
+    def test_area12_trials_use_rollback(self):
+        a = random_matrix(96, seed=24)
+        res = run_campaign(a, nb=32, areas=(1, 2), moments=2, seed=5)
+        assert all(t.recoveries == 1 for t in res.trials)
+
+    def test_large_magnitude_faults(self):
+        """Correction roundoff scales with the fault magnitude (the
+        paper's §VI-B discussion of dot-product rounding): a 1e6
+        corruption recovers to ~magnitude·eps, so the residual bar
+        scales too."""
+        a = random_matrix(96, seed=25)
+        res = run_campaign(a, nb=32, moments=2, seed=6, magnitude=1e6, residual_tol=1e-9)
+        assert res.recovery_rate == 1.0
+        assert all(t.detected for t in res.trials)
+
+    def test_small_magnitude_faults(self):
+        """Sub-roundoff faults may go undetected, but then they are also
+        harmless: the residual bar still passes."""
+        a = random_matrix(96, seed=26)
+        res = run_campaign(a, nb=32, moments=2, seed=7, magnitude=1e-13)
+        assert res.recovery_rate == 1.0

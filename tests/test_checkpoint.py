@@ -1,0 +1,59 @@
+"""Tests for the diskless panel checkpoint store."""
+
+import numpy as np
+import pytest
+
+from repro.abft import DisklessCheckpointStore, EncodedMatrix
+from repro.errors import ReproError
+from repro.utils.rng import random_matrix
+
+
+class TestCheckpointStore:
+    def test_save_restore_roundtrip(self):
+        em = EncodedMatrix(random_matrix(16, seed=1))
+        store = DisklessCheckpointStore()
+        store.save(em, 4, 4)
+        saved = em.data[:, 4:8].copy()
+        em.data[:, 4:8] = -1.0
+        em.col_checksums[4:8] = 0.0
+        store.restore(em)
+        np.testing.assert_array_equal(em.data[:, 4:8], saved)
+
+    def test_restore_includes_checksum_segment(self):
+        em = EncodedMatrix(random_matrix(16, seed=2))
+        store = DisklessCheckpointStore()
+        seg = em.col_checksums[0:4].copy()
+        store.save(em, 0, 4)
+        em.col_checksums[0:4] = 123.0
+        store.restore(em)
+        np.testing.assert_array_equal(em.col_checksums[0:4], seg)
+
+    def test_only_latest_checkpoint_kept(self):
+        em = EncodedMatrix(random_matrix(16, seed=3))
+        store = DisklessCheckpointStore()
+        store.save(em, 0, 4)
+        store.save(em, 4, 4)
+        assert store.current.p == 4
+        assert store.saves == 2
+
+    def test_restore_without_save_raises(self):
+        em = EncodedMatrix(random_matrix(8, seed=4))
+        with pytest.raises(ReproError):
+            DisklessCheckpointStore().restore(em)
+
+    def test_peak_bytes_matches_panel_size(self):
+        """The paper's §V storage claim: the checkpoint is panel-sized."""
+        n, nb = 64, 16
+        em = EncodedMatrix(random_matrix(n, seed=5))
+        store = DisklessCheckpointStore()
+        store.save(em, 0, nb)
+        assert store.peak_bytes == 8 * (n * nb + nb)
+
+    def test_restore_does_not_touch_other_columns(self):
+        em = EncodedMatrix(random_matrix(16, seed=6))
+        store = DisklessCheckpointStore()
+        store.save(em, 4, 4)
+        before = em.data[:, 8:].copy()
+        em.data[:, 4:8] = 0.0
+        store.restore(em)
+        np.testing.assert_array_equal(em.data[:, 8:], before)

@@ -1,0 +1,95 @@
+"""Tests for the experiment CLI (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        p = build_parser()
+        for args in (
+            ["table1"],
+            ["fig2", "--n", "64", "--heatmap"],
+            ["fig6", "--area", "2", "--sizes", "1022,2046"],
+            ["table2", "--sizes", "96"],
+            ["table3", "--sizes", "96"],
+            ["section5"],
+            ["campaign", "--n", "96", "--channels", "2"],
+            ["demo", "--n", "96"],
+        ):
+            assert p.parse_args(args).command == args[0]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--sizes", "1022,abc"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla K40c" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--n", "96", "--nb", "32", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern" in out
+
+    def test_fig6_small(self, capsys):
+        assert main(["fig6", "--area", "3", "--sizes", "1022", "--moments", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ovh no-err %" in out and "1022" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--sizes", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "residual" in out
+
+    def test_section5(self, capsys):
+        assert main(["section5", "--sizes", "1022,2046"]) == 0
+        out = capsys.readouterr().out
+        assert "FLOP_extra" in out
+
+    def test_campaign_small(self, capsys):
+        assert main(["campaign", "--n", "96", "--moments", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery rate: 100%" in out
+
+    def test_campaign_weighted(self, capsys):
+        assert main(["campaign", "--n", "96", "--moments", "2", "--channels", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "channels=2" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out and "residual after recovery" in out
+
+
+class TestTraceCommand:
+    def test_trace_export(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--n", "512", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        import json
+
+        doc = json.loads(out_file.read_text())
+        assert len(doc["traceEvents"]) > 10
+
+
+class TestCoverageCommand:
+    def test_coverage_plain(self, capsys):
+        assert main(["coverage", "--n", "64", "--grid", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage map" in out and "recovered" in out
+
+    def test_coverage_audited(self, capsys):
+        assert main(["coverage", "--n", "64", "--grid", "5", "--audit-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SILENT CORRUPTION (undetected, result wrong): 0" in out

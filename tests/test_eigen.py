@@ -1,0 +1,82 @@
+"""Tests for the Francis double-shift QR eigenvalue substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.eigen import eigvals_via_hessenberg, hessenberg_eigvals
+from repro.linalg import extract_hessenberg, gehrd
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+def _sorted(x):
+    return np.sort_complex(np.asarray(x, dtype=complex))
+
+
+def _assert_spectra_match(ours, ref, tol=1e-8):
+    ours, ref = _sorted(ours), _sorted(ref)
+    scale = max(float(np.max(np.abs(ref))), 1e-300)
+    assert float(np.max(np.abs(ours - ref))) / scale < tol
+
+
+class TestHessenbergEigvals:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 20, 63])
+    def test_random_hessenberg(self, n):
+        h = np.triu(random_matrix(n, seed=n + 50), -1)
+        _assert_spectra_match(hessenberg_eigvals(h), np.linalg.eigvals(h))
+
+    def test_complex_pairs_are_conjugate(self):
+        h = np.triu(random_matrix(30, seed=60), -1)
+        e = hessenberg_eigvals(h)
+        complex_eigs = e[np.abs(e.imag) > 1e-12]
+        # real input: complex eigenvalues come in conjugate pairs
+        assert len(complex_eigs) % 2 == 0
+        _assert_spectra_match(complex_eigs, np.conj(complex_eigs))
+
+    def test_known_rotation_block(self):
+        # [[0, -1], [1, 0]] has eigenvalues ±i
+        h = np.array([[0.0, -1.0], [1.0, 0.0]], order="F")
+        e = _sorted(hessenberg_eigvals(h))
+        np.testing.assert_allclose(e, [-1j, 1j], atol=1e-14)
+
+    def test_triangular_input_diagonal(self):
+        h = np.triu(random_matrix(12, seed=61))
+        _assert_spectra_match(hessenberg_eigvals(h), np.diag(h))
+
+    def test_repeated_eigenvalues(self):
+        h = np.asfortranarray(np.diag([2.0] * 5 + [3.0] * 5))
+        _assert_spectra_match(hessenberg_eigvals(h), [2.0] * 5 + [3.0] * 5, tol=1e-6)
+
+    def test_rejects_non_hessenberg(self):
+        a = random_matrix(8, seed=62)  # dense, not Hessenberg
+        with pytest.raises(ShapeError):
+            hessenberg_eigvals(a)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ShapeError):
+            hessenberg_eigvals(np.zeros((3, 4), order="F"))
+
+    def test_empty(self):
+        assert hessenberg_eigvals(np.zeros((0, 0), order="F")).size == 0
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("kind", [MatrixKind.UNIFORM, MatrixKind.GAUSSIAN,
+                                      MatrixKind.SYMMETRIC, MatrixKind.GRADED])
+    def test_matrix_families(self, kind):
+        a = random_matrix(40, kind, seed=63)
+        _assert_spectra_match(eigvals_via_hessenberg(a), np.linalg.eigvals(a))
+
+    def test_pipeline_consistency_with_reduction(self):
+        a = random_matrix(50, seed=64)
+        work = a.copy(order="F")
+        gehrd(work, nb=16)
+        h = extract_hessenberg(work)
+        _assert_spectra_match(hessenberg_eigvals(h), np.linalg.eigvals(a))
+
+    def test_well_conditioned_real_spectrum(self):
+        a = random_matrix(30, MatrixKind.WELL_CONDITIONED, seed=65)
+        e = eigvals_via_hessenberg(a)
+        assert float(np.max(np.abs(e.imag))) < 1e-8  # SPD-like: real spectrum
+        ref = np.linalg.eigvalsh(0.5 * (a + a.T))
+        np.testing.assert_allclose(np.sort(e.real), np.sort(ref), atol=1e-6)

@@ -1,0 +1,102 @@
+"""Tests for the Hessenberg solver and eigenvector computation."""
+
+import numpy as np
+import pytest
+
+from repro.eigen import (
+    eig_via_hessenberg,
+    hessenberg_eigvals,
+    hessenberg_eigvecs,
+    hessenberg_solve,
+)
+from repro.errors import ShapeError
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+class TestHessenbergSolve:
+    @pytest.mark.parametrize("n", [1, 2, 7, 40])
+    def test_backward_stable_residual(self, n, rng):
+        h = np.triu(rng.standard_normal((n, n)), -1)
+        b = rng.standard_normal(n)
+        x = hessenberg_solve(h, b)
+        # backward-stable: residual small relative to ‖H‖·‖x‖
+        denom = max(np.linalg.norm(h, 1) * np.linalg.norm(x), 1e-300)
+        assert np.linalg.norm(h @ x - b) / denom < 1e-12
+
+    def test_complex_rhs(self, rng):
+        n = 12
+        h = np.triu(rng.standard_normal((n, n)), -1)
+        b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        x = hessenberg_solve(h, b)
+        np.testing.assert_allclose(h @ x, b, atol=1e-10)
+
+    def test_triangular_case(self, rng):
+        n = 10
+        h = np.triu(rng.standard_normal((n, n)))
+        np.fill_diagonal(h, np.abs(np.diag(h)) + 1.0)
+        b = rng.standard_normal(n)
+        x = hessenberg_solve(h, b)
+        np.testing.assert_allclose(h @ x, b, atol=1e-12)
+
+    def test_pivoting_handles_zero_diagonal(self):
+        # leading diagonal zero forces the subdiagonal pivot
+        h = np.array([[0.0, 1.0], [2.0, 3.0]], order="F")
+        x = hessenberg_solve(h, np.array([1.0, 1.0]))
+        np.testing.assert_allclose(h @ x, [1.0, 1.0], atol=1e-14)
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            hessenberg_solve(np.zeros((3, 4)), np.zeros(3))
+
+
+class TestEigvecs:
+    def test_pairs_satisfy_definition(self):
+        a = random_matrix(60, seed=1)
+        lam, v = eig_via_hessenberg(a)
+        for q in range(60):
+            resid = np.linalg.norm(a @ v[:, q] - lam[q] * v[:, q])
+            assert resid < 1e-9, f"eigenpair {q}: {resid}"
+
+    def test_vectors_unit_norm(self):
+        a = random_matrix(30, seed=2)
+        _, v = eig_via_hessenberg(a)
+        np.testing.assert_allclose(np.linalg.norm(v, axis=0), 1.0, atol=1e-12)
+
+    def test_symmetric_vectors_orthogonal(self):
+        a = random_matrix(30, MatrixKind.SYMMETRIC, seed=3)
+        lam, v = eig_via_hessenberg(a)
+        # symmetric: eigenvectors of distinct eigenvalues orthogonal
+        g = np.abs(v.conj().T @ v)
+        np.fill_diagonal(g, 0.0)
+        assert float(np.max(g)) < 1e-6
+
+    def test_subset_of_eigenvalues(self):
+        h = np.triu(random_matrix(24, seed=4), -1)
+        lam = hessenberg_eigvals(h)
+        v = hessenberg_eigvecs(h, lam[:5])
+        assert v.shape == (24, 5)
+        for q in range(5):
+            assert np.linalg.norm(h @ v[:, q] - lam[q] * v[:, q]) < 1e-9
+
+    def test_rejects_dense_input(self):
+        with pytest.raises(ShapeError):
+            hessenberg_eigvecs(random_matrix(8, seed=5), np.array([1.0 + 0j]))
+
+    def test_ft_pipeline_eigenpairs_survive_error(self):
+        """End-to-end: eigenpairs through the FT reduction with a fault."""
+        from repro.core import FTConfig, ft_gehrd
+        from repro.faults import FaultInjector, FaultSpec
+        from repro.linalg import extract_hessenberg, orghr
+
+        a = random_matrix(96, seed=6)
+        inj = FaultInjector().add(FaultSpec(iteration=1, row=60, col=70, magnitude=2.0))
+        res = ft_gehrd(a, FTConfig(nb=32), injector=inj)
+        h = extract_hessenberg(res.a)
+        q = orghr(res.a, res.taus)
+        lam = hessenberg_eigvals(h, check_input=False)
+        vh = hessenberg_eigvecs(h, lam, check_input=False)
+        v = q @ vh
+        worst = max(
+            np.linalg.norm(a @ v[:, k] - lam[k] * v[:, k]) for k in range(96)
+        )
+        assert worst < 1e-8

@@ -1,0 +1,108 @@
+"""Unit tests for Householder reflector generation and application."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg.householder import (
+    Reflector,
+    full_vector,
+    larf_left,
+    larf_right,
+    larfg,
+    reflector_matrix,
+)
+
+
+class TestLarfg:
+    def test_annihilates_tail(self, rng):
+        alpha = 1.7
+        x = rng.standard_normal(6)
+        orig = np.concatenate(([alpha], x))
+        refl = larfg(alpha, x)
+        h = reflector_matrix(refl.tau, full_vector(refl))
+        out = h @ orig
+        assert out[0] == pytest.approx(refl.beta, rel=1e-14)
+        np.testing.assert_allclose(out[1:], 0.0, atol=1e-14)
+
+    def test_norm_preserved(self, rng):
+        alpha = -0.3
+        x = rng.standard_normal(5)
+        nrm = np.hypot(alpha, np.linalg.norm(x))
+        refl = larfg(alpha, x.copy())
+        assert abs(refl.beta) == pytest.approx(nrm, rel=1e-14)
+
+    def test_beta_opposite_sign_of_alpha(self, rng):
+        # LAPACK convention: beta = -sign(alpha) * norm
+        for alpha in (2.0, -2.0):
+            refl = larfg(alpha, rng.standard_normal(4))
+            assert np.sign(refl.beta) == -np.sign(alpha)
+
+    def test_zero_tail_is_identity(self):
+        refl = larfg(3.0, np.zeros(4))
+        assert refl.tau == 0.0
+        assert refl.beta == 3.0
+
+    def test_empty_tail(self):
+        refl = larfg(1.5, np.zeros(0))
+        assert refl.tau == 0.0 and refl.beta == 1.5
+
+    def test_tau_range(self, rng):
+        # standard Householder: 1 <= tau <= 2
+        refl = larfg(0.9, rng.standard_normal(8))
+        assert 1.0 <= refl.tau <= 2.0
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ShapeError):
+            larfg(1.0, np.zeros((2, 2)))
+
+    def test_modifies_x_in_place(self, rng):
+        x = rng.standard_normal(4)
+        xc = x.copy()
+        refl = larfg(1.0, x)
+        assert refl.v is x
+        assert not np.array_equal(x, xc)
+
+
+class TestLarfApply:
+    def test_left_matches_explicit(self, rng):
+        c = np.asfortranarray(rng.standard_normal((6, 4)))
+        refl = larfg(1.0, rng.standard_normal(5))
+        u = full_vector(refl)
+        ref = reflector_matrix(refl.tau, u) @ c
+        larf_left(refl.tau, u, c)
+        np.testing.assert_allclose(c, ref, rtol=1e-13)
+
+    def test_right_matches_explicit(self, rng):
+        c = np.asfortranarray(rng.standard_normal((4, 6)))
+        refl = larfg(1.0, rng.standard_normal(5))
+        u = full_vector(refl)
+        ref = c @ reflector_matrix(refl.tau, u)
+        larf_right(refl.tau, u, c)
+        np.testing.assert_allclose(c, ref, rtol=1e-13)
+
+    def test_tau_zero_noop(self, rng):
+        c = np.asfortranarray(rng.standard_normal((3, 3)))
+        ref = c.copy()
+        larf_left(0.0, np.ones(3), c)
+        np.testing.assert_array_equal(c, ref)
+
+    def test_involution(self, rng):
+        # applying H twice returns the original (H orthogonal symmetric)
+        c = np.asfortranarray(rng.standard_normal((6, 3)))
+        ref = c.copy()
+        refl = larfg(1.0, rng.standard_normal(5))
+        u = full_vector(refl)
+        larf_left(refl.tau, u, c)
+        larf_left(refl.tau, u, c)
+        np.testing.assert_allclose(c, ref, rtol=1e-13)
+
+    def test_shape_check(self, rng):
+        c = np.zeros((4, 2), order="F")
+        with pytest.raises(ShapeError):
+            larf_left(1.0, np.ones(3), c)
+
+    def test_reflector_matrix_orthogonal(self, rng):
+        refl = larfg(0.5, rng.standard_normal(6))
+        h = reflector_matrix(refl.tau, full_vector(refl))
+        np.testing.assert_allclose(h @ h.T, np.eye(7), atol=1e-14)

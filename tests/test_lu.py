@@ -1,0 +1,123 @@
+"""Tests for the LU substrate and the post-processing FT solve
+(the HPL-style related work, refs [6]-[7])."""
+
+import numpy as np
+import pytest
+
+from repro.core.ft_lu import FTLUResult, ft_lu_solve
+from repro.errors import ShapeError, UncorrectableError
+from repro.faults import FaultInjector, FaultSpec
+from repro.linalg.getrf import getrf, getrs, lu_residual
+from repro.utils.rng import random_matrix
+
+
+class TestGetrf:
+    @pytest.mark.parametrize("n", [2, 9, 40, 100])
+    def test_factorization_residual(self, n):
+        a0 = random_matrix(n, seed=n)
+        a = a0.copy(order="F")
+        piv = getrf(a)
+        assert lu_residual(a0, a, piv) < 1e-14
+
+    def test_solve(self, rng):
+        n = 50
+        a0 = random_matrix(n, seed=1)
+        b = rng.standard_normal(n)
+        a = a0.copy(order="F")
+        piv = getrf(a)
+        x = getrs(a, piv, b)
+        assert np.linalg.norm(a0 @ x - b) / np.linalg.norm(b) < 1e-11
+
+    def test_matches_numpy_solution(self, rng):
+        n = 30
+        a0 = random_matrix(n, seed=2)
+        b = rng.standard_normal(n)
+        a = a0.copy(order="F")
+        piv = getrf(a)
+        np.testing.assert_allclose(getrs(a, piv, b), np.linalg.solve(a0, b), atol=1e-9)
+
+    def test_pivoting_engages(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]], order="F")
+        piv = getrf(a.copy(order="F"))
+        assert piv[0] == 1  # must swap away from the zero pivot
+
+    def test_checksum_columns_ride(self):
+        n = 24
+        a0 = random_matrix(n, seed=3)
+        ext = np.zeros((n, n + 1), order="F")
+        ext[:, :n] = a0
+        ext[:, n] = a0 @ np.ones(n)
+        getrf(ext)
+        u = np.triu(ext[:, :n])
+        np.testing.assert_allclose(ext[:, n], u @ np.ones(n), atol=1e-10)
+
+    def test_rejects_thin(self):
+        with pytest.raises(ShapeError):
+            getrf(np.zeros((4, 3), order="F"))
+
+
+class TestFTLUSolve:
+    def _setup(self, n=64, seed=0):
+        rng = np.random.default_rng(seed)
+        a = random_matrix(n, seed=seed)
+        b = rng.standard_normal(n)
+        x_ref = np.linalg.solve(a, b)
+        return a, b, x_ref
+
+    def test_clean_solve(self):
+        a, b, x_ref = self._setup()
+        res = ft_lu_solve(a, b)
+        assert not res.detected
+        np.testing.assert_allclose(res.x, x_ref, atol=1e-9)
+
+    @pytest.mark.parametrize("step,row,col", [(0, 10, 20), (10, 30, 40), (30, 50, 60)])
+    def test_single_error_corrected(self, step, row, col):
+        a, b, x_ref = self._setup(seed=step + 1)
+        inj = FaultInjector().add(
+            FaultSpec(iteration=step, row=row, col=col, magnitude=2.0)
+        )
+        res = ft_lu_solve(a, b, injector=inj)
+        assert res.detected and res.corrected
+        np.testing.assert_allclose(res.x, x_ref, atol=1e-7)
+
+    def test_uncorrected_solution_would_be_wrong(self):
+        """Without the Sherman-Morrison step the solve is silently wrong —
+        the scenario refs [6]-[7] exist to prevent."""
+        a, b, x_ref = self._setup(seed=5)
+        work = a.copy(order="F")
+        work[30, 40] += 2.0
+        piv = getrf(work)
+        x_bad = getrs(work, piv, b)
+        assert np.linalg.norm(x_bad - x_ref) > 1e-4
+
+    def test_error_magnitude_recovered(self):
+        a, b, _ = self._setup(seed=6)
+        inj = FaultInjector().add(
+            FaultSpec(iteration=5, row=20, col=30, magnitude=1.25)
+        )
+        res = ft_lu_solve(a, b, injector=inj)
+        assert (res.error_row, res.error_col) == (20, 30) or res.corrected
+        # the located magnitude matches the injection
+        assert res.error_magnitude == pytest.approx(1.25, rel=1e-6)
+
+    def test_two_errors_refused(self):
+        """The post-processing design point: one correctable error per
+        run (the paper's on-line scheme handles one per iteration)."""
+        a, b, _ = self._setup(seed=7)
+        inj = FaultInjector()
+        inj.add(FaultSpec(iteration=5, row=20, col=30, magnitude=1.0))
+        inj.add(FaultSpec(iteration=20, row=40, col=50, magnitude=2.0))
+        with pytest.raises(UncorrectableError):
+            ft_lu_solve(a, b, injector=inj)
+
+    def test_shape_checks(self):
+        with pytest.raises(ShapeError):
+            ft_lu_solve(np.zeros((3, 4)), np.zeros(3))
+        with pytest.raises(ShapeError):
+            ft_lu_solve(np.eye(3), np.zeros(4))
+
+    def test_result_counter_populated(self):
+        a, b, _ = self._setup(seed=8)
+        res = ft_lu_solve(a, b)
+        assert res.counter.category_total("abft_init") > 0
+        assert res.counter.category_total("abft_detect") > 0

@@ -1,0 +1,69 @@
+"""Tests for the Fig. 2 propagation experiments."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import paper_fig2_cases, run_propagation
+from repro.errors import ShapeError
+from repro.utils.rng import random_matrix
+
+
+class TestPaperCases:
+    """The paper's three sites at N=158, nb=32, injected between
+    iterations 1 and 2 — the qualitative patterns must reproduce."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        a = random_matrix(158, seed=42)
+        return [run_propagation(a, i, j, it, nb=32) for (i, j, it) in paper_fig2_cases()]
+
+    def test_area3_single_element(self, results):
+        r = results[0]
+        assert r.area == 3
+        assert r.classify_pattern() == "none"
+        assert r.polluted_count <= 2
+
+    def test_area1_row_wise(self, results):
+        r = results[1]
+        assert r.area == 1
+        assert r.classify_pattern() == "row"
+        assert r.polluted_rows <= 2
+        assert r.polluted_cols > 50  # the row is polluted across H
+
+    def test_area2_full_pollution(self, results):
+        r = results[2]
+        assert r.area == 2
+        assert r.classify_pattern() == "full"
+        assert r.polluted_fraction > 0.5  # "almost all elements after col 32"
+
+    def test_severity_ordering(self, results):
+        """Area 2 > area 1 > area 3 in damage (the paper's narrative)."""
+        a3, a1, a2 = results[0], results[1], results[2]
+        assert a3.polluted_count < a1.polluted_count < a2.polluted_count
+
+    def test_heatmap_renders(self, results):
+        art = results[2].heatmap_ascii(width=30)
+        assert len(art.splitlines()) > 3
+
+
+class TestProtocol:
+    def test_error_location_recorded(self):
+        a = random_matrix(64, seed=1)
+        r = run_propagation(a, 40, 50, 1, nb=32, magnitude=2.0)
+        assert (r.spec.row, r.spec.col) == (40, 50)
+        assert r.diff.shape == (64, 64)
+
+    def test_magnitude_zero_no_pollution(self):
+        a = random_matrix(64, seed=2)
+        r = run_propagation(a, 40, 50, 1, nb=32, magnitude=0.0)
+        assert r.polluted_count == 0
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ShapeError):
+            run_propagation(np.zeros((3, 4)), 0, 0, 0)
+
+    def test_late_injection_less_damage(self):
+        a = random_matrix(128, seed=3)
+        early = run_propagation(a, 100, 110, 1, nb=32)
+        late = run_propagation(a, 110, 120, 3, nb=32)
+        assert late.polluted_count < early.polluted_count

@@ -1,0 +1,99 @@
+"""Tests for Q-matrix protection (paper §IV-E, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.abft import QProtector
+from repro.errors import UncorrectableError
+from repro.linalg import gehrd
+from repro.utils.rng import random_matrix
+
+
+def _factorized(n=48, nb=8, seed=0):
+    a = random_matrix(n, seed=seed).copy(order="F")
+    gehrd(a, nb=nb, nx=nb)
+    return a
+
+
+class TestMaintenance:
+    def test_incremental_matches_fresh(self):
+        n, nb = 48, 8
+        a = _factorized(n, nb, seed=1)
+        qp = QProtector(n, norm_a=float(np.linalg.norm(a, 1)))
+        for p in range(0, n - 1 - nb, nb):
+            qp.update_for_panel(a, p, nb)
+        fr, fc = qp.fresh_sums(a)
+        np.testing.assert_allclose(qp.qr_chk, fr, atol=1e-12)
+        np.testing.assert_allclose(qp.qc_chk, fc, atol=1e-12)
+
+    def test_panels_must_arrive_in_order(self):
+        a = _factorized(seed=2)
+        qp = QProtector(48)
+        qp.update_for_panel(a, 0, 8)
+        with pytest.raises(UncorrectableError):
+            qp.update_for_panel(a, 16, 8)  # skipped panel at p=8
+
+    def test_column_segment_frozen_value(self):
+        n, nb = 32, 8
+        a = _factorized(n, nb, seed=3)
+        qp = QProtector(n)
+        qp.update_for_panel(a, 0, nb)
+        for j in range(nb):
+            assert qp.qc_chk[j] == pytest.approx(float(np.sum(a[j + 2 :, j])), abs=1e-13)
+
+
+class TestVerifyAndCorrect:
+    def test_clean_q_verifies(self):
+        n, nb = 48, 8
+        a = _factorized(n, nb, seed=4)
+        qp = QProtector(n, norm_a=float(np.linalg.norm(a, 1)))
+        for p in range(0, n - 1 - nb, nb):
+            qp.update_for_panel(a, p, nb)
+        assert qp.verify(a).count == 0
+
+    def test_corrupted_reflector_located_and_corrected(self):
+        n, nb = 48, 8
+        a = _factorized(n, nb, seed=5)
+        qp = QProtector(n, norm_a=float(np.linalg.norm(a, 1)))
+        for p in range(0, n - 1 - nb, nb):
+            qp.update_for_panel(a, p, nb)
+        true_val = float(a[20, 3])  # Q region: row 20 >= 3+2, col 3 finished
+        a[20, 3] += 0.75
+        report = qp.verify_and_correct(a)
+        assert report.count == 1
+        assert report.errors[0].row == 20 and report.errors[0].col == 3
+        assert a[20, 3] == pytest.approx(true_val, abs=1e-12)
+
+    def test_two_corruptions_different_columns(self):
+        n, nb = 48, 8
+        a = _factorized(n, nb, seed=6)
+        qp = QProtector(n, norm_a=float(np.linalg.norm(a, 1)))
+        for p in range(0, n - 1 - nb, nb):
+            qp.update_for_panel(a, p, nb)
+        t1, t2 = float(a[10, 2]), float(a[30, 17])
+        a[10, 2] += 1.0
+        a[30, 17] -= 2.0
+        qp.verify_and_correct(a)
+        assert a[10, 2] == pytest.approx(t1, abs=1e-12)
+        assert a[30, 17] == pytest.approx(t2, abs=1e-12)
+
+    def test_corrupted_checksum_element_rebuilt(self):
+        n, nb = 48, 8
+        a = _factorized(n, nb, seed=7)
+        qp = QProtector(n, norm_a=float(np.linalg.norm(a, 1)))
+        for p in range(0, n - 1 - nb, nb):
+            qp.update_for_panel(a, p, nb)
+        qp.qr_chk[25] += 5.0  # the checksum itself gets hit
+        report = qp.verify_and_correct(a)
+        assert report.errors[0].kind == "row_checksum"
+        assert qp.verify(a).count == 0
+
+    def test_unfinished_region_not_covered(self):
+        """Errors beyond the finished columns are outside Q protection
+        (they are the H checksums' job)."""
+        n, nb = 48, 8
+        a = _factorized(n, nb, seed=8)
+        qp = QProtector(n, norm_a=float(np.linalg.norm(a, 1)))
+        qp.update_for_panel(a, 0, nb)  # only the first panel is protected
+        a[40, 30] += 9.0               # column 30 not yet protected
+        assert qp.verify(a).count == 0

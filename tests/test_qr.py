@@ -1,0 +1,150 @@
+"""Tests for the QR substrate and the one-sided FT-QR comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ft_geqrf
+from repro.errors import ConvergenceError, ShapeError, UncorrectableError
+from repro.faults import FaultInjector, FaultSpec
+from repro.linalg import geqr2, geqrf, orgqr, qr_residual, r_of
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+def _verify(a0, res):
+    q = orgqr(res.a, res.taus)
+    r = r_of(res.a)
+    n = a0.shape[0]
+    return qr_residual(a0, q, r), float(np.linalg.norm(q @ q.T - np.eye(n), 1)) / n
+
+
+class TestGeqrf:
+    @pytest.mark.parametrize("n,nb", [(8, 4), (31, 8), (64, 16), (100, 32)])
+    def test_correctness(self, n, nb):
+        a0 = random_matrix(n, seed=n + nb)
+        a = a0.copy(order="F")
+        taus = geqrf(a, nb=nb)
+        q = orgqr(a, taus)
+        r = r_of(a)
+        assert qr_residual(a0, q, r) < 1e-14
+        assert np.linalg.norm(q @ q.T - np.eye(n), 1) < 1e-12
+
+    def test_r_is_upper_triangular(self):
+        a = random_matrix(20, seed=1).copy(order="F")
+        geqrf(a, nb=8)
+        r = r_of(a)
+        np.testing.assert_array_equal(np.tril(r, -1), 0.0)
+
+    def test_blocked_matches_unblocked(self):
+        a0 = random_matrix(40, seed=2)
+        ab = a0.copy(order="F")
+        au = a0.copy(order="F")
+        geqrf(ab, nb=8)
+        geqr2(au)
+        np.testing.assert_allclose(np.abs(np.diag(ab)), np.abs(np.diag(au)), atol=1e-12)
+
+    def test_matches_numpy_r_magnitudes(self):
+        a0 = random_matrix(30, seed=3)
+        a = a0.copy(order="F")
+        geqrf(a, nb=8)
+        ref = np.abs(np.diag(np.linalg.qr(a0, mode="r")))
+        np.testing.assert_allclose(np.abs(np.diag(a)), ref, atol=1e-12)
+
+    def test_checksum_columns_ride_along(self):
+        """The one-sided ABFT invariant: left transforms preserve
+        [A | Ae] exactly."""
+        n = 24
+        a0 = random_matrix(n, seed=4)
+        ext = np.zeros((n, n + 1), order="F")
+        ext[:, :n] = a0
+        ext[:, n] = a0 @ np.ones(n)
+        geqrf(ext, nb=8, ncols_apply=n + 1)
+        # rows of the MATHEMATICAL matrix (packed reflector storage below
+        # the diagonal counts as zero): checksum col == row sums
+        math = np.triu(ext[:, :n])
+        np.testing.assert_allclose(ext[:, n], math @ np.ones(n), atol=1e-11)
+
+
+class TestFTQR:
+    @pytest.mark.parametrize("n,nb", [(48, 16), (96, 32)])
+    def test_no_error(self, n, nb):
+        a0 = random_matrix(n, seed=n)
+        res = ft_geqrf(a0, nb=nb)
+        resid, orth = _verify(a0, res)
+        assert resid < 1e-14 and orth < 1e-13
+        assert res.detections == 0
+        assert res.checks == -(-n // nb)  # one audit per panel
+
+    def test_trailing_error_recovered(self):
+        a0 = random_matrix(96, seed=5)
+        inj = FaultInjector().add(FaultSpec(iteration=1, row=60, col=70, magnitude=2.0))
+        res = ft_geqrf(a0, nb=32, injector=inj)
+        resid, _ = _verify(a0, res)
+        assert resid < 1e-13
+        e = res.recoveries[0].errors[0]
+        assert (e.row, e.col) == (60, 70)
+
+    def test_error_in_current_panel(self):
+        a0 = random_matrix(96, seed=6)
+        inj = FaultInjector().add(FaultSpec(iteration=0, row=50, col=20, magnitude=1.5))
+        res = ft_geqrf(a0, nb=32, injector=inj)
+        resid, _ = _verify(a0, res)
+        assert resid < 1e-13
+
+    def test_finished_r_region_error(self):
+        """An error in the already-finished upper part of R is never
+        touched again by the factorization but IS covered by the audits
+        (the masked row sums include it)."""
+        a0 = random_matrix(96, seed=7)
+        inj = FaultInjector().add(FaultSpec(iteration=2, row=5, col=40, magnitude=1.0))
+        res = ft_geqrf(a0, nb=32, injector=inj)
+        resid, _ = _verify(a0, res)
+        assert resid < 1e-13
+        assert res.detections == 1
+
+    def test_checksum_column_error(self):
+        a0 = random_matrix(96, seed=8)
+        inj = FaultInjector().add(
+            FaultSpec(iteration=1, row=30, col=-1, space="row_checksum", magnitude=4.0)
+        )
+        res = ft_geqrf(a0, nb=32, injector=inj)
+        resid, _ = _verify(a0, res)
+        assert resid < 1e-13
+        assert res.recoveries[0].errors[0].kind == "row_checksum"
+
+    def test_single_channel_detects_but_refuses(self):
+        """The comparison point with the paper's two-sided design: a
+        single-channel one-sided encoding cannot localize the column."""
+        a0 = random_matrix(96, seed=9)
+        inj = FaultInjector().add(FaultSpec(iteration=1, row=60, col=70, magnitude=2.0))
+        with pytest.raises(UncorrectableError):
+            ft_geqrf(a0, nb=32, channels=1, injector=inj)
+
+    def test_two_errors_different_panels(self):
+        a0 = random_matrix(96, seed=10)
+        inj = FaultInjector()
+        inj.add(FaultSpec(iteration=0, row=40, col=50, magnitude=1.0))
+        inj.add(FaultSpec(iteration=2, row=80, col=90, magnitude=2.0))
+        res = ft_geqrf(a0, nb=32, injector=inj)
+        resid, _ = _verify(a0, res)
+        assert resid < 1e-13
+        assert res.detections == 2
+
+    def test_retry_budget(self):
+        a0 = random_matrix(64, seed=11)
+        inj = FaultInjector().add(FaultSpec(iteration=0, row=30, col=40, magnitude=1.0))
+        with pytest.raises(ConvergenceError):
+            ft_geqrf(a0, nb=32, injector=inj, max_retries=0)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ShapeError):
+            ft_geqrf(np.zeros((3, 4)))
+
+    def test_matrix_families(self):
+        for kind in (MatrixKind.GRADED, MatrixKind.WELL_CONDITIONED):
+            a0 = random_matrix(64, kind, seed=12)
+            inj = FaultInjector().add(
+                FaultSpec(iteration=1, row=50, col=55, magnitude=1.0)
+            )
+            res = ft_geqrf(a0, nb=32, injector=inj)
+            resid, _ = _verify(a0, res)
+            assert resid < 1e-13

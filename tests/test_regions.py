@@ -1,0 +1,97 @@
+"""Tests for the Fig. 2a region partition and moment planning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults.regions import (
+    AREA_FULL_PROPAGATION,
+    AREA_NO_PROPAGATION,
+    AREA_ROW_PROPAGATION,
+    BEGIN,
+    END,
+    MIDDLE,
+    Moment,
+    classify,
+    finished_cols_at,
+    iteration_count,
+    sample_in_area,
+)
+
+
+class TestClassify:
+    def test_paper_fig2_examples(self):
+        """The paper's three sites at N=158, nb=32, p=32 (0-based coords)."""
+        n, p = 158, 32
+        assert classify(52, 15, p, n) == AREA_NO_PROPAGATION
+        assert classify(30, 126, p, n) == AREA_ROW_PROPAGATION
+        assert classify(62, 126, p, n) == AREA_FULL_PROPAGATION
+
+    def test_boundaries(self):
+        n, p = 100, 40
+        assert classify(0, 39, p, n) == AREA_NO_PROPAGATION   # last finished col
+        assert classify(40, 40, p, n) == AREA_ROW_PROPAGATION  # row p is area 1
+        assert classify(41, 40, p, n) == AREA_FULL_PROPAGATION
+
+    def test_out_of_range(self):
+        with pytest.raises(FaultConfigError):
+            classify(100, 0, 10, 100)
+
+
+class TestSampling:
+    @pytest.mark.parametrize("area", [1, 2, 3])
+    def test_samples_land_in_area(self, area):
+        rng = np.random.default_rng(0)
+        n, p = 100, 32
+        for _ in range(50):
+            i, j = sample_in_area(area, p, n, rng)
+            assert classify(i, j, p, n) == area
+
+    def test_area3_samples_hit_q_region(self):
+        rng = np.random.default_rng(1)
+        n, p = 100, 32
+        for _ in range(50):
+            i, j = sample_in_area(3, p, n, rng)
+            assert i >= j + 2, "area-3 sampler must target the Q storage"
+
+    def test_empty_areas_raise(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(FaultConfigError):
+            sample_in_area(3, 0, 100, rng)      # nothing finished yet
+        with pytest.raises(FaultConfigError):
+            sample_in_area(2, 99, 100, rng)     # trailing block gone
+
+
+class TestMoments:
+    def test_begin_middle_end(self):
+        assert BEGIN.iteration(10) == 0
+        assert MIDDLE.iteration(10) == 4  # round(0.5 * 9)
+        assert END.iteration(10) == 9
+
+    def test_single_iteration(self):
+        assert BEGIN.iteration(1) == 0 == END.iteration(1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(FaultConfigError):
+            Moment(1.5).iteration(10)
+
+    def test_zero_iterations(self):
+        with pytest.raises(FaultConfigError):
+            MIDDLE.iteration(0)
+
+
+class TestIterationGeometry:
+    def test_iteration_count_matches_driver(self):
+        from repro.core.hybrid_hessenberg import iteration_plan
+
+        for n, nb in [(64, 16), (158, 32), (100, 32), (33, 32)]:
+            assert iteration_count(n, nb) == len(iteration_plan(n, nb))
+
+    def test_finished_cols_progression(self):
+        n, nb = 100, 32
+        assert finished_cols_at(0, n, nb) == 0
+        assert finished_cols_at(1, n, nb) == 32
+        assert finished_cols_at(2, n, nb) == 64
+        # the last panel is clipped to n-1 total reduced columns
+        total = iteration_count(n, nb)
+        assert finished_cols_at(total, n, nb) == n - 1

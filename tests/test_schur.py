@@ -1,0 +1,103 @@
+"""Tests for the real Schur form (Francis QR with accumulation)."""
+
+import numpy as np
+import pytest
+
+from repro.eigen import (
+    hessenberg_eigvals,
+    hessenberg_schur,
+    is_quasi_triangular,
+    schur_eigvals,
+)
+from repro.errors import ShapeError
+from repro.linalg import gehrd, extract_hessenberg, orghr, orthogonality_residual
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+def _hess(n, seed):
+    return np.triu(random_matrix(n, seed=seed), -1)
+
+
+class TestSchurForm:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 40, 90])
+    def test_similarity_and_orthogonality(self, n):
+        h = _hess(n, n + 7)
+        t, z = hessenberg_schur(h)
+        scale = max(float(np.linalg.norm(h, 1)), 1e-300)
+        assert float(np.linalg.norm(h - z @ t @ z.T, 1)) / scale < 1e-12
+        assert orthogonality_residual(z) < 1e-13
+
+    def test_t_is_quasi_triangular(self):
+        t, _ = hessenberg_schur(_hess(50, 1))
+        assert is_quasi_triangular(t, tol=1e-12)
+
+    def test_eigvals_match_hqr(self):
+        h = _hess(45, 2)
+        t, _ = hessenberg_schur(h)
+        e1 = np.sort_complex(schur_eigvals(t))
+        e2 = np.sort_complex(hessenberg_eigvals(h))
+        np.testing.assert_allclose(e1, e2, atol=1e-8)
+
+    def test_two_by_two_blocks_are_complex_pairs(self):
+        t, _ = hessenberg_schur(_hess(40, 3))
+        i = 0
+        n = t.shape[0]
+        while i < n:
+            if i + 1 < n and t[i + 1, i] != 0.0:
+                # a genuine 2x2 block must carry a complex pair
+                blk = t[i : i + 2, i : i + 2]
+                disc = (blk[0, 0] + blk[1, 1]) ** 2 / 4 - np.linalg.det(blk)
+                assert disc < 0, "2x2 blocks must be unreduced complex pairs"
+                i += 2
+            else:
+                i += 1
+
+    def test_symmetric_input_diagonalizes(self):
+        a = random_matrix(30, MatrixKind.SYMMETRIC, seed=4)
+        work = a.copy(order="F")
+        fac = gehrd(work, nb=8)
+        h = extract_hessenberg(work)
+        t, z = hessenberg_schur(h, check_input=False)
+        # symmetric spectrum is real: T is (numerically) triangular
+        assert float(np.max(np.abs(np.diag(t, -1)))) < 1e-8
+        np.testing.assert_allclose(
+            np.sort(np.diag(t)), np.sort(np.linalg.eigvalsh(a)), atol=1e-10
+        )
+
+    def test_full_pipeline_schur_of_general_matrix(self):
+        """A = (Q Z) T (Q Z)ᵀ — the complete dense eigensolver."""
+        a = random_matrix(60, seed=5)
+        work = a.copy(order="F")
+        fac = gehrd(work, nb=16)
+        q = orghr(work, fac.taus)
+        h = extract_hessenberg(work)
+        t, z = hessenberg_schur(h, check_input=False)
+        qz = q @ z
+        scale = float(np.linalg.norm(a, 1))
+        assert float(np.linalg.norm(a - qz @ t @ qz.T, 1)) / scale < 1e-12
+        assert orthogonality_residual(qz) < 1e-12
+
+    def test_rejects_non_hessenberg(self):
+        with pytest.raises(ShapeError):
+            hessenberg_schur(random_matrix(8, seed=6))
+
+    def test_empty(self):
+        t, z = hessenberg_schur(np.zeros((0, 0), order="F"))
+        assert t.shape == (0, 0) and z.shape == (0, 0)
+
+
+class TestQuasiTriangularCheck:
+    def test_accepts_triangular(self):
+        assert is_quasi_triangular(np.triu(random_matrix(10, seed=7)))
+
+    def test_rejects_consecutive_subdiagonals(self):
+        t = np.triu(random_matrix(10, seed=8))
+        t[3, 2] = 1.0
+        t[4, 3] = 1.0
+        assert not is_quasi_triangular(t)
+
+    def test_accepts_isolated_blocks(self):
+        t = np.triu(random_matrix(10, seed=9))
+        t[3, 2] = 1.0
+        t[7, 6] = 1.0
+        assert is_quasi_triangular(t)

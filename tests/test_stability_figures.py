@@ -1,0 +1,107 @@
+"""Tests for the Tables II/III harness and the Fig. 6 series assembly."""
+
+import pytest
+
+from repro.analysis import (
+    fig6_series,
+    overhead_band,
+    render_fig2,
+    render_fig6,
+    render_section5,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_stability,
+)
+from repro.hybrid import paper_testbed
+
+
+class TestStabilityHarness:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_stability(96, nb=32, seed=0)
+
+    def test_baseline_residuals_clean(self, row):
+        assert row.baseline_residual < 1e-15
+        assert row.baseline_orthogonality < 1e-15
+
+    def test_all_nine_cells_present(self, row):
+        assert len(row.cells) == 9
+        for area in (1, 2, 3):
+            for m in ("B", "M", "E"):
+                row.cell(area, m)  # must not raise
+
+    def test_area12_residuals_match_baseline_order(self, row):
+        """Table II's claim: with recovery, residuals stay at the
+        fault-free order of magnitude."""
+        for area in (1, 2):
+            for m in ("B", "M", "E"):
+                c = row.cell(area, m)
+                assert c.residual < 10 * row.baseline_residual
+                assert c.recoveries >= 1
+
+    def test_area3_recovered_via_q(self, row):
+        for m in ("B", "M", "E"):
+            c = row.cell(3, m)
+            assert c.q_corrections == 1
+            assert c.residual < 1e-13
+
+    def test_orthogonality_not_damaged(self, row):
+        """Table III's claim."""
+        for c in row.cells:
+            assert c.orthogonality < 10 * row.baseline_orthogonality + 1e-15
+
+
+class TestFig6Assembly:
+    def test_overhead_band_structure(self):
+        bg, fg, noe, lo, hi = overhead_band(1022, 2, nb=32, moments=3)
+        assert bg > fg > 0          # FT is slower → lower GFLOPS
+        assert 0 < noe <= lo <= hi  # with-error band sits above no-error
+        assert hi < 25.0
+
+    def test_area3_band_collapses(self):
+        _, _, noe, lo, hi = overhead_band(1022, 3, nb=32, moments=3)
+        assert hi - lo < 0.05
+        assert lo == pytest.approx(noe, abs=0.1)
+
+    def test_series_decreasing_overhead(self):
+        s = fig6_series(1, sizes=(1022, 2046, 4030), moments=3)
+        noe = [p.overhead_no_error for p in s.points]
+        assert noe[0] > noe[1] > noe[2]
+        hi = [p.overhead_max for p in s.points]
+        assert hi[0] > hi[2]
+
+    def test_series_gflops_increasing(self):
+        s = fig6_series(2, sizes=(1022, 2046, 4030), moments=3)
+        rates = [p.base_gflops for p in s.points]
+        assert rates[0] < rates[1] < rates[2]
+
+
+class TestRendering:
+    def test_table1(self):
+        out = render_table1(paper_testbed())
+        assert "Tesla K40c" in out and "10.4" in out
+
+    def test_table2_and_3(self):
+        rows = [run_stability(64, nb=32, seed=1)]
+        t2 = render_table2(rows)
+        t3 = render_table3(rows)
+        assert "A1 B" in t2 and "64" in t2
+        assert "orthogonality" in t3
+
+    def test_fig2_render(self):
+        from repro.analysis import run_propagation
+        from repro.utils.rng import random_matrix
+
+        a = random_matrix(64, seed=2)
+        out = render_fig2([run_propagation(a, 40, 50, 1, nb=32)])
+        assert "pattern" in out
+
+    def test_fig6_render(self):
+        s = fig6_series(1, sizes=(1022,), moments=2)
+        out = render_fig6(s)
+        assert "1022" in out and "ovh no-err %" in out
+
+    def test_section5_render(self):
+        out = render_section5([1022, 2046])
+        assert "FLOP_extra" in out

@@ -1,0 +1,76 @@
+"""Tests for the symmetric tridiagonal reduction substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg import factorization_residual, orthogonality_residual
+from repro.linalg.sytd2 import orgtr, sytd2, tridiagonal_of
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+class TestSytd2:
+    @pytest.mark.parametrize("n", [3, 8, 31, 64])
+    def test_correctness(self, n):
+        a0 = random_matrix(n, MatrixKind.SYMMETRIC, seed=n)
+        a = a0.copy(order="F")
+        taus = sytd2(a)
+        t = tridiagonal_of(a)
+        q = orgtr(a, taus)
+        assert factorization_residual(a0, q, t) < 1e-14
+        assert orthogonality_residual(q) < 1e-14
+
+    def test_output_is_tridiagonal(self):
+        a0 = random_matrix(20, MatrixKind.SYMMETRIC, seed=1)
+        a = a0.copy(order="F")
+        sytd2(a)
+        t = tridiagonal_of(a)
+        mask = np.abs(np.subtract.outer(np.arange(20), np.arange(20))) > 1
+        assert np.all(t[mask] == 0.0)
+
+    def test_eigenvalues_preserved(self):
+        a0 = random_matrix(25, MatrixKind.SYMMETRIC, seed=2)
+        a = a0.copy(order="F")
+        sytd2(a)
+        t = tridiagonal_of(a)
+        np.testing.assert_allclose(
+            np.sort(np.linalg.eigvalsh(a0)), np.sort(np.linalg.eigvalsh(t)), atol=1e-12
+        )
+
+    def test_matches_scipy_band(self):
+        import scipy.linalg as sla
+
+        a0 = random_matrix(30, MatrixKind.SYMMETRIC, seed=3)
+        a = a0.copy(order="F")
+        sytd2(a)
+        # the diagonal of T equals the eigendecomposition-free scipy
+        # hessenberg of a symmetric matrix (which is tridiagonal) up to
+        # sign conventions on the off-diagonal
+        h_ref = sla.hessenberg(a0)
+        np.testing.assert_allclose(np.diag(a), np.diag(h_ref), atol=1e-10)
+        np.testing.assert_allclose(
+            np.abs(np.diag(a, -1)), np.abs(np.diag(h_ref, -1)), atol=1e-10
+        )
+
+    def test_rejects_nonsymmetric(self):
+        a = random_matrix(10, seed=4)
+        with pytest.raises(ShapeError):
+            sytd2(a.copy(order="F"))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ShapeError):
+            sytd2(np.zeros((3, 5), order="F"))
+
+    def test_small_sizes_trivial(self):
+        for n in (1, 2):
+            a0 = random_matrix(n, MatrixKind.SYMMETRIC, seed=n + 10)
+            a = a0.copy(order="F")
+            taus = sytd2(a)
+            np.testing.assert_array_equal(a, a0)  # nothing to reduce
+
+    def test_tridiagonal_of_symmetry(self):
+        a0 = random_matrix(15, MatrixKind.SYMMETRIC, seed=5)
+        a = a0.copy(order="F")
+        sytd2(a)
+        t = tridiagonal_of(a)
+        np.testing.assert_array_equal(t, t.T)

@@ -1,0 +1,91 @@
+"""Tests for the blocked symmetric tridiagonal reduction (latrd/sytrd)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg import factorization_residual, orthogonality_residual
+from repro.linalg.sytd2 import orgtr, sytd2, tridiagonal_of
+from repro.linalg.sytrd import latrd, sytrd
+from repro.utils.rng import MatrixKind, random_matrix
+
+
+class TestLatrd:
+    def test_panel_matches_unblocked(self):
+        """After one panel + the deferred SYR2K, the state must equal the
+        unblocked algorithm's state after the same columns."""
+        from repro.linalg.householder import larfg
+
+        n, nb = 12, 4
+        a0 = random_matrix(n, MatrixKind.SYMMETRIC, seed=1)
+        ref = a0.copy(order="F")
+        for j in range(nb):
+            refl = larfg(ref[j + 1, j], ref[j + 2 : n, j])
+            tau, beta = refl.tau, refl.beta
+            ref[j + 1, j] = 1.0
+            vv = ref[j + 1 : n, j].copy()
+            if tau != 0:
+                trail = ref[j + 1 : n, j + 1 : n]
+                u = tau * (trail @ vv)
+                ww = u - (0.5 * tau * float(u @ vv)) * vv
+                trail -= np.outer(vv, ww) + np.outer(ww, vv)
+            ref[j + 1, j] = beta
+            ref[j, j + 1] = beta
+            ref[j + 2 : n, j] = refl.v
+            ref[j, j + 2 : n] = 0.0
+
+        blk = a0.copy(order="F")
+        taus = np.zeros(n - 1)
+        v, w = latrd(blk, 0, nb, n, taus)
+        lo = nb - 1
+        blk[nb:n, nb:n] -= v[lo:, :] @ w[lo:, :].T + w[lo:, :] @ v[lo:, :].T
+        np.testing.assert_allclose(blk, ref, atol=1e-12)
+
+    def test_invalid_panel(self):
+        a = random_matrix(10, MatrixKind.SYMMETRIC, seed=2)
+        with pytest.raises(ShapeError):
+            latrd(a, 8, 4, 10, np.zeros(9))
+
+
+class TestSytrdBlocked:
+    @pytest.mark.parametrize("n,nb", [(20, 4), (65, 8), (129, 32)])
+    def test_correctness(self, n, nb):
+        a0 = random_matrix(n, MatrixKind.SYMMETRIC, seed=n + nb)
+        a = a0.copy(order="F")
+        taus = sytrd(a, nb=nb)
+        t = tridiagonal_of(a)
+        q = orgtr(a, taus)
+        assert factorization_residual(a0, q, t) < 1e-13
+        assert orthogonality_residual(q) < 1e-13
+
+    def test_matches_unblocked_band(self):
+        a0 = random_matrix(60, MatrixKind.SYMMETRIC, seed=3)
+        ab = a0.copy(order="F")
+        au = a0.copy(order="F")
+        sytrd(ab, nb=8)
+        sytd2(au)
+        np.testing.assert_allclose(np.diag(ab), np.diag(au), atol=1e-11)
+        np.testing.assert_allclose(
+            np.abs(np.diag(ab, -1)), np.abs(np.diag(au, -1)), atol=1e-11
+        )
+
+    def test_eigenvalues_preserved(self):
+        a0 = random_matrix(80, MatrixKind.SYMMETRIC, seed=4)
+        a = a0.copy(order="F")
+        sytrd(a, nb=16)
+        t = tridiagonal_of(a)
+        np.testing.assert_allclose(
+            np.sort(np.linalg.eigvalsh(a0)), np.sort(np.linalg.eigvalsh(t)), atol=1e-11
+        )
+
+    def test_rejects_nonsymmetric(self):
+        with pytest.raises(ShapeError):
+            sytrd(random_matrix(10, seed=5))
+
+    def test_nb_larger_than_n(self):
+        a0 = random_matrix(10, MatrixKind.SYMMETRIC, seed=6)
+        a = a0.copy(order="F")
+        taus = sytrd(a, nb=64)  # falls through to the unblocked path
+        t = tridiagonal_of(a)
+        q = orgtr(a, taus)
+        assert factorization_residual(a0, q, t) < 1e-13

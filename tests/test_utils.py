@@ -1,0 +1,107 @@
+"""Tests for the shared utilities (validation, rng, fmt)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.utils.fmt import Table, format_float, format_si
+from repro.utils.rng import MatrixKind, make_rng, random_matrix
+from repro.utils.validation import as_fortran, check_matrix, check_square, require
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ShapeError, match="broken"):
+            require(False, "broken")
+
+    def test_as_fortran_preserves_and_converts(self):
+        c = np.ones((3, 3))  # C-ordered
+        f = as_fortran(c)
+        assert f.flags.f_contiguous
+        f2 = as_fortran(f)
+        assert f2 is f  # no copy when already Fortran
+
+    def test_as_fortran_vector_passthrough(self):
+        v = np.arange(3.0)
+        assert as_fortran(v).shape == (3,)
+
+    def test_check_matrix_rules(self):
+        check_matrix(np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros(3))
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            check_matrix([[1.0]])
+
+    def test_check_matrix_writeable(self):
+        a = np.zeros((2, 2))
+        a.flags.writeable = False
+        with pytest.raises(ShapeError):
+            check_matrix(a, writeable=True)
+
+    def test_check_square(self):
+        assert check_square(np.zeros((4, 4))) == 4
+        with pytest.raises(ShapeError):
+            check_square(np.zeros((3, 4)))
+
+
+class TestRng:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(random_matrix(8, seed=1), random_matrix(8, seed=1))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(random_matrix(8, seed=1), random_matrix(8, seed=2))
+
+    def test_all_kinds_produce_fortran_f64(self):
+        for kind in MatrixKind:
+            a = random_matrix(12, kind, seed=3)
+            assert a.dtype == np.float64 and a.flags.f_contiguous
+
+    def test_symmetric_is_symmetric(self):
+        a = random_matrix(12, MatrixKind.SYMMETRIC, seed=4)
+        np.testing.assert_array_equal(a, a.T)
+
+    def test_hessenberg_kind_structure(self):
+        from repro.linalg import is_hessenberg
+
+        assert is_hessenberg(random_matrix(12, MatrixKind.HESSENBERG, seed=5))
+
+    def test_well_conditioned_condition_number(self):
+        a = random_matrix(20, MatrixKind.WELL_CONDITIONED, seed=6)
+        assert np.linalg.cond(a) < 5.0
+
+    def test_invalid_order(self):
+        with pytest.raises(ShapeError):
+            random_matrix(0)
+
+    def test_make_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+
+class TestFmt:
+    def test_format_float(self):
+        assert format_float(6.2529e-18) == "6.2529e-18"
+        assert format_float(0.0) == "0"
+        assert format_float(float("nan")) == "nan"
+
+    def test_format_si(self):
+        assert format_si(1.43e12, "flop/s") == "1.43 Tflop/s"
+        assert format_si(10.4e9, "flop/s") == "10.4 Gflop/s"
+        assert format_si(5.0) == "5"
+
+    def test_table_render_alignment(self):
+        t = Table(["N", "value"], title="demo")
+        t.add_row([1022, 6.25e-18])
+        t.add_row([10110, 1.75e-17])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert len({len(l) for l in lines[1:]}) <= 2  # aligned widths
+
+    def test_table_rejects_ragged_rows(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])

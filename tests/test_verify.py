@@ -1,0 +1,99 @@
+"""Tests for the verification metrics (the paper's residual definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg.verify import (
+    eigenvalue_drift,
+    extract_hessenberg,
+    factorization_residual,
+    hessenberg_defect,
+    is_hessenberg,
+    one_norm,
+    orthogonality_residual,
+)
+from repro.utils.rng import random_matrix
+
+
+class TestOneNorm:
+    def test_known_value(self):
+        a = np.array([[1.0, -2.0], [3.0, 4.0]], order="F")
+        assert one_norm(a) == 6.0  # max column abs-sum: |−2| + |4| = 6
+
+    def test_matches_numpy(self):
+        a = random_matrix(17, seed=1)
+        assert one_norm(a) == pytest.approx(np.linalg.norm(a, 1))
+
+    def test_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            one_norm(np.zeros(3))
+
+    def test_empty(self):
+        assert one_norm(np.zeros((0, 0))) == 0.0
+
+
+class TestResiduals:
+    def test_exact_factorization_zero(self):
+        a = random_matrix(10, seed=2)
+        q = np.eye(10)
+        assert factorization_residual(a, q, a.copy()) < 1e-16
+
+    def test_perturbation_scales(self):
+        a = random_matrix(10, seed=3)
+        h = a.copy()
+        h[0, 0] += 1.0
+        r = factorization_residual(a, np.eye(10), h)
+        assert r == pytest.approx(1.0 / (10 * one_norm(a)), rel=1e-12)
+
+    def test_orthogonality_identity(self):
+        assert orthogonality_residual(np.eye(8)) == 0.0
+
+    def test_orthogonality_rotation(self):
+        th = 0.3
+        q = np.array([[np.cos(th), -np.sin(th)], [np.sin(th), np.cos(th)]], order="F")
+        assert orthogonality_residual(q) < 1e-15
+
+    def test_orthogonality_detects_scaling(self):
+        q = 2.0 * np.eye(4)
+        assert orthogonality_residual(q) == pytest.approx(3.0 / 4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            factorization_residual(np.eye(3), np.eye(3), np.eye(4))
+
+
+class TestHessenbergStructure:
+    def test_defect_zero_for_hessenberg(self):
+        h = np.triu(random_matrix(12, seed=4), -1)
+        assert hessenberg_defect(h) == 0.0
+        assert is_hessenberg(h)
+
+    def test_defect_detects_violation(self):
+        h = np.triu(random_matrix(12, seed=5), -1)
+        h[5, 2] = 0.25
+        assert hessenberg_defect(h) == pytest.approx(0.25)
+        assert not is_hessenberg(h)
+        assert is_hessenberg(h, tol=0.3)
+
+    def test_small_matrices(self):
+        assert hessenberg_defect(np.zeros((1, 1))) == 0.0
+        assert hessenberg_defect(np.ones((2, 2))) == 0.0
+
+    def test_extract(self):
+        a = random_matrix(6, seed=6)
+        h = extract_hessenberg(a)
+        assert is_hessenberg(h)
+        np.testing.assert_array_equal(np.triu(a, -1), h)
+
+
+class TestEigenvalueDrift:
+    def test_zero_for_similar(self):
+        a = random_matrix(8, seed=7)
+        assert eigenvalue_drift(a, a.copy()) < 1e-12
+
+    def test_detects_change(self):
+        a = random_matrix(8, seed=8)
+        b = a.copy()
+        b[0, 0] += 5.0
+        assert eigenvalue_drift(a, b) > 0.1
