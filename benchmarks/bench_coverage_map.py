@@ -8,18 +8,24 @@ region, and a weighted-channel run does not change that (the hole is
 about what is checked, not how location decodes).
 """
 
+import os
+
 from conftest import emit
 
 from repro.analysis import coverage_map
 from repro.faults import finished_cols_at
 
 N, NB, IT = 96, 32, 1
+# fan the per-position FT runs over a process pool (same grid either way)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def test_coverage_map(benchmark, results_dir):
     def both():
-        plain = coverage_map(n=N, nb=NB, iteration=IT, grid=12)
-        audited = coverage_map(n=N, nb=NB, iteration=IT, grid=12, audit_every=2)
+        plain = coverage_map(n=N, nb=NB, iteration=IT, grid=12, workers=WORKERS)
+        audited = coverage_map(
+            n=N, nb=NB, iteration=IT, grid=12, audit_every=2, workers=WORKERS
+        )
         return plain, audited
 
     plain, audited = benchmark.pedantic(both, rounds=1, iterations=1)

@@ -11,7 +11,7 @@ library in production.
 Run:  python examples/fault_campaign.py
 """
 
-import numpy as np
+import os
 
 from repro.faults import (
     SoftErrorModel,
@@ -39,8 +39,10 @@ def main() -> None:
     # --- injection campaign over the (area x moment) grid ------------------
     n, nb = 128, 32
     a = random_matrix(n, seed=7)
-    print(f"\ninjection campaign on a {n} x {n} reduction (nb={nb}):")
-    res = run_campaign(a, nb=nb, moments=4, seed=3)
+    workers = min(4, os.cpu_count() or 1)
+    print(f"\ninjection campaign on a {n} x {n} reduction "
+          f"(nb={nb}, {workers} worker(s)):")
+    res = run_campaign(a, nb=nb, moments=4, seed=3, workers=workers)
 
     t = Table(["area", "trials", "detected", "recovered", "worst residual"])
     for area in (1, 2, 3):

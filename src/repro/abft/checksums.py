@@ -21,6 +21,17 @@ right update and as rows for the left one.
 These routines mutate the :class:`~repro.abft.encoding.EncodedMatrix`
 storage in place and are shared by the forward pass and (transposed) by
 the reverse-computation pass.
+
+Each update has two implementations. The default path allocates its
+temporaries per call. When a :class:`~repro.perf.workspace.Workspace` is
+passed (and the panel factors carry the zero-padded ``v_full`` block),
+the kernels instead run as in-place BLAS GEMMs directly on F-contiguous
+full-column slices of the extended storage — one fused
+``C ← C − [Y; Ychk] [V₂; Vce]ᵀ`` for the right update, a padded
+``C ← C − V_full (Tᵀ V_fullᵀ C)`` for the left — with every scratch
+block drawn from the arena. The fused right update also writes the
+(k × k) corner of the extended storage; that corner is scratch by
+contract (see :class:`~repro.abft.encoding.EncodedMatrix`).
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from repro.linalg import flops as F
 from repro.linalg.flops import FlopCounter
 from repro.linalg.lahr2 import PanelFactors
 from repro.abft.encoding import EncodedMatrix
+from repro.perf.workspace import DGEMM, Workspace, gemm_inplace
 
 
 def v_col_checksums(
@@ -84,6 +96,18 @@ def _check_blocks(em: EncodedMatrix, pf: PanelFactors, vce: np.ndarray, ychk) ->
         raise ShapeError(f"Ychk block must be ({em.k}, {pf.ib}), got {ychk.shape}")
 
 
+def _can_fuse(em: EncodedMatrix, pf: PanelFactors, workspace: Workspace | None) -> bool:
+    """The in-place BLAS path needs the arena, the BLAS wrapper, and a
+    zero-padded V spanning the full extended storage."""
+    return (
+        workspace is not None
+        and DGEMM is not None
+        and pf.v_full is not None
+        and pf.v_full.shape[0] == em.ext.shape[0]
+        and em.ext.flags.f_contiguous
+    )
+
+
 def right_update_encoded(
     em: EncodedMatrix,
     pf: PanelFactors,
@@ -91,6 +115,7 @@ def right_update_encoded(
     ychk: np.ndarray,
     *,
     counter: FlopCounter | None = None,
+    workspace: Workspace | None = None,
 ) -> None:
     """Apply the checksum-extended right update (Algorithm 3 lines 8+10).
 
@@ -105,22 +130,44 @@ def right_update_encoded(
     """
     n, p, ib, k = em.n, pf.p, pf.ib, em.k
     _check_blocks(em, pf, vce, ychk)
-    # trailing columns + checksum columns: E[0:N, p+ib : N+k] -= Y @ V2ceᵀ
-    v2ce = np.vstack([pf.v[ib - 1 :, :], vce])
-    em.ext[0:n, p + ib : n + k] -= pf.y[0:n, :] @ v2ce.T
     if counter is not None:
         counter.add("right_update", F.gemm_flops(n, n - p - ib, ib))
         counter.add("abft_maintain", k * F.gemv_flops(n, ib))
-    # in-panel top rows (columns p+1 .. p+ib-1)
-    if ib > 1:
-        v1 = np.tril(pf.v[: ib - 1, : ib - 1])
-        em.ext[0 : p + 1, p + 1 : p + ib] -= pf.y[0 : p + 1, : ib - 1] @ v1.T
-        if counter is not None:
+        if ib > 1:
             counter.add("right_update", F.trmm_flops(p + 1, ib - 1, False))
+        counter.add("abft_maintain", k * F.gemv_flops(n - p - ib, ib))
+
+    if _can_fuse(em, pf, workspace):
+        nt = n - p - ib
+        # stacked operands [Y; Ychk] and [V2; Vce] in pooled buffers: one
+        # in-place GEMM over the F-contiguous full-column slice updates
+        # the trailing data columns, the row-checksum columns AND the
+        # column-checksum rows together (the k x k corner absorbs
+        # Ychk·Vceᵀ — scratch by contract).
+        yce = workspace.buf("upd.yce", (n + k, ib))
+        yce[:n, :] = pf.y
+        yce[n:, :] = ychk
+        v2ce = workspace.buf("upd.v2ce", (nt + k, ib))
+        v2ce[:nt, :] = pf.v[ib - 1 :, :]
+        v2ce[nt:, :] = vce
+        gemm_inplace(-1.0, yce, v2ce, em.ext[:, p + ib : n + k], trans_b=True)
+        if ib > 1:
+            w = workspace.buf("upd.panel_top", (p + 1, ib - 1))
+            np.matmul(pf.y[0 : p + 1, : ib - 1], pf.v[: ib - 1, : ib - 1].T, out=w)
+            em.ext[0 : p + 1, p + 1 : p + ib] -= w
+        return
+
+    # trailing columns + checksum columns: E[0:N, p+ib : N+k] -= Y @ V2ceᵀ
+    v2ce = np.vstack([pf.v[ib - 1 :, :], vce])
+    em.ext[0:n, p + ib : n + k] -= pf.y[0:n, :] @ v2ce.T
+    # in-panel top rows (columns p+1 .. p+ib-1); V's upper triangle holds
+    # explicit zeros, so no np.tril copy is needed
+    if ib > 1:
+        em.ext[0 : p + 1, p + 1 : p + ib] -= (
+            pf.y[0 : p + 1, : ib - 1] @ pf.v[: ib - 1, : ib - 1].T
+        )
     # column-checksum rows of trailing columns: C_chk[:, p+ib:N] -= Ychk @ V2ᵀ
     em.ext[n:, p + ib : n] -= ychk @ pf.v[ib - 1 : n - p - 1, :].T
-    if counter is not None:
-        counter.add("abft_maintain", k * F.gemv_flops(n - p - ib, ib))
 
 
 def left_update_encoded(
@@ -129,6 +176,7 @@ def left_update_encoded(
     vce: np.ndarray,
     *,
     counter: FlopCounter | None = None,
+    workspace: Workspace | None = None,
 ) -> None:
     """Apply the checksum-extended left update (Algorithm 3 line 11).
 
@@ -139,13 +187,6 @@ def left_update_encoded(
     """
     n, p, ib, k = em.n, pf.p, pf.ib, em.k
     _check_blocks(em, pf, vce, None)
-    cols = slice(p + ib, n + k)  # trailing data columns + checksum columns
-    c_data = em.ext[p + 1 : n, cols]
-    w = pf.t.T @ (pf.v.T @ c_data)
-    c_data -= pf.v @ w
-    em.ext[n:, p + ib : n] -= vce @ w[:, : n - p - ib]
-    # NOTE: the checksum rows have no entries under the checksum columns
-    # (the (k x k) corner is unused), hence the width-limited slice above.
     if counter is not None:
         m = n - p - 1
         ncols = n + k - (p + ib)
@@ -155,6 +196,30 @@ def left_update_encoded(
         )
         counter.add("abft_maintain", k * F.gemv_flops(ncols, ib))
 
+    if _can_fuse(em, pf, workspace):
+        # Padded form: v_full is zero outside rows p+1..n-1, so computing
+        # against the F-contiguous full-column slice is exact — the extra
+        # rows contribute nothing and are left untouched by the apply.
+        cfull = em.ext[:, p + ib : n + k]
+        ncf = n + k - (p + ib)
+        w1 = workspace.buf("upd.w1", (ib, ncf))
+        w2 = workspace.buf("upd.w2", (ib, ncf))
+        gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
+        gemm_inplace(1.0, pf.t, w1, w2, trans_a=True, beta=0.0)
+        gemm_inplace(-1.0, pf.v_full, w2, cfull)
+        wrow = workspace.buf("upd.wrow", (k, n - p - ib))
+        np.matmul(vce, w2[:, : n - p - ib], out=wrow)
+        em.ext[n:, p + ib : n] -= wrow
+        return
+
+    cols = slice(p + ib, n + k)  # trailing data columns + checksum columns
+    c_data = em.ext[p + 1 : n, cols]
+    w = pf.t.T @ (pf.v.T @ c_data)
+    c_data -= pf.v @ w
+    em.ext[n:, p + ib : n] -= vce @ w[:, : n - p - ib]
+    # NOTE: the checksum rows have no entries under the checksum columns
+    # (the (k x k) corner is scratch), hence the width-limited slice above.
+
 
 def reverse_left_update_encoded(
     em: EncodedMatrix,
@@ -162,6 +227,7 @@ def reverse_left_update_encoded(
     vce: np.ndarray,
     *,
     counter: FlopCounter | None = None,
+    workspace: Workspace | None = None,
 ) -> None:
     """Undo :func:`left_update_encoded` (paper §IV-C line 14, left half).
 
@@ -171,6 +237,28 @@ def reverse_left_update_encoded(
     recovered data rows.
     """
     n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    if counter is not None:
+        m = n - p - 1
+        ncols = n + k - (p + ib)
+        counter.add("abft_recover", 2 * F.gemm_flops(ib, ncols, m) + F.gemm_flops(m, ncols, ib))
+
+    if _can_fuse(em, pf, workspace):
+        cfull = em.ext[:, p + ib : n + k]
+        ncf = n + k - (p + ib)
+        w1 = workspace.buf("upd.w1", (ib, ncf))
+        w2 = workspace.buf("upd.w2", (ib, ncf))
+        gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
+        gemm_inplace(1.0, pf.t, w1, w2, beta=0.0)
+        gemm_inplace(-1.0, pf.v_full, w2, cfull)
+        # cfull now holds the pre-left-update state; recompute the forward
+        # correction that was applied to the checksum rows and add it back.
+        gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
+        gemm_inplace(1.0, pf.t, w1, w2, trans_a=True, beta=0.0)
+        wrow = workspace.buf("upd.wrow", (k, n - p - ib))
+        np.matmul(vce, w2[:, : n - p - ib], out=wrow)
+        em.ext[n:, p + ib : n] += wrow
+        return
+
     cols = slice(p + ib, n + k)
     c_data = em.ext[p + 1 : n, cols]
     w_rev = pf.t @ (pf.v.T @ c_data)
@@ -179,10 +267,6 @@ def reverse_left_update_encoded(
     # correction that was applied to the checksum rows and add it back.
     w_fwd = pf.t.T @ (pf.v.T @ c_data)
     em.ext[n:, p + ib : n] += vce @ w_fwd[:, : n - p - ib]
-    if counter is not None:
-        m = n - p - 1
-        ncols = n + k - (p + ib)
-        counter.add("abft_recover", 2 * F.gemm_flops(ib, ncols, m) + F.gemm_flops(m, ncols, ib))
 
 
 def reverse_right_update_encoded(
@@ -192,6 +276,7 @@ def reverse_right_update_encoded(
     ychk: np.ndarray,
     *,
     counter: FlopCounter | None = None,
+    workspace: Workspace | None = None,
 ) -> None:
     """Undo :func:`right_update_encoded` by re-adding the Y products.
 
@@ -201,11 +286,28 @@ def reverse_right_update_encoded(
     be reconstructed exactly.
     """
     n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    if counter is not None:
+        counter.add("abft_recover", F.gemm_flops(n, n - p - ib + k, ib))
+
+    if _can_fuse(em, pf, workspace):
+        nt = n - p - ib
+        yce = workspace.buf("upd.yce", (n + k, ib))
+        yce[:n, :] = pf.y
+        yce[n:, :] = ychk
+        v2ce = workspace.buf("upd.v2ce", (nt + k, ib))
+        v2ce[:nt, :] = pf.v[ib - 1 :, :]
+        v2ce[nt:, :] = vce
+        gemm_inplace(1.0, yce, v2ce, em.ext[:, p + ib : n + k], trans_b=True)
+        if ib > 1:
+            w = workspace.buf("upd.panel_top", (p + 1, ib - 1))
+            np.matmul(pf.y[0 : p + 1, : ib - 1], pf.v[: ib - 1, : ib - 1].T, out=w)
+            em.ext[0 : p + 1, p + 1 : p + ib] += w
+        return
+
     v2ce = np.vstack([pf.v[ib - 1 :, :], vce])
     em.ext[0:n, p + ib : n + k] += pf.y[0:n, :] @ v2ce.T
     if ib > 1:
-        v1 = np.tril(pf.v[: ib - 1, : ib - 1])
-        em.ext[0 : p + 1, p + 1 : p + ib] += pf.y[0 : p + 1, : ib - 1] @ v1.T
+        em.ext[0 : p + 1, p + 1 : p + ib] += (
+            pf.y[0 : p + 1, : ib - 1] @ pf.v[: ib - 1, : ib - 1].T
+        )
     em.ext[n:, p + ib : n] += ychk @ pf.v[ib - 1 : n - p - 1, :].T
-    if counter is not None:
-        counter.add("abft_recover", F.gemm_flops(n, n - p - ib + k, ib))

@@ -59,7 +59,10 @@ class EncodedMatrix:
         The (N+k) x (N+k) Fortran-ordered storage. ``ext[:N, :N]`` is the
         matrix data, ``ext[:N, N:]`` the row-checksum columns (one per
         channel), ``ext[N:, :N]`` the column-checksum rows. The
-        (k x k) corner is unused.
+        (k x k) corner is *scratch by contract*: nothing ever reads it,
+        and the fused in-place kernels of :mod:`repro.abft.checksums`
+        may write into it (their stacked GEMM covers the full extended
+        column block), so its contents are unspecified.
     weights:
         The (k, N) weight matrix; row 0 is all-ones (the paper's scheme).
     """

@@ -26,11 +26,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import FTConfig
-from repro.core.ft_hessenberg import ft_gehrd
-from repro.errors import ReproError
-from repro.faults.injector import FaultInjector, FaultSpec
-from repro.linalg.orghr import orghr
-from repro.linalg.verify import extract_hessenberg, factorization_residual
+from repro.faults.executor import run_ft_trials
+from repro.faults.injector import FaultSpec
 from repro.utils.rng import random_matrix
 
 CATEGORIES = {
@@ -91,10 +88,13 @@ def coverage_map(
     audit_every: int = 0,
     seed: int = 0,
     residual_tol: float = 1e-12,
+    workers: int = 1,
 ) -> CoverageMap:
     """Sweep a ``grid x grid`` lattice of fault positions and classify.
 
-    One full FT run per lattice point — keep *n* and *grid* modest.
+    One full FT run per lattice point — keep *n* and *grid* modest, or
+    pass ``workers > 1`` to spread the lattice over a process pool (the
+    classification grid is identical either way).
     """
     a0 = random_matrix(n, seed=seed)
     rows = np.unique(np.linspace(0, n - 1, grid).astype(int))
@@ -102,33 +102,28 @@ def coverage_map(
     out = np.full((rows.size, cols.size), "?", dtype="<U1")
     resids = np.zeros((rows.size, cols.size))
 
-    for ai, i in enumerate(rows):
-        for bj, j in enumerate(cols):
-            inj = FaultInjector().add(
-                FaultSpec(iteration=iteration, row=int(i), col=int(j),
-                          magnitude=magnitude)
-            )
-            try:
-                res = ft_gehrd(
-                    a0,
-                    FTConfig(nb=nb, channels=channels, audit_every=audit_every),
-                    injector=inj,
-                )
-            except ReproError:
-                out[ai, bj] = "F"
-                resids[ai, bj] = np.nan
-                continue
-            q = orghr(res.a, res.taus)
-            h = extract_hessenberg(res.a)
-            r = factorization_residual(a0, q, h)
-            resids[ai, bj] = r
-            acted = bool(res.recoveries) or (
-                res.q_report is not None and res.q_report.count > 0
-            )
-            if r <= residual_tol:
-                out[ai, bj] = "R" if acted else "."
-            else:
-                out[ai, bj] = "X"
+    cfg = FTConfig(nb=nb, channels=channels, audit_every=audit_every)
+    tasks = [
+        (FaultSpec(iteration=iteration, row=int(i), col=int(j), magnitude=magnitude), 0)
+        for i in rows
+        for j in cols
+    ]
+    outcomes = run_ft_trials(
+        a0, tasks, cfg, residual_tol=residual_tol, workers=workers
+    )
+
+    for idx, t in enumerate(outcomes):
+        ai, bj = divmod(idx, cols.size)
+        if t.failure:
+            out[ai, bj] = "F"
+            resids[ai, bj] = np.nan
+            continue
+        resids[ai, bj] = t.residual
+        acted = t.recoveries > 0 or t.q_corrections > 0
+        if t.residual <= residual_tol:
+            out[ai, bj] = "R" if acted else "."
+        else:
+            out[ai, bj] = "X"
 
     return CoverageMap(
         n=n, nb=nb, iteration=iteration, rows=rows, cols=cols, grid=out,

@@ -74,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--channels", type=int, default=1,
                    help="checksum channels (2 enables weighted decode)")
+    c.add_argument("--workers", type=int, default=1,
+                   help="trial-runner processes (1 = serial in-process)")
 
     d = sub.add_parser("demo", help="one FT run with an injected error")
     d.add_argument("--n", type=int, default=158)
@@ -95,6 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     cv.add_argument("--audit-every", type=int, default=0,
                     help="enable the full-audit extension (closes the "
                          "finished-H hole)")
+    cv.add_argument("--workers", type=int, default=1,
+                    help="trial-runner processes (1 = serial in-process)")
 
     return p
 
@@ -163,6 +167,7 @@ def _cmd_campaign(args) -> str:
         moments=args.moments,
         seed=args.seed,
         config=FTConfig(nb=args.nb, channels=args.channels),
+        workers=args.workers,
     )
     t = Table(
         ["area", "trials", "detected", "recovered", "worst residual"],
@@ -200,7 +205,7 @@ def _cmd_coverage(args) -> str:
 
     cmap = coverage_map(
         n=args.n, nb=args.nb, iteration=args.iteration, grid=args.grid,
-        audit_every=args.audit_every,
+        audit_every=args.audit_every, workers=args.workers,
     )
     return cmap.render()
 

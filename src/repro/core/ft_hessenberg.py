@@ -42,7 +42,7 @@ from repro.abft.location import locate_errors
 from repro.abft.qprotect import QProtector
 from repro.abft.unwind import locate_errors_rowonly, rebuild_col_checksums, unwind_iteration
 from repro.core.config import FTConfig
-from repro.core.hybrid_hessenberg import iteration_plan
+from repro.core.hybrid_hessenberg import iteration_plan_cached
 from repro.core.results import FTResult, RecoveryEvent
 from repro.errors import ConvergenceError, ShapeError, UncorrectableError
 from repro.faults.injector import FaultInjector
@@ -52,6 +52,7 @@ from repro.hybrid.runtime import HybridRuntime
 from repro.linalg.flops import FlopCounter
 from repro.linalg.lahr2 import lahr2
 from repro.linalg.verify import one_norm
+from repro.perf.workspace import Workspace
 
 _B = 8  # float64 bytes
 
@@ -69,7 +70,7 @@ def _planned_detections(
     out: dict[int, int] = {}
     if injector is None:
         return out
-    total = len(iteration_plan(n, nb))
+    total = len(iteration_plan_cached(n, nb))
     for f in injector.faults:
         if f.iteration >= total:
             continue
@@ -143,7 +144,7 @@ def ft_gehrd(
 
     counter = FlopCounter()
     rt = HybridRuntime(config.machine, functional=config.functional)
-    plan = iteration_plan(n, config.nb)
+    plan = iteration_plan_cached(n, config.nb)
     total_iters = len(plan)
 
     # ---- functional state -------------------------------------------------
@@ -156,11 +157,14 @@ def ft_gehrd(
         qprot = QProtector(n, norm_a=norm_a, eps_factor=config.eps_factor_locate)
         store = DisklessCheckpointStore()
         taus = np.zeros(max(n - 1, 0))
+        ws = Workspace()
+        ws.presize(n, config.nb, config.channels)
     else:
         detector = None
         qprot = None
         store = None
         taus = None
+        ws = None
     planned = _planned_detections(injector, n, config.nb, config.detect_every)
 
     recoveries: list[RecoveryEvent] = []
@@ -351,7 +355,7 @@ def ft_gehrd(
                 return {}
 
             def panel_fn():
-                pf_cell["pf"] = lahr2(em.ext, p, ib, n, counter=counter)
+                pf_cell["pf"] = lahr2(em.ext, p, ib, n, counter=counter, workspace=ws)
 
             def chk_fn():
                 pf = pf_cell["pf"]
@@ -360,11 +364,14 @@ def ft_gehrd(
 
             def right_fn():
                 right_update_encoded(
-                    em, pf_cell["pf"], vy_cell["vce"], vy_cell["ychk"], counter=counter
+                    em, pf_cell["pf"], vy_cell["vce"], vy_cell["ychk"],
+                    counter=counter, workspace=ws,
                 )
 
             def left_fn():
-                left_update_encoded(em, pf_cell["pf"], vy_cell["vce"], counter=counter)
+                left_update_encoded(
+                    em, pf_cell["pf"], vy_cell["vce"], counter=counter, workspace=ws
+                )
 
             def refresh_fn():
                 em.refresh_finished_segment(p, ib, counter=counter)
@@ -446,9 +453,11 @@ def ft_gehrd(
         if functional:
             # reverse the current (live-buffer) iteration and restore the panel
             pf = pf_cell["pf"]
-            reverse_left_update_encoded(em, pf, vy_cell["vce"], counter=counter)
+            reverse_left_update_encoded(
+                em, pf, vy_cell["vce"], counter=counter, workspace=ws
+            )
             reverse_right_update_encoded(
-                em, pf, vy_cell["vce"], vy_cell["ychk"], counter=counter
+                em, pf, vy_cell["vce"], vy_cell["ychk"], counter=counter, workspace=ws
             )
             store.restore(em)
             while True:

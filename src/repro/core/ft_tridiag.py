@@ -47,6 +47,7 @@ from repro.faults.injector import FaultInjector, InjectionRecord
 from repro.linalg.flops import FlopCounter
 from repro.linalg.householder import larfg
 from repro.linalg.verify import one_norm
+from repro.perf.workspace import Workspace
 
 DEFAULT_AUDIT_EVERY = 16
 
@@ -94,6 +95,10 @@ class _FTSytrdState:
         self.ext[n, :n] = e @ self.ext[:n, :n]
         counter.add("abft_init", 4.0 * n * n)
         self.taus = np.zeros(max(n - 1, 0))
+        # scratch arena for the rank-2 update temporaries (the outer
+        # products and GEMV results below); checkpoint copies stay
+        # per-record — they must outlive the column that made them
+        self.ws = Workspace()
 
     # -- checksum views ------------------------------------------------------
 
@@ -140,6 +145,9 @@ class _FTSytrdState:
         v = ext[j + 1 : n, j].copy()
 
         if tau != 0.0:
+            ws = self.ws
+            s = float(np.sum(v))
+            g = ws.vec("sytd.g", n + 1)
             # LEFT: rows j+1.. of the *active* columns (finished columns
             # are mathematically zero below the band there — touching
             # their storage would destroy the packed reflectors) plus the
@@ -147,9 +155,14 @@ class _FTSytrdState:
             # data-consistent); the checksum ROW gets the data-computed
             # left correction over the same active range.
             block_l = ext[j + 1 : n, j : n + 1]
-            wl = v @ block_l
-            block_l -= tau * np.outer(v, wl)
-            ext[n, j:n] -= tau * float(np.sum(v)) * wl[: n - j]
+            wl = ws.vec("sytd.wl", n + 1 - j)
+            np.matmul(v, block_l, out=wl)
+            outer = ws.buf("sytd.outer", block_l.shape, order="C")
+            np.outer(v, wl, out=outer)
+            outer *= tau
+            block_l -= outer
+            np.multiply(wl[: n - j], tau * s, out=g[: n - j])
+            ext[n, j:n] -= g[: n - j]
             # RIGHT: columns j+1.. of the *active* rows (finished rows
             # are mathematically zero there — touching them would let a
             # stale corruption in the masked wedge leak into the
@@ -157,11 +170,17 @@ class _FTSytrdState:
             # correction, Ac_chk the *maintained*-checksum correction
             # (the detection channel).
             block_r = ext[j:n, j + 1 : n]
-            wr = block_r @ v
-            block_r -= tau * np.outer(wr, v)
-            ext[j:n, n] -= tau * float(np.sum(v)) * wr
+            wr = ws.vec("sytd.wr", n - j)
+            np.matmul(block_r, v, out=wr)
+            outer = ws.buf("sytd.outer", block_r.shape, order="C")
+            np.outer(wr, v, out=outer)
+            outer *= tau
+            block_r -= outer
+            np.multiply(wr, tau * s, out=g[: n - j])
+            ext[j:n, n] -= g[: n - j]
             chk_rv = float(ext[n, j + 1 : n] @ v)
-            ext[n, j + 1 : n] -= tau * chk_rv * v
+            np.multiply(v, tau * chk_rv, out=g[: n - j - 1])
+            ext[n, j + 1 : n] -= g[: n - j - 1]
             m = n - j - 1
             self.counter.add("tridiag_update", 8.0 * m * n)
             self.counter.add("abft_maintain", 8.0 * m + 4.0 * n)
@@ -210,23 +229,39 @@ class _FTSytrdState:
         ext[j, j + 2 : n] = rec.row_junk
         v, tau = rec.v, rec.tau
         if tau != 0.0:
+            ws = self.ws
+            s = float(np.sum(v))
+            g = ws.vec("sytd.g", n + 1)
             # reverse the RIGHT application (last applied, first reversed)
             block_r = ext[0:n, j + 1 : n]
-            wr = block_r @ v
-            block_r -= tau * np.outer(wr, v)
-            ext[0:n, n] += tau * float(np.sum(v)) * (block_r @ v)
+            wr = ws.vec("sytd.wr", n)
+            np.matmul(block_r, v, out=wr)
+            outer = ws.buf("sytd.outer", block_r.shape, order="C")
+            np.outer(wr, v, out=outer)
+            outer *= tau
+            block_r -= outer
+            np.matmul(block_r, v, out=wr)
+            np.multiply(wr, tau * s, out=g[:n])
+            ext[0:n, n] += g[:n]
             # Ac_chk right correction was built from the PRE-update row;
             # recover it from the post state: c_pre = c_post + τ(c_pre·v)v
             # ⇒ (c_pre·v) = (c_post·v) / (1 − τ|v|²)
             chk_post = float(ext[n, j + 1 : n] @ v)
             denom = 1.0 - tau * float(v @ v)
             if abs(denom) > 1e-300:
-                ext[n, j + 1 : n] += tau * (chk_post / denom) * v
+                np.multiply(v, tau * (chk_post / denom), out=g[: n - j - 1])
+                ext[n, j + 1 : n] += g[: n - j - 1]
             # reverse the LEFT application (same active-column range)
             block_l = ext[j + 1 : n, j : n + 1]
-            wl = v @ block_l
-            block_l -= tau * np.outer(v, wl)
-            ext[n, j:n] += tau * float(np.sum(v)) * (v @ ext[j + 1 : n, j:n])
+            wl = ws.vec("sytd.wl", n + 1 - j)
+            np.matmul(v, block_l, out=wl)
+            outer = ws.buf("sytd.outer", block_l.shape, order="C")
+            np.outer(v, wl, out=outer)
+            outer *= tau
+            block_l -= outer
+            np.matmul(v, ext[j + 1 : n, j:n], out=g[: n - j])
+            g[: n - j] *= tau * s
+            ext[n, j:n] += g[: n - j]
             self.counter.add("abft_recover", 16.0 * (n - j - 1) * n)
         # restore the pre-step column/row pair from the diskless buffer
         ext[0 : n + 1, j] = rec.cp_col

@@ -14,6 +14,8 @@ is priced, enabling paper-scale N.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.core.config import HybridConfig
@@ -25,17 +27,30 @@ from repro.hybrid.engine import SimOp
 from repro.linalg.flops import FlopCounter
 from repro.linalg.gehrd import apply_left_update, apply_right_updates
 from repro.linalg.lahr2 import lahr2
+from repro.perf.workspace import Workspace
 
 
-def iteration_plan(n: int, nb: int) -> list[tuple[int, int]]:
-    """The (p, ib) sequence of blocked iterations for an n x n matrix."""
+@lru_cache(maxsize=512)
+def iteration_plan_cached(n: int, nb: int) -> tuple[tuple[int, int], ...]:
+    """Memoized (p, ib) iteration sequence.
+
+    The drivers, ``_planned_detections`` and every campaign trial ask for
+    the same plan over and over; it is a pure function of (n, nb). Hot
+    callers index this tuple directly; :func:`iteration_plan` wraps it in
+    a fresh list for callers that expect (or mutate) one.
+    """
     plan = []
     p = 0
     while n - 1 - p > 0:
         ib = min(nb, n - 1 - p)
         plan.append((p, ib))
         p += ib
-    return plan
+    return tuple(plan)
+
+
+def iteration_plan(n: int, nb: int) -> list[tuple[int, int]]:
+    """The (p, ib) sequence of blocked iterations for an n x n matrix."""
+    return list(iteration_plan_cached(n, nb))
 
 
 def schedule_iteration(
@@ -119,12 +134,13 @@ def hybrid_gehrd(
     counter = FlopCounter()
     rt = HybridRuntime(config.machine, functional=config.functional)
     taus = np.zeros(max(n - 1, 0)) if work is not None else None
+    ws = Workspace() if work is not None else None
 
     B = 8
     # line 1: ship A to the device
     frontier: list[SimOp] = [rt.copy_h2d(B * n * n, name="upload_A", category="transfer")]
 
-    plan = iteration_plan(n, config.nb)
+    plan = iteration_plan_cached(n, config.nb)
     for it, (p, ib) in enumerate(plan):
         if work is not None and injector is not None:
             injector.apply_to_array(work, it)
@@ -132,14 +148,14 @@ def hybrid_gehrd(
         pf_cell: dict = {}
 
         def panel_fn(p=p, ib=ib):
-            pf_cell["pf"] = lahr2(work, p, ib, n, counter=counter)
+            pf_cell["pf"] = lahr2(work, p, ib, n, counter=counter, workspace=ws)
             taus[p : p + ib] = pf_cell["pf"].taus
 
         def right_fn(p=p, ib=ib):
-            apply_right_updates(work, pf_cell["pf"], n, counter=counter)
+            apply_right_updates(work, pf_cell["pf"], n, counter=counter, workspace=ws)
 
         def left_fn(p=p, ib=ib):
-            apply_left_update(work, pf_cell["pf"], n, counter=counter)
+            apply_left_update(work, pf_cell["pf"], n, counter=counter, workspace=ws)
 
         frontier, _ = schedule_iteration(
             rt,

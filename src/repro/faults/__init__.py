@@ -14,7 +14,13 @@ from repro.faults.ser import (
     fit_to_errors_per_second,
     expected_errors,
 )
-from repro.faults.campaign import TrialOutcome, CampaignResult, run_campaign
+from repro.faults.campaign import (
+    TrialOutcome,
+    CampaignResult,
+    build_fault_grid,
+    run_campaign,
+)
+from repro.faults.executor import run_ft_trials, run_one_trial
 from repro.faults.regions import (
     AREA_NO_PROPAGATION,
     AREA_ROW_PROPAGATION,
@@ -35,7 +41,10 @@ __all__ = [
     "expected_errors",
     "TrialOutcome",
     "CampaignResult",
+    "build_fault_grid",
     "run_campaign",
+    "run_ft_trials",
+    "run_one_trial",
     "FaultSpec",
     "FaultInjector",
     "InjectionRecord",

@@ -3,43 +3,37 @@
 A campaign runs the FT driver repeatedly under a grid of single-fault
 plans and aggregates recovery outcomes — the machinery behind the Fig. 6
 uncertainty bands and the recovery-coverage tests.
+
+The grid of fault plans is generated up front (one RNG, one draw order —
+see :func:`build_fault_grid`) and executed by
+:mod:`repro.faults.executor`, serially or across a process pool; the
+trial list is identical either way.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.errors import ReproError
-from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.executor import TrialOutcome, run_ft_trials
+from repro.faults.injector import FaultSpec
 from repro.faults.regions import finished_cols_at, iteration_count, sample_in_area
-from repro.linalg.orghr import orghr
-from repro.linalg.verify import extract_hessenberg, factorization_residual
 from repro.utils.rng import make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from repro.core.config import FTConfig
 
-
-@dataclass
-class TrialOutcome:
-    """One injected run's result."""
-
-    spec: FaultSpec
-    area: int
-    detected: bool
-    corrected: bool
-    residual: float
-    recoveries: int
-    q_corrections: int
-    failure: str = ""
-
-    @property
-    def recovered(self) -> bool:
-        return self.corrected and not self.failure
+__all__ = [
+    "TrialOutcome",
+    "CampaignResult",
+    "build_fault_grid",
+    "baseline_residual",
+    "run_campaign",
+]
 
 
 @dataclass
@@ -49,6 +43,7 @@ class CampaignResult:
     n: int
     nb: int
     trials: list[TrialOutcome] = field(default_factory=list)
+    baseline_residual: float = 0.0
 
     @property
     def recovery_rate(self) -> float:
@@ -64,6 +59,60 @@ class CampaignResult:
         return [t for t in self.trials if t.area == area]
 
 
+def build_fault_grid(
+    n: int,
+    nb: int,
+    *,
+    areas: tuple[int, ...] = (1, 2, 3),
+    moments: int = 4,
+    seed: int = 0,
+    magnitude: float = 1.0,
+) -> list[tuple[FaultSpec, int]]:
+    """The campaign's (spec, area) task grid — one fault per cell.
+
+    Deterministic in its arguments: a single RNG drawn in a fixed
+    area-major order, so the grid (and therefore every trial) is
+    identical no matter how many workers later execute it.
+    """
+    rng = make_rng(seed)
+    total = iteration_count(n, nb)
+    tasks: list[tuple[FaultSpec, int]] = []
+    for area in areas:
+        for k in range(moments):
+            frac = k / max(moments - 1, 1)
+            it = int(round(frac * (total - 1)))
+            it = max(it, 1) if area == 3 else min(it, total - 1)
+            p = finished_cols_at(it, n, nb)
+            i, j = sample_in_area(area, p, n, rng)
+            tasks.append((FaultSpec(iteration=it, row=i, col=j, magnitude=magnitude), area))
+    return tasks
+
+
+# Fault-free reference residuals, keyed by (n, nb, channels, sha1(A)).
+# Campaigns over the same input share one clean run instead of paying
+# an extra factorization each.
+_BASELINE_CACHE: dict[tuple, float] = {}
+
+
+def baseline_residual(a: np.ndarray, cfg: "FTConfig") -> float:
+    """Table II residual of a fault-free FT run on *a* (memoized)."""
+    from repro.core.ft_hessenberg import ft_gehrd
+    from repro.linalg.orghr import orghr
+    from repro.linalg.verify import extract_hessenberg, factorization_residual
+
+    digest = hashlib.sha1(np.ascontiguousarray(a).tobytes()).hexdigest()
+    key = (a.shape[0], cfg.nb, cfg.channels, digest)
+    cached = _BASELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    ft = ft_gehrd(a, cfg)
+    q = orghr(ft.a, ft.taus)
+    h = extract_hessenberg(ft.a)
+    residual = factorization_residual(a, q, h)
+    _BASELINE_CACHE[key] = residual
+    return residual
+
+
 def run_campaign(
     a: np.ndarray,
     *,
@@ -74,53 +123,25 @@ def run_campaign(
     magnitude: float = 1.0,
     residual_tol: float = 1e-13,
     config: "FTConfig | None" = None,
+    workers: int = 1,
+    chunksize: int | None = None,
 ) -> CampaignResult:
     """Inject one fault per (area x moment) cell and verify full recovery.
 
     ``residual_tol`` is the pass bar on the Table II residual after
     recovery — recovered runs must be as good as fault-free ones.
+    ``workers > 1`` distributes the trials over a process pool; results
+    are identical to the serial sweep (same grid, same seeds).
     """
     from repro.core.config import FTConfig
-    from repro.core.ft_hessenberg import ft_gehrd
 
     n = a.shape[0]
-    rng = make_rng(seed)
-    total = iteration_count(n, nb)
-    result = CampaignResult(n=n, nb=nb)
-
-    for area in areas:
-        for k in range(moments):
-            frac = k / max(moments - 1, 1)
-            it = int(round(frac * (total - 1)))
-            it = max(it, 1) if area == 3 else min(it, total - 1)
-            p = finished_cols_at(it, n, nb)
-            i, j = sample_in_area(area, p, n, rng)
-            spec = FaultSpec(iteration=it, row=i, col=j, magnitude=magnitude)
-            inj = FaultInjector().add(spec)
-            cfg = config or FTConfig(nb=nb)
-            failure = ""
-            try:
-                ft = ft_gehrd(a, cfg, injector=inj)
-                q = orghr(ft.a, ft.taus)
-                h = extract_hessenberg(ft.a)
-                residual = factorization_residual(a, q, h)
-                detected = ft.detections > 0 or (ft.q_report is not None and ft.q_report.count > 0)
-                corrected = residual <= residual_tol
-                recov = len(ft.recoveries)
-                qcorr = ft.q_report.count if ft.q_report else 0
-            except ReproError as exc:  # recovery machinery failed outright
-                residual, detected, corrected, recov, qcorr = float("inf"), False, False, 0, 0
-                failure = f"{type(exc).__name__}: {exc}"
-            result.trials.append(
-                TrialOutcome(
-                    spec=spec,
-                    area=area,
-                    detected=detected,
-                    corrected=corrected,
-                    residual=residual,
-                    recoveries=recov,
-                    q_corrections=qcorr,
-                    failure=failure,
-                )
-            )
+    cfg = config or FTConfig(nb=nb)
+    tasks = build_fault_grid(
+        n, nb, areas=areas, moments=moments, seed=seed, magnitude=magnitude
+    )
+    result = CampaignResult(n=n, nb=nb, baseline_residual=baseline_residual(a, cfg))
+    result.trials = run_ft_trials(
+        a, tasks, cfg, residual_tol=residual_tol, workers=workers, chunksize=chunksize
+    )
     return result

@@ -1,0 +1,146 @@
+"""Multiprocess trial runner for fault-injection campaigns.
+
+A campaign is embarrassingly parallel: every trial is an independent
+FT-GEHRD run under its own single-fault plan. The expensive part of
+scaling it out is *not* the orchestration — it is keeping determinism.
+The grid of :class:`~repro.faults.injector.FaultSpec` plans is therefore
+built entirely in the parent (one RNG, one draw order, identical to the
+serial sweep), and only the frozen, picklable specs travel to the
+workers. A campaign run with ``workers=4`` produces byte-identical
+trial lists to ``workers=1``.
+
+Workers are primed once via the pool initializer with the (read-only)
+input matrix, the FT configuration and the residual bar, so the per-task
+payload is just the spec. Tasks are shipped in contiguous chunks to
+amortize IPC, and results are reassembled in grid order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from repro.core.config import FTConfig
+
+
+@dataclass
+class TrialOutcome:
+    """One injected run's result."""
+
+    spec: FaultSpec
+    area: int
+    detected: bool
+    corrected: bool
+    residual: float
+    recoveries: int
+    q_corrections: int
+    failure: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        return self.corrected and not self.failure
+
+
+def run_one_trial(
+    a: np.ndarray,
+    spec: FaultSpec,
+    area: int,
+    cfg: "FTConfig",
+    residual_tol: float,
+) -> TrialOutcome:
+    """Run FT-GEHRD under one fault plan and grade the outcome.
+
+    ``residual_tol`` is the pass bar on the Table II residual after
+    recovery — recovered runs must be as good as fault-free ones.
+    """
+    from repro.core.ft_hessenberg import ft_gehrd
+    from repro.linalg.orghr import orghr
+    from repro.linalg.verify import extract_hessenberg, factorization_residual
+
+    inj = FaultInjector().add(spec)
+    failure = ""
+    try:
+        ft = ft_gehrd(a, cfg, injector=inj)
+        q = orghr(ft.a, ft.taus)
+        h = extract_hessenberg(ft.a)
+        residual = factorization_residual(a, q, h)
+        detected = ft.detections > 0 or (ft.q_report is not None and ft.q_report.count > 0)
+        corrected = residual <= residual_tol
+        recov = len(ft.recoveries)
+        qcorr = ft.q_report.count if ft.q_report else 0
+    except ReproError as exc:  # recovery machinery failed outright
+        residual, detected, corrected, recov, qcorr = float("inf"), False, False, 0, 0
+        failure = f"{type(exc).__name__}: {exc}"
+    return TrialOutcome(
+        spec=spec,
+        area=area,
+        detected=detected,
+        corrected=corrected,
+        residual=residual,
+        recoveries=recov,
+        q_corrections=qcorr,
+        failure=failure,
+    )
+
+
+# Per-process state, set once by the pool initializer. A module-level
+# dict (not fork-captured closure state) so the same code path works
+# under both fork and spawn start methods.
+_WORKER: dict = {}
+
+
+def _init_worker(a: np.ndarray, cfg: "FTConfig", residual_tol: float) -> None:
+    _WORKER["a"] = a
+    _WORKER["cfg"] = cfg
+    _WORKER["residual_tol"] = residual_tol
+
+
+def _run_chunk(tasks: list[tuple[FaultSpec, int]]) -> list[TrialOutcome]:
+    a = _WORKER["a"]
+    cfg = _WORKER["cfg"]
+    residual_tol = _WORKER["residual_tol"]
+    return [run_one_trial(a, spec, area, cfg, residual_tol) for spec, area in tasks]
+
+
+def run_ft_trials(
+    a: np.ndarray,
+    tasks: list[tuple[FaultSpec, int]],
+    cfg: "FTConfig",
+    *,
+    residual_tol: float,
+    workers: int = 1,
+    chunksize: int | None = None,
+) -> list[TrialOutcome]:
+    """Run every (spec, area) task; order of results matches *tasks*.
+
+    ``workers <= 1`` runs serially in-process (no pool overhead, easiest
+    to debug); anything larger fans the chunked task list out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    if not tasks:
+        return []
+    if workers <= 1:
+        return [run_one_trial(a, spec, area, cfg, residual_tol) for spec, area in tasks]
+
+    workers = min(workers, len(tasks))
+    if chunksize is None:
+        # a few chunks per worker: balances stragglers against IPC cost
+        chunksize = max(1, len(tasks) // (workers * 4))
+    chunks = [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
+    outcomes: list[TrialOutcome] = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(a, cfg, residual_tol),
+    ) as pool:
+        for chunk_result in pool.map(_run_chunk, chunks):
+            outcomes.extend(chunk_result)
+    return outcomes

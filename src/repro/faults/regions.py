@@ -24,6 +24,7 @@ area 2 — reproduced in the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -109,8 +110,12 @@ MIDDLE = Moment(0.5, "M")
 END = Moment(1.0, "E")
 
 
+@lru_cache(maxsize=4096)
 def iteration_count(n: int, nb: int) -> int:
-    """Number of blocked iterations the FT driver performs for (n, nb)."""
+    """Number of blocked iterations the FT driver performs for (n, nb).
+
+    Pure in (n, nb) and asked for once per campaign trial — memoized.
+    """
     count = 0
     p = 0
     while n - 1 - p > 0:
@@ -119,6 +124,7 @@ def iteration_count(n: int, nb: int) -> int:
     return count
 
 
+@lru_cache(maxsize=4096)
 def finished_cols_at(iteration: int, n: int, nb: int) -> int:
     """Finished columns ``p`` at the *start* of the given iteration."""
     p = 0

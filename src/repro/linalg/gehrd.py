@@ -29,6 +29,7 @@ from repro.linalg.flops import FlopCounter
 from repro.linalg.gehd2 import gehd2
 from repro.linalg.lahr2 import PanelFactors, lahr2
 from repro.linalg.wy import larfb
+from repro.perf.workspace import DGEMM, Workspace, gemm_inplace
 
 DEFAULT_NB = 32
 #: LAPACK-style crossover: switch to the unblocked algorithm when the
@@ -61,6 +62,19 @@ class HessenbergFactorization:
         return np.triu(self.a, -1)
 
 
+def _can_fuse(a: np.ndarray, pf: PanelFactors, workspace: Workspace | None) -> bool:
+    """The in-place BLAS path needs the arena, the BLAS wrapper, Fortran
+    storage (so full-column slices are F-contiguous) and the zero-padded
+    V spanning every row of *a*."""
+    return (
+        workspace is not None
+        and DGEMM is not None
+        and pf.v_full is not None
+        and pf.v_full.shape[0] == a.shape[0]
+        and a.flags.f_contiguous
+    )
+
+
 def apply_right_updates(
     a: np.ndarray,
     pf: PanelFactors,
@@ -68,6 +82,7 @@ def apply_right_updates(
     *,
     counter: FlopCounter | None = None,
     category: str = "right_update",
+    workspace: Workspace | None = None,
 ) -> None:
     """Apply the panel's right update to the trailing columns and to M.
 
@@ -76,16 +91,25 @@ def apply_right_updates(
     Mutates ``a`` in place.
     """
     p, ib = pf.p, pf.ib
+    fused = _can_fuse(a, pf, workspace) and a.shape[0] == n
     # trailing columns: A[0:n, p+ib:n] -= Y @ V2ᵀ, V2 = rows ib-1.. of V
     if p + ib < n:
         v2 = pf.v[ib - 1 :, :]
-        a[0:n, p + ib : n] -= pf.y[0:n, :] @ v2.T
+        if fused:
+            gemm_inplace(-1.0, pf.y, v2, a[:, p + ib : n], trans_b=True)
+        else:
+            a[0:n, p + ib : n] -= pf.y[0:n, :] @ v2.T
         if counter is not None:
             counter.add(category, F.gemm_flops(n, n - p - ib, ib))
     # in-panel top rows: A[0:p+1, p+1:p+ib] -= Y_top[:, :ib-1] @ V1ᵀ
+    # (V's upper triangle holds explicit zeros — no np.tril copy needed)
     if ib > 1 and p + 1 > 0:
-        v1 = np.tril(pf.v[: ib - 1, : ib - 1])  # unit lower triangle (explicit)
-        w = pf.y[0 : p + 1, : ib - 1] @ v1.T
+        v1 = pf.v[: ib - 1, : ib - 1]
+        if workspace is not None:
+            w = workspace.buf("upd.panel_top", (p + 1, ib - 1))
+            np.matmul(pf.y[0 : p + 1, : ib - 1], v1.T, out=w)
+        else:
+            w = pf.y[0 : p + 1, : ib - 1] @ v1.T
         a[0 : p + 1, p + 1 : p + ib] -= w
         if counter is not None:
             counter.add(category, F.trmm_flops(p + 1, ib - 1, False) + (p + 1) * (ib - 1))
@@ -99,6 +123,7 @@ def apply_left_update(
     *,
     counter: FlopCounter | None = None,
     category: str = "left_update",
+    workspace: Workspace | None = None,
 ) -> None:
     """Apply the panel's left update ``(I − V Tᵀ Vᵀ)`` to the trailing block.
 
@@ -106,16 +131,34 @@ def apply_left_update(
     """
     p, ib = pf.p, pf.ib
     ncols = a.shape[1] if ncols is None else ncols
-    if p + ib < ncols:
-        larfb(
-            pf.v,
-            pf.t,
-            a[p + 1 : n, p + ib : ncols],
-            side="left",
-            trans=True,
-            counter=counter,
-            category=category,
-        )
+    if p + ib >= ncols:
+        return
+    if _can_fuse(a, pf, workspace):
+        # Padded form over full columns: rows outside p+1..n-1 of v_full
+        # are zero, so they contribute nothing and stay untouched.
+        cfull = a[:, p + ib : ncols]
+        ncf = ncols - (p + ib)
+        w1 = workspace.buf("upd.w1", (ib, ncf))
+        w2 = workspace.buf("upd.w2", (ib, ncf))
+        gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
+        gemm_inplace(1.0, pf.t, w1, w2, trans_a=True, beta=0.0)
+        gemm_inplace(-1.0, pf.v_full, w2, cfull)
+        if counter is not None:
+            m = n - p - 1
+            counter.add(
+                category,
+                F.gemm_flops(ib, ncf, m) + F.trmm_flops(ib, ncf, True) + F.gemm_flops(m, ncf, ib),
+            )
+        return
+    larfb(
+        pf.v,
+        pf.t,
+        a[p + 1 : n, p + ib : ncols],
+        side="left",
+        trans=True,
+        counter=counter,
+        category=category,
+    )
 
 
 def gehrd(
@@ -141,7 +184,9 @@ def gehrd(
         Optional flop counter.
     keep_panels:
         Record the per-panel WY factors in the result (costs memory; used
-        by analysis code).
+        by analysis code). Disables workspace pooling — recorded factors
+        must outlive the iteration that produced them, which pooled
+        buffers do not.
     """
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ShapeError(f"gehrd needs a square matrix, got {a.shape}")
@@ -149,20 +194,21 @@ def gehrd(
     nx = max(nb, nx if nx is not None else DEFAULT_NX)
     taus = np.zeros(max(n - 1, 0))
     panels: list[PanelFactors] = []
+    ws = None if keep_panels else Workspace()
 
     p = 0
     while n - 1 - p > nx:
         ib = min(nb, n - 1 - p)
-        pf = lahr2(a, p, ib, n, counter=counter)
+        pf = lahr2(a, p, ib, n, counter=counter, workspace=ws)
         taus[p : p + ib] = pf.taus
 
         # right update needs the unit entry of the last reflector in place
         ei = a[p + ib, p + ib - 1]
         a[p + ib, p + ib - 1] = 1.0
-        apply_right_updates(a, pf, n, counter=counter)
+        apply_right_updates(a, pf, n, counter=counter, workspace=ws)
         a[p + ib, p + ib - 1] = ei
 
-        apply_left_update(a, pf, n, counter=counter)
+        apply_left_update(a, pf, n, counter=counter, workspace=ws)
 
         if keep_panels:
             panels.append(pf)

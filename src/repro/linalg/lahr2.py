@@ -13,6 +13,16 @@ in place: on return the Householder vectors are stored below the first
 subdiagonal of the panel columns of *a*, the panel's upper-triangular part
 holds the corresponding columns of H, and the subdiagonal entry below the
 last panel column holds ``ei`` (the β of the last reflector).
+
+Unlike LAPACK's, this implementation builds the dense V block
+*incrementally* (one column per reflector) so the per-column left update
+is two plain GEMVs against it — no ``np.tril`` triangle materializations
+— and every temporary can come from a reusable
+:class:`~repro.perf.workspace.Workspace` arena instead of a fresh
+allocation. V is kept inside a zero-padded buffer spanning *all* rows of
+the storage (``v_full``), which is what lets the checksum-extended
+updates run as single in-place GEMMs on full-column slices: the zero
+rows contribute exactly nothing.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from repro.errors import ShapeError
 from repro.linalg import flops as F
 from repro.linalg.flops import FlopCounter
 from repro.linalg.householder import larfg
+from repro.perf.workspace import Workspace
 
 
 @dataclass
@@ -51,6 +62,15 @@ class PanelFactors:
     ei:
         β of the last reflector — the subdiagonal value A[p+ib, p+ib-1]
         that the trailing update temporarily replaces with 1.
+    v_full:
+        The zero-padded V buffer spanning every row of the storage array
+        *a* (``v_full[p+1:n] is v``; all other rows are exactly zero).
+        The fused checksum kernels multiply with this block so their
+        in-place GEMMs can run on F-contiguous full-column slices.
+        When the factors came from a pooled workspace, ``v``/``y``/
+        ``v_full`` are views into it and stay valid only until the next
+        panel factorization reuses the arena — the same lifetime the
+        paper's reverse-computation premise assumes.
     """
 
     p: int
@@ -60,6 +80,7 @@ class PanelFactors:
     y: np.ndarray
     taus: np.ndarray
     ei: float
+    v_full: np.ndarray | None = None
 
 
 def lahr2(
@@ -70,6 +91,7 @@ def lahr2(
     *,
     counter: FlopCounter | None = None,
     category: str = "panel",
+    workspace: Workspace | None = None,
 ) -> PanelFactors:
     """Factorize the panel ``a[:, p : p+ib]`` of the n-active matrix *a*.
 
@@ -87,46 +109,58 @@ def lahr2(
     n:
         Active dimension (rows and columns participating in the
         reduction).
+    workspace:
+        Optional scratch arena. When given, V/T/Y/τ and every internal
+        temporary live in pooled buffers reused across calls (the
+        returned factors are then views with panel lifetime — see
+        :class:`PanelFactors`).
     """
     if not (0 <= p and p + ib < n <= min(a.shape)):
         raise ShapeError(f"invalid panel: p={p}, ib={ib}, n={n}, A shape {a.shape}")
     if ib < 1:
         raise ShapeError(f"panel width must be >= 1, got {ib}")
 
-    taus = np.zeros(ib)
-    t = np.zeros((ib, ib), order="F")
-    y = np.zeros((n, ib), order="F")
+    rows = a.shape[0]
+    m1 = n - p - 1  # rows of the dense V block
+    if workspace is not None:
+        v_full = workspace.buf("lahr2.v_full", (rows, ib), zero=True)
+        y = workspace.buf("lahr2.y", (n, ib))
+        t = workspace.buf("lahr2.t", (ib, ib), zero=True)
+        taus = workspace.vec("lahr2.taus", ib, zero=True)
+        g = workspace.vec("lahr2.g", m1)
+        wj = workspace.vec("lahr2.wj", ib)
+        wj2 = workspace.vec("lahr2.wj2", ib)
+    else:
+        v_full = np.zeros((rows, ib), order="F")
+        y = np.empty((n, ib), order="F")
+        t = np.zeros((ib, ib), order="F")
+        taus = np.zeros(ib)
+        g = np.empty(m1)
+        wj = np.empty(ib)
+        wj2 = np.empty(ib)
+    v = v_full[p + 1 : n, :]
     ei = 0.0
 
     for j in range(ib):
         c = p + j  # global column of reflector j
         if j > 0:
-            # Update column c with the previous reflectors:
-            # (1) right update contribution:  A[p+1:n, c] -= Y[p+1:n, :j] @ V[row p+j-1? ...]
-            #     LAPACK uses the V-row at global row p+j (the unit row of
-            #     reflector j-1 is p+j) — A[p+j, p:p+j] holds that row with
-            #     its unit entry currently overwritten below; the unit entry
-            #     of reflector j-1 sits at A[p+j, p+j-1] which was set to 1.
-            vrow = a[p + j, p : p + j]
-            a[p + 1 : n, c] -= y[p + 1 : n, :j] @ vrow
+            # (1) right-update contribution to column c. The needed V-row
+            # (global row p+j) is row j-1 of the dense block — identical
+            # to the packed storage row, unit entry included (it is still
+            # 1.0 in storage at this point).
+            np.matmul(y[p + 1 : n, :j], v[j - 1, :j], out=g)
+            a[p + 1 : n, c] -= g
             if counter is not None:
                 counter.add(category, F.gemv_flops(n - p - 1, j))
 
-            # (2) left update: apply (I - V Tᵀ Vᵀ) to this column b.
-            #     b1 = a[p+1 : p+j+1, c] (j rows), b2 = a[p+j+1 : n, c]
-            v1 = a[p + 1 : p + j + 1, p : p + j]  # unit lower triangular j x j
-            v2 = a[p + j + 1 : n, p : p + j]
-            b1 = a[p + 1 : p + j + 1, c]
-            b2 = a[p + j + 1 : n, c]
-            # w := V1ᵀ b1 (unit lower triangle)
-            w = np.tril(v1, -1).T @ b1 + b1.copy()
-            # w += V2ᵀ b2
-            w += v2.T @ b2
-            # w := Tᵀ w
-            w = t[:j, :j].T @ w
-            # b2 -= V2 w ; b1 -= V1 w
-            b2 -= v2 @ w
-            b1 -= np.tril(v1, -1) @ w + w
+            # (2) left update: apply (I - V Tᵀ Vᵀ) to this column. The
+            # dense V (explicit units, explicit zeros) turns the
+            # triangular/rectangular split of LAPACK into two GEMVs.
+            bcol = a[p + 1 : n, c]
+            np.matmul(v[:, :j].T, bcol, out=wj[:j])
+            np.matmul(t[:j, :j].T, wj[:j], out=wj2[:j])
+            np.matmul(v[:, :j], wj2[:j], out=g)
+            bcol -= g
             if counter is not None:
                 counter.add(
                     category,
@@ -143,15 +177,19 @@ def lahr2(
         a[pivot_row, c] = 1.0
 
         vj = a[pivot_row:n, c]  # full reflector vector (unit entry in place)
+        v[j:, j] = vj  # incremental dense V (rows above j are already zero)
 
         # Y[p+1:n, j] = tau_j * ( A[p+1:n, p+j+1:n] @ vj  -  Y[p+1:n, :j] @ (V2ᵀ vj) )
-        y[p + 1 : n, j] = a[p + 1 : n, pivot_row : n] @ vj
+        ycol = y[p + 1 : n, j]
+        np.matmul(a[p + 1 : n, pivot_row:n], vj, out=ycol)
         if j > 0:
-            tcol = a[pivot_row:n, p : p + j].T @ vj
-            y[p + 1 : n, j] -= y[p + 1 : n, :j] @ tcol
-            # T[:j, j] = -tau_j * T[:j,:j] @ tcol
-            t[:j, j] = t[:j, :j] @ (-refl.tau * tcol)
-        y[p + 1 : n, j] *= refl.tau
+            np.matmul(v[j:, :j].T, vj, out=wj[:j])  # tcol
+            np.matmul(y[p + 1 : n, :j], wj[:j], out=g)
+            ycol -= g
+            # T[:j, j] = T[:j,:j] @ (-tau_j * tcol)
+            np.multiply(wj[:j], -refl.tau, out=wj2[:j])
+            np.matmul(t[:j, :j], wj2[:j], out=t[:j, j])
+        ycol *= refl.tau
         t[j, j] = refl.tau
         taus[j] = refl.tau
         if counter is not None:
@@ -165,29 +203,29 @@ def lahr2(
     # restore the subdiagonal entry below the last panel column
     a[p + ib, p + ib - 1] = ei
 
-    # Build the dense V block (rows p+1 .. n-1), unit entries explicit.
-    v = np.zeros((n - p - 1, ib), order="F")
-    for j in range(ib):
-        v[j:, j] = a[p + 1 + j : n, p + j]
-        v[j, j] = 1.0
-
     # Compute Y[0 : p+1, :] — the top rows: Y_top = A_top @ V (split into
     # the unit-lower-trapezoid part and the rectangular remainder), then @ T.
     k = p + 1
-    if k > 0:
-        y_top = a[0:k, p + 1 : p + 1 + ib].copy()
-        v1 = v[:ib, :]  # unit lower triangular ib x ib
-        y_top = y_top @ np.tril(v1)
-        if n > p + 1 + ib:
-            y_top += a[0:k, p + 1 + ib : n] @ v[ib:, :]
-        y_top = y_top @ np.triu(t)
-        y[0:k, :] = y_top
-        if counter is not None:
-            counter.add(
-                category,
-                F.trmm_flops(k, ib, False)
-                + F.gemm_flops(k, ib, max(0, n - p - 1 - ib))
-                + F.trmm_flops(k, ib, False),
-            )
+    if workspace is not None:
+        yt = workspace.buf("lahr2.ytop", (k, ib))
+        yt2 = workspace.buf("lahr2.ytop2", (k, ib))
+    else:
+        yt = np.empty((k, ib), order="F")
+        yt2 = np.empty((k, ib), order="F")
+    np.matmul(a[0:k, p + 1 : p + 1 + ib], v[:ib, :], out=yt)
+    if n > p + 1 + ib:
+        np.matmul(a[0:k, p + 1 + ib : n], v[ib:, :], out=yt2)
+        yt += yt2
+    np.matmul(yt, t, out=yt2)
+    y[0:k, :] = yt2
+    if counter is not None:
+        counter.add(
+            category,
+            F.trmm_flops(k, ib, False)
+            + F.gemm_flops(k, ib, max(0, n - p - 1 - ib))
+            + F.trmm_flops(k, ib, False),
+        )
 
-    return PanelFactors(p=p, ib=ib, v=v, t=t, y=y, taus=taus, ei=float(ei))
+    return PanelFactors(
+        p=p, ib=ib, v=v, t=t, y=y, taus=taus, ei=float(ei), v_full=v_full
+    )

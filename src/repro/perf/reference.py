@@ -1,0 +1,220 @@
+"""Frozen pre-pooling kernels — the golden reference.
+
+These are verbatim copies of the panel factorization and the
+checksum-extended updates as they stood before the workspace-pooled
+rewrite. They allocate fresh temporaries on every call (``np.tril``
+copies, ``np.vstack``, un-``out=``'d GEMMs) — exactly the behaviour the
+throughput layer removes — and therefore serve two purposes:
+
+* the equivalence oracle for ``tests/test_kernel_golden.py`` (the pooled
+  kernels must agree to roundoff on every path, including k>1 weighted
+  channels), and
+* the "before" side of ``benchmarks/bench_to_json.py``.
+
+Do not modify these when optimizing the live kernels; that would defeat
+the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abft.encoding import EncodedMatrix
+from repro.errors import ShapeError
+from repro.linalg import flops as F
+from repro.linalg.flops import FlopCounter
+from repro.linalg.householder import larfg
+from repro.linalg.lahr2 import PanelFactors
+
+
+def lahr2_reference(
+    a: np.ndarray,
+    p: int,
+    ib: int,
+    n: int,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "panel",
+) -> PanelFactors:
+    """The pre-pooling DLAHR2 (see :func:`repro.linalg.lahr2.lahr2`)."""
+    if not (0 <= p and p + ib < n <= min(a.shape)):
+        raise ShapeError(f"invalid panel: p={p}, ib={ib}, n={n}, A shape {a.shape}")
+    if ib < 1:
+        raise ShapeError(f"panel width must be >= 1, got {ib}")
+
+    taus = np.zeros(ib)
+    t = np.zeros((ib, ib), order="F")
+    y = np.zeros((n, ib), order="F")
+    ei = 0.0
+
+    for j in range(ib):
+        c = p + j
+        if j > 0:
+            vrow = a[p + j, p : p + j]
+            a[p + 1 : n, c] -= y[p + 1 : n, :j] @ vrow
+            if counter is not None:
+                counter.add(category, F.gemv_flops(n - p - 1, j))
+
+            v1 = a[p + 1 : p + j + 1, p : p + j]
+            v2 = a[p + j + 1 : n, p : p + j]
+            b1 = a[p + 1 : p + j + 1, c]
+            b2 = a[p + j + 1 : n, c]
+            w = np.tril(v1, -1).T @ b1 + b1.copy()
+            w += v2.T @ b2
+            w = t[:j, :j].T @ w
+            b2 -= v2 @ w
+            b1 -= np.tril(v1, -1) @ w + w
+            if counter is not None:
+                counter.add(
+                    category,
+                    2 * F.trmv_flops(j) + 2 * F.gemv_flops(n - p - j - 1, j) + F.trmv_flops(j),
+                )
+            a[p + j, p + j - 1] = ei
+
+        pivot_row = p + j + 1
+        refl = larfg(a[pivot_row, c], a[pivot_row + 1 : n, c], counter=counter, category=category)
+        ei = refl.beta
+        a[pivot_row, c] = 1.0
+
+        vj = a[pivot_row:n, c]
+
+        y[p + 1 : n, j] = a[p + 1 : n, pivot_row : n] @ vj
+        if j > 0:
+            tcol = a[pivot_row:n, p : p + j].T @ vj
+            y[p + 1 : n, j] -= y[p + 1 : n, :j] @ tcol
+            t[:j, j] = t[:j, :j] @ (-refl.tau * tcol)
+        y[p + 1 : n, j] *= refl.tau
+        t[j, j] = refl.tau
+        taus[j] = refl.tau
+        if counter is not None:
+            counter.add(
+                category,
+                F.gemv_flops(n - p - 1, n - pivot_row)
+                + (F.gemv_flops(n - pivot_row, j) + F.gemv_flops(n - p - 1, j) + F.trmv_flops(j) if j > 0 else 0)
+                + F.scal_flops(n - p - 1),
+            )
+
+    a[p + ib, p + ib - 1] = ei
+
+    v = np.zeros((n - p - 1, ib), order="F")
+    for j in range(ib):
+        v[j:, j] = a[p + 1 + j : n, p + j]
+        v[j, j] = 1.0
+
+    k = p + 1
+    if k > 0:
+        y_top = a[0:k, p + 1 : p + 1 + ib].copy()
+        v1 = v[:ib, :]
+        y_top = y_top @ np.tril(v1)
+        if n > p + 1 + ib:
+            y_top += a[0:k, p + 1 + ib : n] @ v[ib:, :]
+        y_top = y_top @ np.triu(t)
+        y[0:k, :] = y_top
+        if counter is not None:
+            counter.add(
+                category,
+                F.trmm_flops(k, ib, False)
+                + F.gemm_flops(k, ib, max(0, n - p - 1 - ib))
+                + F.trmm_flops(k, ib, False),
+            )
+
+    return PanelFactors(p=p, ib=ib, v=v, t=t, y=y, taus=taus, ei=float(ei))
+
+
+def _check_blocks(em: EncodedMatrix, pf: PanelFactors, vce: np.ndarray, ychk) -> None:
+    if vce.shape != (em.k, pf.ib):
+        raise ShapeError(f"Vce block must be ({em.k}, {pf.ib}), got {vce.shape}")
+    if ychk is not None and ychk.shape != (em.k, pf.ib):
+        raise ShapeError(f"Ychk block must be ({em.k}, {pf.ib}), got {ychk.shape}")
+
+
+def right_update_encoded_reference(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    ychk: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """The pre-pooling checksum-extended right update."""
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    _check_blocks(em, pf, vce, ychk)
+    v2ce = np.vstack([pf.v[ib - 1 :, :], vce])
+    em.ext[0:n, p + ib : n + k] -= pf.y[0:n, :] @ v2ce.T
+    if counter is not None:
+        counter.add("right_update", F.gemm_flops(n, n - p - ib, ib))
+        counter.add("abft_maintain", k * F.gemv_flops(n, ib))
+    if ib > 1:
+        v1 = np.tril(pf.v[: ib - 1, : ib - 1])
+        em.ext[0 : p + 1, p + 1 : p + ib] -= pf.y[0 : p + 1, : ib - 1] @ v1.T
+        if counter is not None:
+            counter.add("right_update", F.trmm_flops(p + 1, ib - 1, False))
+    em.ext[n:, p + ib : n] -= ychk @ pf.v[ib - 1 : n - p - 1, :].T
+    if counter is not None:
+        counter.add("abft_maintain", k * F.gemv_flops(n - p - ib, ib))
+
+
+def left_update_encoded_reference(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """The pre-pooling checksum-extended left update."""
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    _check_blocks(em, pf, vce, None)
+    cols = slice(p + ib, n + k)
+    c_data = em.ext[p + 1 : n, cols]
+    w = pf.t.T @ (pf.v.T @ c_data)
+    c_data -= pf.v @ w
+    em.ext[n:, p + ib : n] -= vce @ w[:, : n - p - ib]
+    if counter is not None:
+        m = n - p - 1
+        ncols = n + k - (p + ib)
+        counter.add(
+            "left_update",
+            F.gemm_flops(ib, ncols, m) + F.trmm_flops(ib, ncols, True) + F.gemm_flops(m, ncols, ib),
+        )
+        counter.add("abft_maintain", k * F.gemv_flops(ncols, ib))
+
+
+def reverse_left_update_encoded_reference(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """The pre-pooling reverse left update."""
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    cols = slice(p + ib, n + k)
+    c_data = em.ext[p + 1 : n, cols]
+    w_rev = pf.t @ (pf.v.T @ c_data)
+    c_data -= pf.v @ w_rev
+    w_fwd = pf.t.T @ (pf.v.T @ c_data)
+    em.ext[n:, p + ib : n] += vce @ w_fwd[:, : n - p - ib]
+    if counter is not None:
+        m = n - p - 1
+        ncols = n + k - (p + ib)
+        counter.add("abft_recover", 2 * F.gemm_flops(ib, ncols, m) + F.gemm_flops(m, ncols, ib))
+
+
+def reverse_right_update_encoded_reference(
+    em: EncodedMatrix,
+    pf: PanelFactors,
+    vce: np.ndarray,
+    ychk: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+) -> None:
+    """The pre-pooling reverse right update."""
+    n, p, ib, k = em.n, pf.p, pf.ib, em.k
+    v2ce = np.vstack([pf.v[ib - 1 :, :], vce])
+    em.ext[0:n, p + ib : n + k] += pf.y[0:n, :] @ v2ce.T
+    if ib > 1:
+        v1 = np.tril(pf.v[: ib - 1, : ib - 1])
+        em.ext[0 : p + 1, p + 1 : p + ib] += pf.y[0 : p + 1, : ib - 1] @ v1.T
+    em.ext[n:, p + ib : n] += ychk @ pf.v[ib - 1 : n - p - 1, :].T
+    if counter is not None:
+        counter.add("abft_recover", F.gemm_flops(n, n - p - ib + k, ib))

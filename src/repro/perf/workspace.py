@@ -1,0 +1,129 @@
+"""A per-driver scratch arena for the factorization hot path.
+
+Every functional driver iteration used to allocate its temporaries fresh:
+``np.zeros`` for V/T/Y in ``lahr2``, an ``np.vstack`` plus an implicit
+GEMM product array in each encoded update, and the subtraction pass that
+follows. At N=512 that is several MB of allocation and an extra full
+memory sweep per iteration — pure overhead against the paper's claim that
+ABFT maintenance is nearly free.
+
+:class:`Workspace` replaces all of that with named, grown-once buffers.
+Buffers are handed out as exact-shape views of flat pools, so a request
+for an ``(m, k)`` Fortran block is genuinely F-contiguous — which is what
+lets the checksum kernels run LAPACK-style in-place GEMMs
+(``C ← βC + αAB`` via :data:`DGEMM`) directly on the checksum-extended
+storage instead of materializing the product and subtracting it.
+
+A workspace is private to one driver invocation (it is not thread-safe,
+and the V/Y/T buffers of iteration *i* are only valid until iteration
+*i+1* overwrites them — exactly the lifetime the paper's reverse
+computation premise already assumes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised indirectly everywhere scipy exists
+    from scipy.linalg.blas import dgemm as DGEMM
+except ImportError:  # pragma: no cover - scipy is a hard dependency, but
+    DGEMM = None  # the kernels degrade gracefully to the NumPy path
+
+
+class Workspace:
+    """Named scratch buffers, allocated once and reused across iterations.
+
+    ``buf(name, shape)`` returns a view of a flat float64 pool reshaped to
+    exactly *shape* — contiguous in the requested order, grown (never
+    shrunk) on demand. Contents persist between calls only while the
+    requested shape stays the same; callers that need a zeroed buffer pass
+    ``zero=True``.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[str, np.ndarray] = {}
+
+    def buf(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        *,
+        order: str = "F",
+        zero: bool = False,
+    ) -> np.ndarray:
+        """An exact-shape view of the named pool (float64)."""
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        pool = self._pools.get(name)
+        if pool is None or pool.size < size:
+            pool = np.empty(max(size, 1), dtype=np.float64)
+            self._pools[name] = pool
+        view = pool[:size].reshape(shape, order=order)
+        if zero:
+            view[...] = 0.0
+        return view
+
+    def vec(self, name: str, n: int, *, zero: bool = False) -> np.ndarray:
+        """A 1-D scratch vector of length *n*."""
+        return self.buf(name, (int(n),), zero=zero)
+
+    def presize(self, n: int, nb: int, k: int = 0) -> None:
+        """Pre-allocate the panel-sized buffers for an (n, nb, k) run so
+        the steady state performs no allocation at all."""
+        rows = n + k
+        self.buf("lahr2.v_full", (rows, nb))
+        self.buf("lahr2.y", (n, nb))
+        self.buf("lahr2.t", (nb, nb))
+        self.buf("lahr2.taus", (nb,))
+        self.vec("lahr2.g", n)
+        self.vec("lahr2.wj", nb)
+        self.vec("lahr2.wj2", nb)
+        self.buf("lahr2.ytop", (n, nb))
+        self.buf("lahr2.ytop2", (n, nb))
+        self.buf("upd.yce", (rows, nb))
+        self.buf("upd.v2ce", (rows, nb))
+        self.buf("upd.w1", (nb, rows))
+        self.buf("upd.w2", (nb, rows))
+        self.buf("upd.wrow", (max(k, 1), n))
+        self.buf("upd.panel_top", (n, nb))
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(pool.nbytes for pool in self._pools.values())
+
+
+def gemm_inplace(
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    *,
+    trans_a: bool = False,
+    trans_b: bool = False,
+    beta: float = 1.0,
+) -> None:
+    """``C ← beta·C + alpha·op(A) op(B)`` strictly in place.
+
+    Requires *c* F-contiguous (full-column slices of the Fortran-ordered
+    extended storage qualify); raises if the BLAS wrapper would have had
+    to copy, because a silent copy would discard the update.
+    """
+    if DGEMM is None:  # pragma: no cover - scipy missing
+        prod = (a.T if trans_a else a) @ (b.T if trans_b else b)
+        if beta == 0.0:
+            c[...] = alpha * prod
+        else:
+            if beta != 1.0:
+                c *= beta
+            c += alpha * prod
+        return
+    out = DGEMM(
+        alpha, a, b, beta=beta, c=c, trans_a=trans_a, trans_b=trans_b, overwrite_c=1
+    )
+    if out is not c and not np.shares_memory(out, c):
+        raise ValueError(
+            "gemm_inplace: output buffer is not BLAS-compatible "
+            f"(shape {c.shape}, f_contiguous={c.flags.f_contiguous})"
+        )
