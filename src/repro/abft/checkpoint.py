@@ -10,11 +10,25 @@ trailing updates) with a diskless checkpoint (for the panel).
 
 The store keeps only the most recent checkpoint: once an iteration's
 detection check passes, the previous panel can never be needed again.
+
+Two hardening extensions beyond the paper:
+
+* **Self-verifying checkpoints.** The buffer itself is inside the fault
+  surface (Bosilca et al.'s point: checksum state must survive the
+  faults it guards against), so each snapshot carries its own per-column
+  sums, checked at restore time. A corrupted buffer is still restored —
+  the locate/correct pass that follows every restore can often repair
+  the damage — but the suspect columns are reported so the driver can
+  escalate when it cannot.
+* **An initial full-state snapshot** (:meth:`save_initial`), the
+  restart tier's substrate: the encoded input is kept for the lifetime
+  of the run so that a recovery path corrupted beyond local repair can
+  rebuild everything and redo the factorization from iteration 0.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,41 +44,89 @@ class PanelCheckpoint:
     ib: int
     panel: np.ndarray        # (N, ib) copy of columns [p, p+ib)
     col_chk_seg: np.ndarray  # (k, ib) copy of every channel's Ac_chk[p : p+ib]
+    guard_sums: np.ndarray = field(default=None)  # save-time per-column sums
 
     @property
     def nbytes(self) -> int:
         return self.panel.nbytes + self.col_chk_seg.nbytes
 
+    def suspect_columns(self) -> list[int]:
+        """Panel columns whose current sum disagrees with the save-time sum."""
+        if self.guard_sums is None:
+            return []
+        now = self.panel.sum(axis=0)
+        bad = ~np.isclose(now, self.guard_sums, rtol=1e-12, atol=0.0)
+        bad |= ~np.isfinite(now)
+        return [int(j) for j in np.nonzero(bad)[0]]
+
 
 class DisklessCheckpointStore:
-    """Holds the single live panel checkpoint and usage statistics."""
+    """Holds the single live panel checkpoint, the initial full-state
+    snapshot, and usage statistics."""
 
     def __init__(self) -> None:
         self.current: PanelCheckpoint | None = None
+        self.initial: np.ndarray | None = None  # copy of em.ext at encode time
         self.saves = 0
         self.restores = 0
         self.peak_bytes = 0
+        self.initial_saves = 0
+        self.initial_restores = 0
+        self.corruption_detected = 0
 
     def save(self, em: EncodedMatrix, p: int, ib: int) -> PanelCheckpoint:
         """Snapshot panel ``[p, p+ib)`` of *em*; replaces any prior checkpoint."""
         n = em.n
+        panel = em.data[:, p : p + ib].copy(order="F")
         cp = PanelCheckpoint(
             p=p,
             ib=ib,
-            panel=em.data[:, p : p + ib].copy(order="F"),
+            panel=panel,
             col_chk_seg=em.ext[n:, p : p + ib].copy(order="F"),
+            guard_sums=panel.sum(axis=0),
         )
         self.current = cp
         self.saves += 1
         self.peak_bytes = max(self.peak_bytes, cp.nbytes)
         return cp
 
-    def restore(self, em: EncodedMatrix) -> PanelCheckpoint:
-        """Write the checkpointed panel and checksum segments back into *em*."""
+    def restore(self, em: EncodedMatrix, *, verify: bool = False):
+        """Write the checkpointed panel and checksum segments back into *em*.
+
+        With ``verify=True`` returns ``(checkpoint, suspect_columns)``;
+        suspect columns are restored anyway (the follow-up locate pass
+        sees the corruption against the maintained checksums and can
+        often correct it — and escalation covers the rest).
+        """
         cp = self.current
         if cp is None:
             raise ReproError("no panel checkpoint to restore")
+        suspects = cp.suspect_columns() if verify else []
+        if suspects:
+            self.corruption_detected += len(suspects)
         em.data[:, cp.p : cp.p + cp.ib] = cp.panel
         em.ext[em.n :, cp.p : cp.p + cp.ib] = cp.col_chk_seg
         self.restores += 1
+        if verify:
+            return cp, suspects
         return cp
+
+    def drop_current(self) -> None:
+        """Invalidate the live panel checkpoint (restart path: the state
+        it snapshots no longer exists)."""
+        self.current = None
+
+    # -- the restart tier's substrate --------------------------------------
+
+    def save_initial(self, em: EncodedMatrix) -> None:
+        """Keep a full copy of the freshly encoded input (run lifetime)."""
+        self.initial = em.ext.copy(order="F")
+        self.initial_saves += 1
+        self.peak_bytes = max(self.peak_bytes, self.initial.nbytes)
+
+    def restore_initial(self, em: EncodedMatrix) -> None:
+        """Rebuild the entire encoded state from the initial snapshot."""
+        if self.initial is None:
+            raise ReproError("no initial snapshot to restart from")
+        em.ext[:, :] = self.initial
+        self.initial_restores += 1

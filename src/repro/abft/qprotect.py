@@ -68,6 +68,13 @@ class QProtector:
         self.qr_chk = np.zeros(self.n)
         self.qc_chk = np.zeros(self.n)
 
+    def reset(self) -> None:
+        """Forget all maintained state (the full-restart tier: the Q
+        region it summarized no longer exists)."""
+        self.qr_chk[:] = 0.0
+        self.qc_chk[:] = 0.0
+        self.finished_cols = 0
+
     # -- maintenance -------------------------------------------------------
 
     def update_for_panel(

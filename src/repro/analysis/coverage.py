@@ -49,9 +49,18 @@ class CoverageMap:
     cols: np.ndarray           # sampled column indices
     grid: np.ndarray           # (len(rows), len(cols)) of category chars
     residuals: np.ndarray = field(default=None)
+    outcome_counts: dict = field(default_factory=dict)  # taxonomy label -> trials
+    tier_counts: dict = field(default_factory=dict)     # deepest ladder tier -> trials
 
     def count(self, cat: str) -> int:
         return int(np.count_nonzero(self.grid == cat))
+
+    def tier_recovery_rates(self) -> dict:
+        """Fraction of all trials whose recovery topped out at each tier."""
+        total = self.grid.size
+        if not total:
+            return {}
+        return {t: c / total for t, c in sorted(self.tier_counts.items())}
 
     @property
     def silent_corruption_cells(self) -> list[tuple[int, int]]:
@@ -74,6 +83,14 @@ class CoverageMap:
         lines.append("")
         for cat, desc in CATEGORIES.items():
             lines.append(f"  {cat} = {desc}: {self.count(cat)}")
+        if self.outcome_counts:
+            lines.append("  outcomes: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.outcome_counts.items()) if v
+            ))
+        if self.tier_counts:
+            lines.append("  deepest recovery tier: " + ", ".join(
+                f"{k or 'none'}={v}" for k, v in sorted(self.tier_counts.items())
+            ))
         return "\n".join(lines)
 
 
@@ -112,8 +129,12 @@ def coverage_map(
         a0, tasks, cfg, residual_tol=residual_tol, workers=workers
     )
 
+    outcome_counts: dict = {}
+    tier_counts: dict = {}
     for idx, t in enumerate(outcomes):
         ai, bj = divmod(idx, cols.size)
+        outcome_counts[t.outcome] = outcome_counts.get(t.outcome, 0) + 1
+        tier_counts[t.max_tier] = tier_counts.get(t.max_tier, 0) + 1
         if t.failure:
             out[ai, bj] = "F"
             resids[ai, bj] = np.nan
@@ -127,5 +148,5 @@ def coverage_map(
 
     return CoverageMap(
         n=n, nb=nb, iteration=iteration, rows=rows, cols=cols, grid=out,
-        residuals=resids,
+        residuals=resids, outcome_counts=outcome_counts, tier_counts=tier_counts,
     )

@@ -76,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checksum channels (2 enables weighted decode)")
     c.add_argument("--workers", type=int, default=1,
                    help="trial-runner processes (1 = serial in-process)")
+    c.add_argument("--adversarial", action="store_true",
+                   help="widened fault surface: all spaces x phases "
+                        "(checkpoint/tau/V/Q-checksum faults, faults during "
+                        "recovery) instead of the paper's area x moment grid")
+    c.add_argument("--journal", type=str, default=None,
+                   help="append each trial to this JSONL journal as it "
+                        "completes (crash-proof campaigns)")
+    c.add_argument("--resume", action="store_true",
+                   help="replay completed trials from --journal and run "
+                        "only the remainder")
+    c.add_argument("--trial-timeout", type=float, default=None,
+                   help="per-trial wall-clock budget in seconds (pooled "
+                        "runs; a wedged worker aborts its chunk)")
 
     d = sub.add_parser("demo", help="one FT run with an injected error")
     d.add_argument("--n", type=int, default=158)
@@ -160,18 +173,51 @@ def _cmd_campaign(args) -> str:
     from repro.utils import Table
     from repro.utils.rng import random_matrix
 
+    channels = max(args.channels, 2) if args.adversarial else args.channels
     a = random_matrix(args.n, seed=args.seed)
     res = run_campaign(
         a,
         nb=args.nb,
         moments=args.moments,
         seed=args.seed,
-        config=FTConfig(nb=args.nb, channels=args.channels),
+        config=FTConfig(nb=args.nb, channels=channels),
         workers=args.workers,
+        adversarial=args.adversarial,
+        journal=args.journal,
+        resume=args.resume,
+        trial_timeout=args.trial_timeout,
     )
+    if args.adversarial:
+        from repro.faults import OUTCOMES
+
+        t = Table(
+            ["space", "trials", "corrected", "restarted", "masked", "aborted",
+             "worst residual"],
+            title=f"adversarial campaign on N={args.n} "
+                  f"(nb={args.nb}, channels={channels})",
+        )
+        spaces = sorted({x.spec.space for x in res.trials})
+        for space in spaces:
+            trials = [x for x in res.trials if x.spec.space == space]
+            t.add_row(
+                [
+                    space,
+                    len(trials),
+                    sum(x.outcome == "corrected" for x in trials),
+                    sum(x.outcome == "restarted" for x in trials),
+                    sum(x.outcome == "masked" for x in trials),
+                    sum(x.outcome == "aborted" for x in trials),
+                    max(x.residual for x in trials),
+                ]
+            )
+        counts = res.outcome_counts
+        tail = "outcomes: " + ", ".join(f"{o}={counts[o]}" for o in OUTCOMES)
+        if res.resumed:
+            tail += f"\nreplayed from journal: {res.resumed}/{len(res.trials)}"
+        return t.render() + "\n" + tail
     t = Table(
         ["area", "trials", "detected", "recovered", "worst residual"],
-        title=f"campaign on N={args.n} (nb={args.nb}, channels={args.channels})",
+        title=f"campaign on N={args.n} (nb={args.nb}, channels={channels})",
     )
     for area in (1, 2, 3):
         trials = res.by_area(area)
@@ -184,7 +230,10 @@ def _cmd_campaign(args) -> str:
                 max(x.residual for x in trials),
             ]
         )
-    return t.render() + f"\noverall recovery rate: {res.recovery_rate:.0%}"
+    tail = f"overall recovery rate: {res.recovery_rate:.0%}"
+    if res.resumed:
+        tail += f"\nreplayed from journal: {res.resumed}/{len(res.trials)}"
+    return t.render() + "\n" + tail
 
 
 def _cmd_trace(args) -> str:

@@ -8,6 +8,7 @@ from repro.abft.detection import ThresholdPolicy
 from repro.errors import ShapeError
 from repro.hybrid.machine import MachineSpec, paper_testbed
 from repro.linalg.gehrd import DEFAULT_NB
+from repro.resilience.ladder import LadderConfig
 
 
 @dataclass
@@ -62,6 +63,12 @@ class FTConfig(HybridConfig):
         ratio-based location that decodes multi-error patterns the unit
         scheme cannot (at ~2x the checksum-maintenance cost, still
         O(N²) total).
+    ladder:
+        Budgets for the recovery escalation ladder (in-place correct →
+        reverse+redo → deep rollback → full diskless restart); see
+        :class:`~repro.resilience.ladder.LadderConfig`. With
+        ``max_retries < 1`` the restart tier is disabled too (strict
+        fail-stop mode).
     audit_every:
         0 (paper-faithful default) disables the extension; k > 0 runs a
         full fresh-vs-maintained checksum audit every k iterations and
@@ -79,3 +86,4 @@ class FTConfig(HybridConfig):
     overlap_q_checksums: bool = True
     channels: int = 1
     audit_every: int = 0
+    ladder: LadderConfig = field(default_factory=LadderConfig)

@@ -24,6 +24,8 @@ detect) so the Fig. 6 overhead curves can be produced at paper-scale N.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.abft.checkpoint import DisklessCheckpointStore
@@ -44,9 +46,18 @@ from repro.abft.unwind import locate_errors_rowonly, rebuild_col_checksums, unwi
 from repro.core.config import FTConfig
 from repro.core.hybrid_hessenberg import iteration_plan_cached
 from repro.core.results import FTResult, RecoveryEvent
-from repro.errors import ConvergenceError, ShapeError, UncorrectableError
-from repro.faults.injector import FaultInjector
+from repro.errors import ConvergenceError, EscalationExhausted, ShapeError, UncorrectableError
+from repro.faults.injector import FaultInjector, InjectionTargets
 from repro.faults.regions import AREA_NO_PROPAGATION, classify, finished_cols_at
+from repro.resilience import (
+    TIER_AUDIT,
+    TIER_DEEP_ROLLBACK,
+    TIER_IN_PLACE,
+    TIER_RESTART,
+    TIER_REVERSE_REDO,
+    ResilienceSupervisor,
+    TauGuard,
+)
 from repro.hybrid.engine import SimOp
 from repro.hybrid.runtime import HybridRuntime
 from repro.linalg.flops import FlopCounter
@@ -156,7 +167,9 @@ def ft_gehrd(
         detector = Detector(config.threshold, norm_a)
         qprot = QProtector(n, norm_a=norm_a, eps_factor=config.eps_factor_locate)
         store = DisklessCheckpointStore()
+        store.save_initial(em)  # the restart tier's substrate
         taus = np.zeros(max(n - 1, 0))
+        tau_guard = TauGuard(taus.size)
         ws = Workspace()
         ws.presize(n, config.nb, config.channels)
     else:
@@ -164,10 +177,13 @@ def ft_gehrd(
         qprot = None
         store = None
         taus = None
+        tau_guard = None
         ws = None
+    sup = ResilienceSupervisor(config.ladder, config.max_retries)
     planned = _planned_detections(injector, n, config.nb, config.detect_every)
 
     recoveries: list[RecoveryEvent] = []
+    tau_repairs = 0
 
     # ---- line 1–2: upload + encode -----------------------------------------
     op_up_a = rt.copy_h2d(_B * n * n, name="upload_A", category="transfer")
@@ -322,6 +338,21 @@ def ft_gehrd(
     redo_seq = 0
     handled_detections: set[int] = set()
 
+    def inject(phase: str, iteration: int, panel_v: np.ndarray | None = None) -> None:
+        """Phase-aware adversarial injection hook: exposes every live FT
+        structure — the encoded matrix, the tau scalars, the Q-protection
+        checksums, the diskless checkpoint buffer and (inside an
+        iteration) the live V block — to the fault plan."""
+        if injector is None or not functional:
+            return
+        injector.apply_phase(
+            iteration,
+            phase,
+            InjectionTargets(
+                em=em, taus=taus, qprot=qprot, checkpoint=store, panel_v=panel_v
+            ),
+        )
+
     def locate_and_correct(finished: int) -> list:
         """Locate at the rolled-back state; raise if implausible/unclean."""
         report = locate_errors(
@@ -339,18 +370,54 @@ def ft_gehrd(
             raise UncorrectableError("correction did not clean the state")
         return report.errors
 
+    def try_in_place(finished: int) -> list | None:
+        """Ladder tier 0: correct at the *current* state, no rollback.
+
+        Only accepts patterns the decoder pins down exactly — at most
+        ``in_place_max_errors`` data elements (checksum-element errors
+        are recomputed from data and are always safe to fix in place).
+        The attempt is transactional: on any doubt the state is restored
+        verbatim and the ladder escalates.
+        """
+        snapshot = em.ext.copy()
+        try:
+            report = locate_errors(
+                em, finished, norm_a, eps_factor=config.eps_factor_locate,
+                counter=counter,
+            )
+            data_errs = [e for e in report.errors if e.kind == "data"]
+            if not report.errors or len(data_errs) > config.ladder.in_place_max_errors:
+                return None
+            if em.k < 2 and any(e.kind == "row_checksum" for e in report.errors):
+                # With one channel, a "row checksum" diagnosis is
+                # untrustworthy at the current state: a data error in a
+                # just-finished panel column looks identical, because the
+                # panel factorization recomputed that column's checksum
+                # over the corrupted data. Tier 1's restore brings back
+                # the save-time column checksums, which disambiguate.
+                return None
+            correct_all(em, report.errors, finished, counter=counter)
+            if locate_errors(
+                em, finished, norm_a, eps_factor=config.eps_factor_locate,
+                counter=counter,
+            ).errors:
+                raise UncorrectableError("in-place correction did not clean the state")
+            return report.errors
+        except UncorrectableError:
+            em.ext[:, :] = snapshot
+            return None
+
     it = 0
     while it < total_iters:
         p, ib = plan[it]
-        if functional and injector is not None:
-            injector.apply_at(em, it)
+        inject("boundary", it)
         if functional:
             store.save(em, p, ib)
 
         pf_cell: dict = {}
         vy_cell: dict = {}
 
-        def make_fns(p=p, ib=ib):
+        def make_fns(p=p, ib=ib, it=it):
             if not functional:
                 return {}
 
@@ -363,12 +430,14 @@ def ft_gehrd(
                 vy_cell["ychk"] = y_col_checksums(em, pf, counter=counter)
 
             def right_fn():
+                inject("post_panel", it, panel_v=pf_cell["pf"].v)
                 right_update_encoded(
                     em, pf_cell["pf"], vy_cell["vce"], vy_cell["ychk"],
                     counter=counter, workspace=ws,
                 )
 
             def left_fn():
+                inject("post_right", it, panel_v=pf_cell["pf"].v)
                 left_update_encoded(
                     em, pf_cell["pf"], vy_cell["vce"], counter=counter, workspace=ws
                 )
@@ -402,6 +471,7 @@ def ft_gehrd(
             consecutive_recoveries = 0
             if functional:
                 taus[p : p + ib] = pf_cell["pf"].taus
+                tau_guard.record(taus, p, ib)
                 qprot.update_for_panel(em.data, p, ib, counter=counter)
             # optional extension: periodic full audit — catches finished-H
             # corruption, which the Σ test is structurally blind to (it
@@ -434,24 +504,70 @@ def ft_gehrd(
                         detector.detections += 1
                         recoveries.append(
                             RecoveryEvent(iteration=it, p=p + ib, gap=0.0,
-                                          errors=report.errors, retries=1)
+                                          errors=report.errors, retries=1,
+                                          tier=TIER_AUDIT)
                         )
                         frontier = [rt.dot("gpu", n, frontier, name=f"audit_fix@{it}",
                                            category="abft_correct")]
             it += 1
             continue
 
-        # ---- recovery (lines 14–15, plus the deep rollback extension) ------
+        # ---- recovery: the escalation ladder (lines 14–15, tiered) --------
         consecutive_recoveries += 1
-        if consecutive_recoveries > config.max_retries:
-            raise ConvergenceError(
-                f"iteration {it}: errors persisted past {config.max_retries} retries"
-            )
         gap = em.checksum_gap() if functional else float("nan")
         errors: list = []
         back_it = it
-        if functional:
-            # reverse the current (live-buffer) iteration and restore the panel
+        if not functional:
+            # metadata mode keeps the flat pricing model: one
+            # reverse+redo (or deep rollback) per planned detection
+            if consecutive_recoveries > config.max_retries:
+                raise ConvergenceError(
+                    f"iteration {it}: errors persisted past {config.max_retries} retries"
+                )
+            back_it = planned.get(it, it)
+            handled_detections.add(it)
+            frontier = schedule_recovery(it, frontier, unwind_to=back_it)
+            recoveries.append(
+                RecoveryEvent(
+                    iteration=it, p=plan[back_it][0], gap=gap, errors=errors,
+                    retries=consecutive_recoveries,
+                    tier=TIER_REVERSE_REDO if back_it == it else TIER_DEEP_ROLLBACK,
+                )
+            )
+            it = back_it
+            continue
+
+        # the adversarial model lets faults strike while recovery runs —
+        # and unencoded FT state is verified against its shadow first,
+        # so a corrupted tau cannot steer the rollback itself
+        inject("during_recovery", it)
+        repaired = tau_guard.verify_and_repair(taus)
+        tau_repairs += len(repaired)
+
+        within_budget = consecutive_recoveries <= config.max_retries
+        recovered = False
+        tier_used = TIER_REVERSE_REDO
+
+        # -- tier 0: in-place correction, no rollback ------------------------
+        if within_budget and sup.allow(TIER_IN_PLACE):
+            fixed = try_in_place(p + ib)
+            sup.record(TIER_IN_PLACE, it, fixed is not None)
+            if fixed is not None:
+                recoveries.append(
+                    RecoveryEvent(iteration=it, p=p + ib, gap=gap, errors=fixed,
+                                  retries=consecutive_recoveries, tier=TIER_IN_PLACE)
+                )
+                taus[p : p + ib] = pf_cell["pf"].taus
+                tau_guard.record(taus, p, ib)
+                qprot.update_for_panel(em.data, p, ib, counter=counter)
+                frontier = [rt.dot("gpu", n, frontier, name=f"fix@{it}",
+                                   category="abft_correct")]
+                consecutive_recoveries = 0
+                it += 1
+                continue
+
+        if within_budget:
+            # -- tier 1: reverse the live iteration, restore, locate ---------
             pf = pf_cell["pf"]
             reverse_left_update_encoded(
                 em, pf, vy_cell["vce"], counter=counter, workspace=ws
@@ -459,56 +575,115 @@ def ft_gehrd(
             reverse_right_update_encoded(
                 em, pf, vy_cell["vce"], vy_cell["ychk"], counter=counter, workspace=ws
             )
-            store.restore(em)
-            while True:
+            store.restore(em, verify=True)
+            try:
+                errors = locate_and_correct(plan[it][0])
+                recovered = True
+                sup.record(TIER_REVERSE_REDO, it, True)
+            except UncorrectableError as exc:
+                sup.record(TIER_REVERSE_REDO, it, False, str(exc))
+
+            # -- tier 2: deep rollback through completed iterations ----------
+            deep_steps = 0
+            while (
+                not recovered
+                and back_it > 0
+                and (
+                    config.ladder.max_deep_steps is None
+                    or deep_steps < config.ladder.max_deep_steps
+                )
+            ):
+                back_it -= 1
+                deep_steps += 1
+                tier_used = TIER_DEEP_ROLLBACK
+                pb, ibb = plan[back_it]
+                qprot.rollback_panel(em.data, pb, ibb)
+                unwind_iteration(em, pb, ibb, taus, counter=counter)
+                taus[pb : pb + ibb] = 0.0
+                tau_guard.rollback(pb, ibb)
                 try:
-                    if back_it == it:
-                        # single-iteration rollback: both checksum vectors
-                        # are valid — the paper's locate/correct
-                        errors = locate_and_correct(plan[back_it][0])
-                    else:
-                        # deep rollback: only the row checksums unwound
-                        # exactly; locate through them (needs channels>=2)
-                        # and rebuild the column checksums afterwards
-                        errors = locate_errors_rowonly(
-                            em, plan[back_it][0], norm_a,
-                            eps_factor=config.eps_factor_locate, counter=counter,
-                        )
-                        if len(errors) > max_simultaneous:
-                            raise UncorrectableError("smeared state")
-                        correct_all(em, errors, plan[back_it][0], counter=counter)
-                        rebuild_col_checksums(em, plan[back_it][0], counter=counter)
-                        if locate_errors_rowonly(
-                            em, plan[back_it][0], norm_a,
-                            eps_factor=config.eps_factor_locate, counter=counter,
-                        ):
-                            raise UncorrectableError("correction did not clean the state")
-                    break
-                except UncorrectableError:
-                    if back_it == 0:
-                        raise
-                    # the corruption predates this iteration: unwind the
-                    # previous (completed) one from packed storage
-                    back_it -= 1
-                    pb, ibb = plan[back_it]
-                    qprot.rollback_panel(em.data, pb, ibb)
-                    unwind_iteration(em, pb, ibb, taus, counter=counter)
-                    taus[pb : pb + ibb] = 0.0
-        else:
-            back_it = planned.get(it, it)
-            handled_detections.add(it)
-        frontier = schedule_recovery(it, frontier, unwind_to=back_it)
-        recoveries.append(
-            RecoveryEvent(iteration=it, p=plan[back_it][0], gap=gap, errors=errors,
-                          retries=consecutive_recoveries)
+                    # only the row checksums unwound exactly; locate
+                    # through them (needs channels>=2) and rebuild the
+                    # column checksums afterwards
+                    errors = locate_errors_rowonly(
+                        em, plan[back_it][0], norm_a,
+                        eps_factor=config.eps_factor_locate, counter=counter,
+                    )
+                    if len(errors) > max_simultaneous:
+                        raise UncorrectableError("smeared state")
+                    correct_all(em, errors, plan[back_it][0], counter=counter)
+                    rebuild_col_checksums(em, plan[back_it][0], counter=counter)
+                    if locate_errors_rowonly(
+                        em, plan[back_it][0], norm_a,
+                        eps_factor=config.eps_factor_locate, counter=counter,
+                    ):
+                        raise UncorrectableError("correction did not clean the state")
+                    recovered = True
+                    sup.record(TIER_DEEP_ROLLBACK, it, True)
+                except UncorrectableError as exc:
+                    sup.record(TIER_DEEP_ROLLBACK, it, False, str(exc))
+
+        if recovered:
+            frontier = schedule_recovery(it, frontier, unwind_to=back_it)
+            recoveries.append(
+                RecoveryEvent(iteration=it, p=plan[back_it][0], gap=gap,
+                              errors=errors, retries=consecutive_recoveries,
+                              tier=tier_used)
+            )
+            it = back_it  # redo the rolled-back iterations
+            continue
+
+        # -- tier 3: full diskless restart from the initial snapshot ---------
+        if sup.allow(TIER_RESTART):
+            store.restore_initial(em)
+            store.drop_current()
+            taus[:] = 0.0
+            tau_guard.reset()
+            qprot.reset()
+            sup.record(TIER_RESTART, it, True)
+            recoveries.append(
+                RecoveryEvent(iteration=it, p=0, gap=gap, errors=[],
+                              retries=consecutive_recoveries, tier=TIER_RESTART)
+            )
+            frontier = [
+                rt.copy_h2d(_B * n * n, frontier, name=f"restart@{it}",
+                            category="abft_recover")
+            ]
+            consecutive_recoveries = 0
+            it = 0
+            continue
+
+        reason = (
+            f"errors persisted past {config.max_retries} retries"
+            if not within_budget
+            else "no tier could produce a clean state"
         )
-        it = back_it  # redo the rolled-back iterations
+        raise EscalationExhausted(
+            f"iteration {it}: {reason}", report=sup.report(it, reason)
+        )
 
     # ---- end of run: Q verification (once — §IV-F last paragraph) ------------
     if functional and injector is not None:
-        # faults planned past the last iteration strike the finished matrix
-        for it in range(total_iters, total_iters + 2):
-            injector.apply_at(em, it)
+        # every fault planned at or past the last iteration strikes the
+        # finished state — however far past the end it was scheduled
+        if injector.pending_after(total_iters):
+            injector.apply_pending_after(
+                InjectionTargets(
+                    em=em, taus=taus, qprot=qprot, checkpoint=store, panel_v=None
+                ),
+                total_iters,
+            )
+        for spec in injector.unfired():
+            warnings.warn(
+                f"fault spec never fired: {spec} (its phase never occurred "
+                "at that iteration)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if functional:
+        # the tau scalars feed the formation of Q; verify against the
+        # shadow once, at the end, like the Q checksums below
+        tau_repairs += len(tau_guard.verify_and_repair(taus))
 
     op_qv = rt.submit(
         "q_verify",
@@ -548,4 +723,7 @@ def ft_gehrd(
         checkpoint_saves=store.saves if functional else 0,
         checkpoint_restores=store.restores if functional else 0,
         checkpoint_peak_bytes=store.peak_bytes if functional else 0,
+        restarts=sup.restarts,
+        tau_repairs=tau_repairs,
+        checkpoint_corruptions=store.corruption_detected if functional else 0,
     )

@@ -43,7 +43,7 @@ from repro.abft.qprotect import QProtector
 from repro.abft.location import LocatedError, decode_residuals
 from repro.core.results import RecoveryEvent
 from repro.errors import ConvergenceError, ShapeError, UncorrectableError
-from repro.faults.injector import FaultInjector, InjectionRecord
+from repro.faults.injector import FaultInjector, InjectionTargets
 from repro.linalg.flops import FlopCounter
 from repro.linalg.householder import larfg
 from repro.linalg.verify import one_norm
@@ -373,14 +373,31 @@ def ft_sytrd(
             + (f" (last: {last_err})" if last_err else "")
         )
 
+    cp_view = _SytrdCheckpointView(buffer)
+
+    def inject(phase: str, column: int, panel_v: np.ndarray | None = None) -> None:
+        """Phase-aware hook, mirroring ft_gehrd's: the raw extended
+        matrix, the taus, the reflector-protection checksums, and the
+        newest column checkpoint are all inside the fault surface."""
+        if injector is None:
+            return
+        injector.apply_phase(
+            column,
+            phase,
+            InjectionTargets(
+                ext=st.ext, n=n, k=1, taus=st.taus, qprot=qprot,
+                checkpoint=cp_view, panel_v=panel_v,
+            ),
+        )
+
     j = 0
     last_cols = max(n - 2, 0)
     while j < last_cols:
-        if injector is not None:
-            _inject_tridiag(injector, st.ext, n, j)
+        inject("boundary", j)
 
         rec = st.apply_column(j)
         buffer.append(rec)
+        inject("post_panel", j, panel_v=rec.v.reshape(-1, 1))
 
         # tier 1: cheap Σ-gap test after every column, plus the freeze
         # discrepancy (catches corruption sitting on the band itself)
@@ -400,6 +417,7 @@ def ft_sytrd(
                 raise ConvergenceError(
                     f"ft_sytrd: errors persisted past {max_retries} retries near column {j}"
                 )
+            inject("during_recovery", j)
             redo_from, errors = rollback_and_correct()
             recoveries.append(
                 RecoveryEvent(iteration=j, p=redo_from, gap=gap, errors=errors,
@@ -414,6 +432,15 @@ def ft_sytrd(
         if boundary:
             audit_base = j
             buffer.clear()
+
+    # faults planned at or past the last column strike the finished state
+    # (the final audit and the reflector check below still see them)
+    if injector is not None:
+        injector.apply_pending_after(
+            InjectionTargets(ext=st.ext, n=n, k=1, taus=st.taus, qprot=qprot,
+                             checkpoint=cp_view),
+            last_cols,
+        )
 
     # final audit over the fully reduced matrix
     checks += 1
@@ -449,22 +476,21 @@ def ft_sytrd(
     )
 
 
-def _inject_tridiag(injector: FaultInjector, ext: np.ndarray, n: int, column: int) -> None:
-    """Apply faults planned for this column step."""
-    for idx, f in enumerate(injector.faults):
-        if f.iteration != column or idx in injector._fired:
-            continue
-        if f.space == "matrix":
-            old = float(ext[f.row, f.col])
-            new = f.corrupt(old)
-            ext[f.row, f.col] = new
-        elif f.space == "row_checksum":
-            old = float(ext[f.row, n])
-            new = f.corrupt(old)
-            ext[f.row, n] = new
-        else:
-            old = float(ext[n, f.col])
-            new = f.corrupt(old)
-            ext[n, f.col] = new
-        injector.injected.append(InjectionRecord(spec=f, old_value=old, new_value=new))
-        injector._fired.add(idx)
+class _SytrdCheckpointView:
+    """Adapter exposing the newest column checkpoint through the
+    :class:`~repro.faults.injector.InjectionTargets` checkpoint protocol
+    (``.current.panel``): the reversal buffer's pre-step column copy is
+    just as much inside the fault surface as ft_gehrd's panel buffer."""
+
+    @dataclass
+    class _View:
+        panel: np.ndarray
+
+    def __init__(self, buffer: list[_ColumnRecord]):
+        self._buffer = buffer
+
+    @property
+    def current(self):
+        if not self._buffer:
+            return None
+        return self._View(panel=self._buffer[-1].cp_col.reshape(-1, 1))

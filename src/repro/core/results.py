@@ -40,13 +40,15 @@ class HybridResult:
 
 @dataclass
 class RecoveryEvent:
-    """One detection → rollback → locate → correct → redo cycle."""
+    """One detection → recovery cycle, tagged with the escalation-ladder
+    tier that resolved it (see :mod:`repro.resilience.ladder`)."""
 
     iteration: int
     p: int
     gap: float
     errors: list[LocatedError] = field(default_factory=list)
     retries: int = 1
+    tier: str = "reverse_redo"
 
 
 @dataclass
@@ -60,6 +62,9 @@ class FTResult(HybridResult):
     checkpoint_saves: int = 0
     checkpoint_restores: int = 0
     checkpoint_peak_bytes: int = 0
+    restarts: int = 0
+    tau_repairs: int = 0
+    checkpoint_corruptions: int = 0
 
     @property
     def errors_corrected(self) -> int:

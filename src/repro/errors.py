@@ -39,3 +39,18 @@ class SimulationError(ReproError, RuntimeError):
 
 class FaultConfigError(ReproError, ValueError):
     """A fault-injection specification is invalid (bad target, time, or kind)."""
+
+
+class EscalationExhausted(ConvergenceError):
+    """Every tier of the recovery escalation ladder failed or ran out of
+    budget. Carries the structured :class:`~repro.resilience.FailureReport`
+    instead of leaving callers a bare traceback.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class JournalError(ReproError, RuntimeError):
+    """A campaign journal file is unusable (wrong fingerprint or header)."""

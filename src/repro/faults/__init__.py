@@ -1,12 +1,16 @@
 """Soft-error injection: fault specs, the injector hook, the Fig. 2a
-region partition, campaign sweeps, and SER arrival models."""
+region partition, campaign sweeps, the crash-proof campaign journal,
+and SER arrival models."""
 
 from repro.faults.injector import (
     FaultSpec,
     FaultInjector,
     InjectionRecord,
+    InjectionTargets,
     flip_bit,
     SPACES,
+    PHASES,
+    SPACE_PHASES,
     KINDS,
 )
 from repro.faults.ser import (
@@ -18,9 +22,11 @@ from repro.faults.campaign import (
     TrialOutcome,
     CampaignResult,
     build_fault_grid,
+    build_adversarial_grid,
     run_campaign,
 )
-from repro.faults.executor import run_ft_trials, run_one_trial
+from repro.faults.executor import OUTCOMES, classify_outcome, run_ft_trials, run_one_trial
+from repro.faults.journal import CampaignJournal, grid_fingerprint
 from repro.faults.regions import (
     AREA_NO_PROPAGATION,
     AREA_ROW_PROPAGATION,
@@ -42,14 +48,22 @@ __all__ = [
     "TrialOutcome",
     "CampaignResult",
     "build_fault_grid",
+    "build_adversarial_grid",
     "run_campaign",
     "run_ft_trials",
     "run_one_trial",
+    "OUTCOMES",
+    "classify_outcome",
+    "CampaignJournal",
+    "grid_fingerprint",
     "FaultSpec",
     "FaultInjector",
     "InjectionRecord",
+    "InjectionTargets",
     "flip_bit",
     "SPACES",
+    "PHASES",
+    "SPACE_PHASES",
     "KINDS",
     "AREA_NO_PROPAGATION",
     "AREA_ROW_PROPAGATION",

@@ -1,13 +1,24 @@
 """Fault-injection campaigns: sweeps over areas, moments and sizes.
 
-A campaign runs the FT driver repeatedly under a grid of single-fault
-plans and aggregates recovery outcomes — the machinery behind the Fig. 6
+A campaign runs the FT driver repeatedly under a grid of fault plans and
+aggregates recovery outcomes — the machinery behind the Fig. 6
 uncertainty bands and the recovery-coverage tests.
 
-The grid of fault plans is generated up front (one RNG, one draw order —
-see :func:`build_fault_grid`) and executed by
+Two grid builders:
+
+* :func:`build_fault_grid` — the paper's protocol: one matrix fault per
+  (area × moment) cell, struck at an iteration boundary;
+* :func:`build_adversarial_grid` — the widened surface: every fault
+  space (matrix, both checksum banks, the checkpoint buffer, the tau
+  scalars, the live V block, the Q checksums) × every phase that space
+  supports, including faults *during recovery* (which ride along with a
+  boundary trigger fault so that recovery is actually running when they
+  strike).
+
+The grid is generated up front (one RNG, one draw order) and executed by
 :mod:`repro.faults.executor`, serially or across a process pool; the
-trial list is identical either way.
+trial list is identical either way, which is what makes the on-disk
+journal's grid-index keying sound.
 """
 
 from __future__ import annotations
@@ -19,8 +30,9 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.faults.executor import TrialOutcome, run_ft_trials
-from repro.faults.injector import FaultSpec
+from repro.faults.executor import OUTCOMES, TrialOutcome, run_ft_trials
+from repro.faults.injector import SPACE_PHASES, SPACES, FaultSpec
+from repro.faults.journal import CampaignJournal, grid_fingerprint
 from repro.faults.regions import finished_cols_at, iteration_count, sample_in_area
 from repro.utils.rng import make_rng
 
@@ -31,6 +43,7 @@ __all__ = [
     "TrialOutcome",
     "CampaignResult",
     "build_fault_grid",
+    "build_adversarial_grid",
     "baseline_residual",
     "run_campaign",
 ]
@@ -44,6 +57,7 @@ class CampaignResult:
     nb: int
     trials: list[TrialOutcome] = field(default_factory=list)
     baseline_residual: float = 0.0
+    resumed: int = 0  # trials replayed from a journal instead of re-run
 
     @property
     def recovery_rate(self) -> float:
@@ -57,6 +71,16 @@ class CampaignResult:
 
     def by_area(self, area: int) -> list[TrialOutcome]:
         return [t for t in self.trials if t.area == area]
+
+    def by_outcome(self, outcome: str) -> list[TrialOutcome]:
+        return [t for t in self.trials if t.outcome == outcome]
+
+    @property
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {o: 0 for o in OUTCOMES}
+        for t in self.trials:
+            counts[t.outcome] = counts.get(t.outcome, 0) + 1
+        return counts
 
 
 def build_fault_grid(
@@ -85,6 +109,139 @@ def build_fault_grid(
             p = finished_cols_at(it, n, nb)
             i, j = sample_in_area(area, p, n, rng)
             tasks.append((FaultSpec(iteration=it, row=i, col=j, magnitude=magnitude), area))
+    return tasks
+
+
+def _adversarial_target(
+    space: str,
+    phase: str,
+    rng: np.random.Generator,
+    *,
+    n: int,
+    p: int,
+    ib: int,
+    channels: int,
+    flip: bool,
+) -> dict:
+    """Draw (row, col, channel) aimed at the live, consequential part of
+    *space* at an iteration with ``p`` finished columns.
+
+    "Live" excludes state this very iteration retires: a fault planned
+    after the panel factorization must not land in the panel columns
+    ``[p, p+ib)``, because those become finished V/checksum storage the
+    Σ test never reads again — a vacuously silent target (the
+    finished-region hole belongs to the audit tests, not the recovery
+    campaign)."""
+    if space == "matrix":
+        if phase == "boundary":
+            i, j = sample_in_area(2, p, n, rng)  # full-propagation region
+            return {"row": i, "col": j}
+        return {
+            "row": int(rng.integers(p + 1, n)),
+            "col": int(rng.integers(p + ib, n)),
+        }
+    if space == "row_checksum":
+        return {
+            "row": int(rng.integers(0, n)),
+            "col": 0,
+            "channel": int(rng.integers(0, channels)),
+        }
+    if space == "col_checksum":
+        # columns still live after this iteration; the panel columns'
+        # checksums freeze into never-read scratch when the panel retires
+        return {
+            "row": 0,
+            "col": int(rng.integers(p + ib, n)),
+            "channel": int(rng.integers(0, channels)),
+        }
+    if space == "checkpoint":
+        # the buffer snapshots all N rows of the ib panel columns
+        return {"row": int(rng.integers(0, n)), "col": int(rng.integers(0, ib))}
+    if space == "tau":
+        # a finished reflector scalar (shadow-repairable; p >= 1 by clamp)
+        return {"row": int(rng.integers(0, p)), "col": 0}
+    if space == "panel_v":
+        return {"row": int(rng.integers(0, n - p - 1)), "col": int(rng.integers(0, ib))}
+    if space == "q_checksum":
+        if flip:  # alternate between the two checksum vectors
+            return {"row": int(rng.integers(2, n)), "col": -1}
+        return {"row": -1, "col": int(rng.integers(0, p))}
+    raise ValueError(f"unknown space {space!r}")  # pragma: no cover
+
+
+def build_adversarial_grid(
+    n: int,
+    nb: int,
+    *,
+    spaces: tuple[str, ...] | None = None,
+    phases: tuple[str, ...] | None = None,
+    moments: int = 3,
+    seed: int = 0,
+    magnitude: float = 1.0,
+    channels: int = 2,
+) -> list[tuple[tuple[FaultSpec, ...], int]]:
+    """Task grid over the widened fault surface: spaces × phases × moments.
+
+    Each task's plan is a tuple of specs. Most plans hold one fault; two
+    classes ride along with a **trigger** — a detectable boundary matrix
+    fault in the trailing block at the same iteration:
+
+    * ``during_recovery`` faults (any space): without a detection there
+      is no recovery for them to strike during;
+    * ``checkpoint`` faults (any phase): the buffer is only ever *read*
+      by a recovery's restore — an unread corruption is vacuously masked.
+
+    The adversarial spec is first in the plan, so ``TrialOutcome.spec``
+    identifies the trial by the fault under study, not its trigger.
+    Matrix-space trials carry area 2 (they are drawn from the
+    full-propagation region); FT-machinery spaces carry area 0 — they
+    live outside the paper's Fig. 2 partition of the matrix itself.
+    """
+    spaces = tuple(spaces) if spaces is not None else SPACES
+    total = iteration_count(n, nb)
+    rng = make_rng(seed)
+    tasks: list[tuple[tuple[FaultSpec, ...], int]] = []
+    flip = False
+    for space in spaces:
+        space_phases = SPACE_PHASES[space]
+        # the gehrd driver does not expose the live V block at the
+        # recovery hook, so a during_recovery panel_v plan cannot fire
+        if space == "panel_v":
+            space_phases = tuple(ph for ph in space_phases if ph != "during_recovery")
+        use_phases = (
+            space_phases
+            if phases is None
+            else tuple(ph for ph in phases if ph in space_phases)
+        )
+        for phase in use_phases:
+            for k in range(moments):
+                frac = k / max(moments - 1, 1)
+                # clamp >= 1: every space needs at least one finished
+                # panel (taus, q columns) or a live trailing block
+                it = min(max(int(round(frac * (total - 1))), 1), total - 1)
+                p = finished_cols_at(it, n, nb)
+                ib = min(nb, n - 1 - p)
+                target = _adversarial_target(
+                    space, phase, rng, n=n, p=p, ib=ib, channels=channels, flip=flip
+                )
+                if space == "q_checksum":
+                    flip = not flip
+                spec = FaultSpec(
+                    iteration=it,
+                    kind="add",
+                    magnitude=magnitude,
+                    space=space,
+                    phase=phase,
+                    **target,
+                )
+                plan = [spec]
+                if phase == "during_recovery" or space == "checkpoint":
+                    ti, tj = sample_in_area(2, p, n, rng)
+                    plan.append(
+                        FaultSpec(iteration=it, row=ti, col=tj, magnitude=magnitude)
+                    )
+                area = 2 if space == "matrix" else 0
+                tasks.append((tuple(plan), area))
     return tasks
 
 
@@ -125,23 +282,88 @@ def run_campaign(
     config: "FTConfig | None" = None,
     workers: int = 1,
     chunksize: int | None = None,
+    adversarial: bool = False,
+    spaces: tuple[str, ...] | None = None,
+    phases: tuple[str, ...] | None = None,
+    journal: "str | CampaignJournal | None" = None,
+    resume: "bool | str" = False,
+    trial_timeout: float | None = None,
+    crash_index: int | None = None,
+    crash_once_path: str | None = None,
 ) -> CampaignResult:
-    """Inject one fault per (area x moment) cell and verify full recovery.
+    """Run a fault campaign over *a* and verify recovery of every trial.
 
     ``residual_tol`` is the pass bar on the Table II residual after
     recovery — recovered runs must be as good as fault-free ones.
     ``workers > 1`` distributes the trials over a process pool; results
     are identical to the serial sweep (same grid, same seeds).
+
+    ``adversarial=True`` swaps the paper's area×moment matrix grid for
+    :func:`build_adversarial_grid` (all fault spaces × phases) and
+    defaults the config to two checksum channels, which the widened
+    surface needs for multi-error location.
+
+    ``journal`` names an on-disk JSONL journal that records each trial
+    as it completes; ``resume=True`` (or ``resume=<path>``, which
+    implies the journal path) replays the journaled trials and executes
+    only the remainder — after a campaign-runner crash the rerun
+    produces the identical outcome table without redoing finished work.
+    ``trial_timeout`` (seconds) bounds each pooled trial; see
+    :func:`repro.faults.executor.run_ft_trials` for the crash semantics
+    of ``crash_index`` / ``crash_once_path`` (test/chaos hooks).
     """
     from repro.core.config import FTConfig
 
     n = a.shape[0]
-    cfg = config or FTConfig(nb=nb)
-    tasks = build_fault_grid(
-        n, nb, areas=areas, moments=moments, seed=seed, magnitude=magnitude
+    if isinstance(resume, (str, bytes)) or hasattr(resume, "__fspath__"):
+        if journal is None:
+            journal = resume
+        resume = True
+    if adversarial:
+        cfg = config or FTConfig(nb=nb, channels=2)
+        tasks = build_adversarial_grid(
+            n,
+            nb,
+            spaces=spaces,
+            phases=phases,
+            moments=moments,
+            seed=seed,
+            magnitude=magnitude,
+            channels=cfg.channels,
+        )
+    else:
+        cfg = config or FTConfig(nb=nb)
+        tasks = build_fault_grid(
+            n, nb, areas=areas, moments=moments, seed=seed, magnitude=magnitude
+        )
+
+    on_result = None
+    precomputed = None
+    if journal is not None:
+        jr = journal if isinstance(journal, CampaignJournal) else CampaignJournal(journal)
+        fp = grid_fingerprint(n, nb, tasks)
+        if resume:
+            precomputed = jr.load(fp)
+        jr.ensure_header(fp)
+        on_result = jr.append
+
+    result = CampaignResult(
+        n=n,
+        nb=nb,
+        baseline_residual=baseline_residual(a, cfg),
+        resumed=len(precomputed or {}),
     )
-    result = CampaignResult(n=n, nb=nb, baseline_residual=baseline_residual(a, cfg))
     result.trials = run_ft_trials(
-        a, tasks, cfg, residual_tol=residual_tol, workers=workers, chunksize=chunksize
+        a,
+        tasks,
+        cfg,
+        residual_tol=residual_tol,
+        workers=workers,
+        chunksize=chunksize,
+        trial_timeout=trial_timeout,
+        on_result=on_result,
+        precomputed=precomputed,
+        crash_index=crash_index,
+        crash_once_path=crash_once_path,
     )
     return result

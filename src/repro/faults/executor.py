@@ -1,39 +1,63 @@
-"""Multiprocess trial runner for fault-injection campaigns.
+"""Crash-proof multiprocess trial runner for fault-injection campaigns.
 
 A campaign is embarrassingly parallel: every trial is an independent
-FT-GEHRD run under its own single-fault plan. The expensive part of
-scaling it out is *not* the orchestration — it is keeping determinism.
-The grid of :class:`~repro.faults.injector.FaultSpec` plans is therefore
-built entirely in the parent (one RNG, one draw order, identical to the
-serial sweep), and only the frozen, picklable specs travel to the
-workers. A campaign run with ``workers=4`` produces byte-identical
-trial lists to ``workers=1``.
+FT-GEHRD run under its own fault plan. The expensive part of scaling it
+out is *not* the orchestration — it is keeping determinism. The grid of
+:class:`~repro.faults.injector.FaultSpec` plans is therefore built
+entirely in the parent (one RNG, one draw order, identical to the serial
+sweep), and only the frozen, picklable specs travel to the workers. A
+campaign run with ``workers=4`` produces byte-identical trial lists to
+``workers=1``.
+
+Hardening beyond the plain pool:
+
+* **per-trial timeout** — a wedged worker cannot stall the campaign;
+  its chunk's trials are graded ``aborted`` and the pool is rebuilt;
+* **worker-crash recovery** — a ``BrokenProcessPool`` (segfault,
+  OOM-kill, deliberate ``os._exit``) rebuilds the pool and retries each
+  lost chunk exactly once before grading its trials ``aborted``;
+* **incremental results** — an ``on_result`` callback fires as each
+  trial completes (the campaign journal appends through it), and a
+  ``precomputed`` map short-circuits trials a resumed campaign already
+  journaled.
 
 Workers are primed once via the pool initializer with the (read-only)
 input matrix, the FT configuration and the residual bar, so the per-task
-payload is just the spec. Tasks are shipped in contiguous chunks to
+payload is just the plan. Tasks are shipped in contiguous chunks to
 amortize IPC, and results are reassembled in grid order.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import os
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
-from repro.errors import ReproError
+from repro.errors import EscalationExhausted, ReproError
 from repro.faults.injector import FaultInjector, FaultSpec
+from repro.resilience.ladder import max_tier as _deepest_tier
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from repro.core.config import FTConfig
 
+#: Outcome taxonomy, one label per trial (see docs/resilience.md):
+#: every trial lands in exactly one bucket, campaign-crash included.
+OUTCOMES = ("detected", "corrected", "masked", "escalated", "restarted", "aborted")
+
 
 @dataclass
 class TrialOutcome:
-    """One injected run's result."""
+    """One injected run's result.
+
+    ``spec`` is the plan's primary fault (compatibility with single-fault
+    grids); ``specs`` carries the full plan when a trial injects several.
+    """
 
     spec: FaultSpec
     area: int
@@ -43,15 +67,63 @@ class TrialOutcome:
     recoveries: int
     q_corrections: int
     failure: str = ""
+    outcome: str = ""
+    max_tier: str = ""
+    restarts: int = 0
+    tau_repairs: int = 0
+    specs: tuple[FaultSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            self.specs = (self.spec,)
+        if not self.outcome:
+            self.outcome = classify_outcome(
+                detected=self.detected,
+                corrected=self.corrected,
+                restarts=self.restarts,
+                max_tier=self.max_tier,
+                failure=self.failure,
+            )
 
     @property
     def recovered(self) -> bool:
         return self.corrected and not self.failure
 
 
+def classify_outcome(
+    *,
+    detected: bool,
+    corrected: bool,
+    restarts: int,
+    max_tier: str,
+    failure: str,
+) -> str:
+    """Map a trial's raw facts onto the outcome taxonomy.
+
+    ``aborted``   — the run raised (or timed out / lost its worker);
+    ``restarted`` — clean result, but only via the full-restart tier;
+    ``escalated`` — clean result via deep rollback (beyond the paper's
+    one-tier reverse+redo);
+    ``corrected`` — clean result, detection + ordinary recovery;
+    ``masked``    — clean result, nothing ever detected (sub-threshold);
+    ``detected``  — the final state is wrong (detected-but-uncorrected,
+    the paper's fail-stop residue; a silent-wrong run lands here too —
+    the end-of-run verify *is* the detection).
+    """
+    if failure:
+        return "aborted"
+    if corrected:
+        if restarts > 0:
+            return "restarted"
+        if max_tier == "deep_rollback":
+            return "escalated"
+        return "corrected" if detected else "masked"
+    return "detected"
+
+
 def run_one_trial(
     a: np.ndarray,
-    spec: FaultSpec,
+    plan: "FaultSpec | tuple[FaultSpec, ...] | list[FaultSpec]",
     area: int,
     cfg: "FTConfig",
     residual_tol: float,
@@ -65,22 +137,43 @@ def run_one_trial(
     from repro.linalg.orghr import orghr
     from repro.linalg.verify import extract_hessenberg, factorization_residual
 
-    inj = FaultInjector().add(spec)
+    specs = tuple(plan) if isinstance(plan, (tuple, list)) else (plan,)
+    inj = FaultInjector(faults=list(specs))
     failure = ""
+    detected = corrected = False
+    residual = float("inf")
+    recov = qcorr = restarts = taurep = 0
+    tier = ""
     try:
-        ft = ft_gehrd(a, cfg, injector=inj)
-        q = orghr(ft.a, ft.taus)
-        h = extract_hessenberg(ft.a)
-        residual = factorization_residual(a, q, h)
-        detected = ft.detections > 0 or (ft.q_report is not None and ft.q_report.count > 0)
+        with warnings.catch_warnings():
+            # NaN-poisoned trials spray numpy RuntimeWarnings; unfired-spec
+            # warnings are the caller's business, not per-trial noise
+            warnings.simplefilter("ignore", RuntimeWarning)
+            ft = ft_gehrd(a, cfg, injector=inj)
+            q = orghr(ft.a, ft.taus)
+            h = extract_hessenberg(ft.a)
+            residual = factorization_residual(a, q, h)
+        detected = (
+            ft.detections > 0
+            or (ft.q_report is not None and ft.q_report.count > 0)
+            or ft.tau_repairs > 0
+            or ft.checkpoint_corruptions > 0
+        )
         corrected = residual <= residual_tol
         recov = len(ft.recoveries)
         qcorr = ft.q_report.count if ft.q_report else 0
+        restarts = ft.restarts
+        taurep = ft.tau_repairs
+        tier = _deepest_tier(r.tier for r in ft.recoveries)
+    except EscalationExhausted as exc:  # ladder exhausted: structured refusal
+        detected = True
+        failure = f"EscalationExhausted: {exc}"
+        if exc.report is not None:
+            tier = _deepest_tier(exc.report.attempts)
     except ReproError as exc:  # recovery machinery failed outright
-        residual, detected, corrected, recov, qcorr = float("inf"), False, False, 0, 0
         failure = f"{type(exc).__name__}: {exc}"
     return TrialOutcome(
-        spec=spec,
+        spec=specs[0],
         area=area,
         detected=detected,
         corrected=corrected,
@@ -88,6 +181,25 @@ def run_one_trial(
         recoveries=recov,
         q_corrections=qcorr,
         failure=failure,
+        max_tier=tier,
+        restarts=restarts,
+        tau_repairs=taurep,
+        specs=specs,
+    )
+
+
+def _aborted_outcome(plan, area: int, why: str) -> TrialOutcome:
+    specs = tuple(plan) if isinstance(plan, (tuple, list)) else (plan,)
+    return TrialOutcome(
+        spec=specs[0],
+        area=area,
+        detected=False,
+        corrected=False,
+        residual=float("inf"),
+        recoveries=0,
+        q_corrections=0,
+        failure=why,
+        specs=specs,
     )
 
 
@@ -103,44 +215,144 @@ def _init_worker(a: np.ndarray, cfg: "FTConfig", residual_tol: float) -> None:
     _WORKER["residual_tol"] = residual_tol
 
 
-def _run_chunk(tasks: list[tuple[FaultSpec, int]]) -> list[TrialOutcome]:
+def _maybe_crash(index: int, crash_index: int | None, crash_once_path: str | None) -> None:
+    """Chaos hook for the crash-recovery tests and the CI smoke job:
+    die hard (no exception, no cleanup — like a segfault or OOM kill)
+    when asked to process trial *crash_index*. With *crash_once_path*
+    set, a sentinel file makes the crash happen exactly once."""
+    if crash_index is None or index != crash_index:
+        return
+    if crash_once_path is not None:
+        if os.path.exists(crash_once_path):
+            return
+        with open(crash_once_path, "w") as fh:
+            fh.write("crashed\n")
+    os._exit(17)
+
+
+def _run_chunk(payload) -> list:
+    tasks, crash_index, crash_once_path = payload
     a = _WORKER["a"]
     cfg = _WORKER["cfg"]
     residual_tol = _WORKER["residual_tol"]
-    return [run_one_trial(a, spec, area, cfg, residual_tol) for spec, area in tasks]
+    out = []
+    for index, plan, area in tasks:
+        _maybe_crash(index, crash_index, crash_once_path)
+        out.append((index, run_one_trial(a, plan, area, cfg, residual_tol)))
+    return out
 
 
 def run_ft_trials(
     a: np.ndarray,
-    tasks: list[tuple[FaultSpec, int]],
+    tasks: list,
     cfg: "FTConfig",
     *,
     residual_tol: float,
     workers: int = 1,
     chunksize: int | None = None,
+    trial_timeout: float | None = None,
+    on_result: "Callable[[int, TrialOutcome], None] | None" = None,
+    precomputed: "dict[int, TrialOutcome] | None" = None,
+    crash_index: int | None = None,
+    crash_once_path: str | None = None,
 ) -> list[TrialOutcome]:
-    """Run every (spec, area) task; order of results matches *tasks*.
+    """Run every (plan, area) task; order of results matches *tasks*.
 
     ``workers <= 1`` runs serially in-process (no pool overhead, easiest
     to debug); anything larger fans the chunked task list out over a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.
+    :class:`~concurrent.futures.ProcessPoolExecutor`. ``trial_timeout``
+    (seconds per trial, scaled per chunk) and the broken-pool retry make
+    the pooled path crash-proof: every trial always ends in an outcome.
+    ``precomputed`` maps grid indices to already-known outcomes (resume);
+    ``on_result(index, outcome)`` fires for each newly computed trial.
     """
     if not tasks:
         return []
-    if workers <= 1:
-        return [run_one_trial(a, spec, area, cfg, residual_tol) for spec, area in tasks]
+    precomputed = precomputed or {}
+    results: dict[int, TrialOutcome] = dict(precomputed)
+    pending = [
+        (i, plan, area)
+        for i, (plan, area) in enumerate(tasks)
+        if i not in precomputed
+    ]
 
-    workers = min(workers, len(tasks))
+    def emit(index: int, outcome: TrialOutcome) -> None:
+        results[index] = outcome
+        if on_result is not None:
+            on_result(index, outcome)
+
+    if workers <= 1 or not pending:
+        for index, plan, area in pending:
+            _maybe_crash(index, crash_index, crash_once_path)
+            emit(index, run_one_trial(a, plan, area, cfg, residual_tol))
+        return [results[i] for i in range(len(tasks))]
+
+    workers = min(workers, len(pending))
     if chunksize is None:
         # a few chunks per worker: balances stragglers against IPC cost
-        chunksize = max(1, len(tasks) // (workers * 4))
-    chunks = [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
-    outcomes: list[TrialOutcome] = []
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(a, cfg, residual_tol),
-    ) as pool:
-        for chunk_result in pool.map(_run_chunk, chunks):
-            outcomes.extend(chunk_result)
-    return outcomes
+        chunksize = max(1, len(pending) // (workers * 4))
+    chunks = [pending[i : i + chunksize] for i in range(0, len(pending), chunksize)]
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(a, cfg, residual_tol),
+        )
+
+    todo = list(range(len(chunks)))
+    attempts = {ci: 0 for ci in todo}
+    pool = make_pool()
+    try:
+        while todo:
+            futures = [
+                (ci, pool.submit(_run_chunk, (chunks[ci], crash_index, crash_once_path)))
+                for ci in todo
+            ]
+            lost: list[int] = []
+            rebuild = False
+            for ci, fut in futures:
+                chunk = chunks[ci]
+                if rebuild and not fut.done():
+                    # the pool is already known broken; everything still
+                    # in flight is lost with it
+                    lost.append(ci)
+                    continue
+                timeout = None
+                if trial_timeout is not None and not fut.done():
+                    timeout = trial_timeout * len(chunk)
+                try:
+                    for index, outcome in fut.result(timeout=timeout):
+                        emit(index, outcome)
+                except FuturesTimeout:
+                    # a wedged worker: grade the chunk aborted and rebuild
+                    # the pool to reclaim the process
+                    for index, plan, area in chunk:
+                        emit(index, _aborted_outcome(
+                            plan, area,
+                            f"Timeout: trial exceeded {trial_timeout:.1f}s budget",
+                        ))
+                    rebuild = True
+                except BrokenExecutor:
+                    lost.append(ci)
+                    rebuild = True
+            if rebuild:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = make_pool()
+            todo = []
+            for ci in lost:
+                if attempts[ci] < 1:
+                    # one retry: a crash that follows the chunk around is
+                    # the chunk's fault, not the environment's
+                    attempts[ci] += 1
+                    todo.append(ci)
+                else:
+                    for index, plan, area in chunks[ci]:
+                        if index not in results:
+                            emit(index, _aborted_outcome(
+                                plan, area,
+                                "WorkerLost: process pool broke twice on this chunk",
+                            ))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return [results[i] for i in range(len(tasks))]

@@ -1,0 +1,190 @@
+"""Resumable on-disk campaign journal (append-only JSONL).
+
+A long fault campaign must survive the campaign *runner* dying — the
+whole point of a resilience study is that crashes happen. The journal
+records each completed trial as one JSON line keyed by its deterministic
+grid index, so a rerun with ``resume=`` replays the finished trials from
+disk and executes only the remainder. Because the grid is built by a
+seeded RNG in the parent, index ``i`` always denotes the same fault
+plan, making resumed outcome tables byte-identical to uninterrupted
+ones.
+
+File format (one JSON object per line, append-only, fsync-free):
+
+* line 1 — header: ``{"kind": "header", "version": 1,
+  "fingerprint": "<sha1 of the canonical task-grid serialization>"}``;
+* each subsequent line — ``{"kind": "trial", "index": i,
+  "outcome": {...}}``.
+
+A half-written trailing line (the writer died mid-append) is silently
+discarded on load — its trial simply reruns. A fingerprint mismatch
+raises :class:`~repro.errors.JournalError`: resuming a journal against a
+different grid would silently mix incompatible trials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+
+from repro.errors import JournalError
+from repro.faults.executor import TrialOutcome
+from repro.faults.injector import FaultSpec
+
+_VERSION = 1
+
+
+def _spec_to_dict(spec: FaultSpec) -> dict:
+    return asdict(spec)
+
+
+def _spec_from_dict(d: dict) -> FaultSpec:
+    return FaultSpec(**d)
+
+
+def outcome_to_dict(out: TrialOutcome) -> dict:
+    d = {
+        "area": out.area,
+        "detected": out.detected,
+        "corrected": out.corrected,
+        "residual": out.residual,
+        "recoveries": out.recoveries,
+        "q_corrections": out.q_corrections,
+        "failure": out.failure,
+        "outcome": out.outcome,
+        "max_tier": out.max_tier,
+        "restarts": out.restarts,
+        "tau_repairs": out.tau_repairs,
+        "specs": [_spec_to_dict(s) for s in out.specs],
+    }
+    return d
+
+
+def outcome_from_dict(d: dict) -> TrialOutcome:
+    specs = tuple(_spec_from_dict(s) for s in d["specs"])
+    return TrialOutcome(
+        spec=specs[0],
+        area=d["area"],
+        detected=d["detected"],
+        corrected=d["corrected"],
+        residual=d["residual"],
+        recoveries=d["recoveries"],
+        q_corrections=d["q_corrections"],
+        failure=d["failure"],
+        outcome=d["outcome"],
+        max_tier=d["max_tier"],
+        restarts=d["restarts"],
+        tau_repairs=d["tau_repairs"],
+        specs=specs,
+    )
+
+
+def grid_fingerprint(n: int, nb: int, tasks: list) -> str:
+    """sha1 over the canonical serialization of the grid.
+
+    Covers the problem size and every plan in grid order, so any change
+    to seed, moments, spaces or targeting invalidates old journals.
+    """
+    canon = {
+        "n": n,
+        "nb": nb,
+        "tasks": [
+            {
+                "area": area,
+                "specs": [
+                    _spec_to_dict(s)
+                    for s in (plan if isinstance(plan, (tuple, list)) else (plan,))
+                ],
+            }
+            for plan, area in tasks
+        ],
+    }
+    blob = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(blob.encode()).hexdigest()
+
+
+class CampaignJournal:
+    """Append-only trial journal at *path*.
+
+    ``ensure_header`` starts a fresh journal (or validates an existing
+    one); ``append`` is called per completed trial; ``load`` returns the
+    already-completed trials for resume.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def ensure_header(self, fingerprint: str) -> None:
+        if self.exists() and os.path.getsize(self.path) > 0:
+            self._check_fingerprint(fingerprint)
+            # seal a torn trailing write behind a newline so the next
+            # append starts a fresh record instead of merging with it
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    with open(self.path, "a") as out:
+                        out.write("\n")
+            return
+        header = {"kind": "header", "version": _VERSION, "fingerprint": fingerprint}
+        with open(self.path, "w") as fh:
+            fh.write(json.dumps(header) + "\n")
+            fh.flush()
+
+    def _check_fingerprint(self, fingerprint: str) -> None:
+        with open(self.path) as fh:
+            first = fh.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"{self.path}: unreadable journal header") from exc
+        if header.get("kind") != "header":
+            raise JournalError(f"{self.path}: first line is not a journal header")
+        if header.get("version") != _VERSION:
+            raise JournalError(
+                f"{self.path}: journal version {header.get('version')} "
+                f"!= supported {_VERSION}"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise JournalError(
+                f"{self.path}: journal was recorded for a different campaign "
+                "grid (fingerprint mismatch); refusing to resume"
+            )
+
+    def append(self, index: int, outcome: TrialOutcome) -> None:
+        line = json.dumps(
+            {"kind": "trial", "index": index, "outcome": outcome_to_dict(outcome)}
+        )
+        # open-per-append: the file is always closed (hence flushed) when
+        # the process dies between trials, which is exactly when resume
+        # matters
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def load(self, fingerprint: str) -> dict[int, TrialOutcome]:
+        """Completed trials on disk, validated against *fingerprint*."""
+        if not self.exists():
+            return {}
+        self._check_fingerprint(fingerprint)
+        done: dict[int, TrialOutcome] = {}
+        with open(self.path) as fh:
+            next(fh, None)  # header, already validated
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    rec = json.loads(raw)
+                except json.JSONDecodeError:
+                    # torn trailing write from a mid-append crash; the
+                    # trial reruns, which is safe (deterministic grid)
+                    continue
+                if rec.get("kind") != "trial":
+                    continue
+                done[int(rec["index"])] = outcome_from_dict(rec["outcome"])
+        return done

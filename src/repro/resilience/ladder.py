@@ -1,0 +1,181 @@
+"""The recovery escalation ladder (Fasi et al.-style tiered recovery).
+
+The flat policy — retry the iteration, abort after ``max_retries`` —
+treats every detection the same. The ladder instead escalates through
+strategies of increasing cost and decreasing assumptions:
+
+``in_place``
+    Correct the located error(s) directly at the current state, no
+    rollback. Valid only for isolated errors the peeling decoder pins
+    down exactly (a single corrupted element); anything smeared refuses.
+``reverse_redo``
+    The paper's lines 14–15: reverse the live iteration's linear
+    updates, restore the panel from the diskless checkpoint, locate,
+    correct, re-execute.
+``deep_rollback``
+    Unwind completed iterations from packed storage until the residual
+    pattern decodes (detection lagged the fault, or recovery state was
+    itself corrupted).
+``restart``
+    Rebuild the entire encoded state from the initial diskless snapshot
+    and redo the factorization from iteration 0 — the backstop that
+    turns "recovery machinery corrupted beyond repair" from an abort
+    into a slow success.
+
+Each tier is budgeted; when every tier is exhausted the driver raises
+:class:`~repro.errors.EscalationExhausted` carrying the
+:class:`FailureReport` built here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+TIER_IN_PLACE = "in_place"
+TIER_REVERSE_REDO = "reverse_redo"
+TIER_DEEP_ROLLBACK = "deep_rollback"
+TIER_RESTART = "restart"
+
+#: Ladder tiers in escalation order.
+TIER_ORDER = (TIER_IN_PLACE, TIER_REVERSE_REDO, TIER_DEEP_ROLLBACK, TIER_RESTART)
+
+#: Event labels that may appear on RecoveryEvents but sit outside the
+#: escalation ladder proper (no re-execution involved).
+TIER_AUDIT = "audit"
+TIER_TAU_REPAIR = "tau_repair"
+
+
+def tier_rank(tier: str) -> int:
+    """Position in the escalation order (-1 for out-of-ladder events)."""
+    try:
+        return TIER_ORDER.index(tier)
+    except ValueError:
+        return -1
+
+
+def max_tier(tiers) -> str:
+    """The deepest ladder tier in *tiers* ("" if none is a ladder tier)."""
+    best = ""
+    best_rank = -1
+    for t in tiers:
+        r = tier_rank(t)
+        if r > best_rank:
+            best, best_rank = t, r
+    return best
+
+
+@dataclass
+class LadderConfig:
+    """Budgets for each tier of the escalation ladder.
+
+    Attributes
+    ----------
+    in_place:
+        Enable the zero-rollback first tier.
+    in_place_max_errors:
+        Largest decoded *data*-error count tier 0 will accept. Keep this
+        at 1: a lone element is corrected exactly, while multi-element
+        patterns are usually a smear that only looks decodable and are
+        better handled by the exact reversal of tier 1.
+    max_in_place_total:
+        Across the whole run, how many times tier 0 may be attempted.
+    max_deep_steps:
+        Per detection, how many completed iterations the deep rollback
+        may unwind (``None`` = all the way to iteration 0).
+    max_restarts:
+        How many full diskless restarts the run may spend. The driver
+        forces this to 0 when ``max_retries < 1`` (strict fail-stop
+        mode, used by the error-storm tests).
+    """
+
+    in_place: bool = True
+    in_place_max_errors: int = 1
+    max_in_place_total: int = 8
+    max_deep_steps: int | None = None
+    max_restarts: int = 1
+
+
+@dataclass
+class TierAttempt:
+    """One attempt of one tier, successful or not."""
+
+    tier: str
+    iteration: int
+    success: bool
+    detail: str = ""
+
+
+@dataclass
+class FailureReport:
+    """Structured account of an exhausted ladder.
+
+    ``attempts``/``successes`` count per tier; ``events`` is the full
+    ordered attempt log.
+    """
+
+    reason: str
+    iteration: int
+    attempts: dict[str, int] = field(default_factory=dict)
+    successes: dict[str, int] = field(default_factory=dict)
+    events: list[TierAttempt] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = [
+            f"{t}: {self.successes.get(t, 0)}/{self.attempts.get(t, 0)}"
+            for t in TIER_ORDER
+            if self.attempts.get(t, 0)
+        ]
+        return (
+            f"escalation exhausted at iteration {self.iteration} "
+            f"({self.reason}); tier successes/attempts: "
+            + (", ".join(parts) if parts else "none")
+        )
+
+
+class ResilienceSupervisor:
+    """Bookkeeping + budget enforcement for the escalation ladder.
+
+    The driver asks :meth:`allow` before attempting a budgeted tier and
+    :meth:`record`\\ s every attempt; :meth:`report` packages the log
+    into a :class:`FailureReport` when everything is exhausted.
+    """
+
+    def __init__(self, ladder: LadderConfig, max_retries: int):
+        self.ladder = ladder
+        self.max_retries = max_retries
+        self.attempts: dict[str, int] = {}
+        self.successes: dict[str, int] = {}
+        self.events: list[TierAttempt] = []
+
+    def allow(self, tier: str) -> bool:
+        if tier == TIER_IN_PLACE:
+            return (
+                self.ladder.in_place
+                and self.attempts.get(tier, 0) < self.ladder.max_in_place_total
+            )
+        if tier == TIER_RESTART:
+            budget = self.ladder.max_restarts if self.max_retries >= 1 else 0
+            return self.attempts.get(tier, 0) < budget
+        return True  # reverse_redo / deep_rollback budgets live in the driver
+
+    def record(self, tier: str, iteration: int, success: bool, detail: str = "") -> TierAttempt:
+        att = TierAttempt(tier=tier, iteration=iteration, success=success, detail=detail)
+        self.attempts[tier] = self.attempts.get(tier, 0) + 1
+        if success:
+            self.successes[tier] = self.successes.get(tier, 0) + 1
+        self.events.append(att)
+        return att
+
+    @property
+    def restarts(self) -> int:
+        return self.successes.get(TIER_RESTART, 0)
+
+    def report(self, iteration: int, reason: str) -> FailureReport:
+        return FailureReport(
+            reason=reason,
+            iteration=iteration,
+            attempts=dict(self.attempts),
+            successes=dict(self.successes),
+            events=list(self.events),
+        )

@@ -45,3 +45,10 @@ class TestExamples:
     def test_overhead_study(self, capsys):
         out = _run("overhead_study.py", capsys)
         assert "makespan" in out
+
+    @pytest.mark.slow
+    def test_adversarial_resilience(self, capsys):
+        out = _run("adversarial_resilience.py", capsys)
+        assert "escalation exhausted" in out
+        assert "outcome table identical: True" in out
+        assert "aborted=0" in out

@@ -169,11 +169,34 @@ class TestDelayedDetectionRecovery:
         res = ft_gehrd(a0, FTConfig(nb=32, detect_every=4, channels=2), injector=inj)
         assert self._check(a0, res) < 1e-12
 
-    def test_single_channel_latency_refused(self):
+    def test_single_channel_latency_restarts(self):
+        """One channel cannot decode a stale smear — the deep rollback
+        exhausts, and the ladder's restart tier turns what used to be a
+        refusal into a (slow) clean success."""
         a0 = random_matrix(128, seed=12)
         inj = FaultInjector().add(FaultSpec(iteration=1, row=90, col=100, magnitude=2.0))
-        with pytest.raises(UncorrectableError):
-            ft_gehrd(a0, FTConfig(nb=32, detect_every=3, channels=1), injector=inj)
+        res = ft_gehrd(a0, FTConfig(nb=32, detect_every=3, channels=1), injector=inj)
+        assert self._check(a0, res) < 1e-12
+        assert res.restarts == 1
+        assert [r.tier for r in res.recoveries] == ["restart"]
+
+    def test_single_channel_latency_refused_without_restart_budget(self):
+        """With the backstop disabled the old fail-stop contract holds:
+        detected, not decodable, structured refusal (never silent)."""
+        from repro.resilience import EscalationExhausted, LadderConfig
+
+        a0 = random_matrix(128, seed=12)
+        inj = FaultInjector().add(FaultSpec(iteration=1, row=90, col=100, magnitude=2.0))
+        cfg = FTConfig(
+            nb=32, detect_every=3, channels=1, ladder=LadderConfig(max_restarts=0)
+        )
+        with pytest.raises(EscalationExhausted) as ei:
+            ft_gehrd(a0, cfg, injector=inj)
+        report = ei.value.report
+        assert report is not None
+        assert report.attempts.get("reverse_redo", 0) >= 1
+        assert report.attempts.get("deep_rollback", 0) >= 1
+        assert report.attempts.get("restart", 0) == 0
 
     def test_latency_zero_unaffected(self):
         """detect_every=1 (the paper's mode) never needs the deep path."""

@@ -185,14 +185,34 @@ class TestWeightedDriver:
         assert factorization_residual(a, q, h) < 1e-13
         assert len(res.recoveries[0].errors) == 3
 
-    def test_same_pattern_refused_with_one_channel(self):
+    def test_same_pattern_restarts_with_one_channel(self):
+        """One channel cannot decode the L-shaped pattern (the ambiguity
+        the weighted channel exists to break); the ladder's restart tier
+        still turns it into a clean — if slow — success."""
         a = random_matrix(96, seed=12)
         inj = FaultInjector()
         inj.add(FaultSpec(iteration=1, row=40, col=50, magnitude=1.0))
         inj.add(FaultSpec(iteration=1, row=40, col=70, magnitude=2.0))
         inj.add(FaultSpec(iteration=1, row=80, col=70, magnitude=4.0))
-        with pytest.raises(UncorrectableError):
-            ft_gehrd(a, FTConfig(nb=32, channels=1), injector=inj)
+        res = ft_gehrd(a, FTConfig(nb=32, channels=1), injector=inj)
+        q = orghr(res.a, res.taus)
+        h = extract_hessenberg(res.a)
+        assert factorization_residual(a, q, h) < 1e-13
+        assert res.restarts == 1
+
+    def test_same_pattern_refused_with_one_channel_no_restart(self):
+        """With the restart backstop disabled the decode failure is a
+        structured fail-stop, exactly as before the ladder existed."""
+        from repro.resilience import EscalationExhausted, LadderConfig
+
+        a = random_matrix(96, seed=12)
+        inj = FaultInjector()
+        inj.add(FaultSpec(iteration=1, row=40, col=50, magnitude=1.0))
+        inj.add(FaultSpec(iteration=1, row=40, col=70, magnitude=2.0))
+        inj.add(FaultSpec(iteration=1, row=80, col=70, magnitude=4.0))
+        cfg = FTConfig(nb=32, channels=1, ladder=LadderConfig(max_restarts=0))
+        with pytest.raises(EscalationExhausted):
+            ft_gehrd(a, cfg, injector=inj)
 
     def test_overhead_cost_of_second_channel_is_small(self):
         from repro.core import HybridConfig, hybrid_gehrd, overhead_percent
