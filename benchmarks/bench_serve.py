@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the batch-reduction service (``repro.serve``).
+
+Pushes a duplicate-heavy mixed batch (default 200 jobs over ~40 distinct
+specs, spanning the ``gehrd``/``ft_gehrd``/``hybrid_gehrd`` drivers)
+through :class:`~repro.serve.service.HessService` and reports jobs/sec
+and the cache hit-rate. Duplicates are interleaved, not appended, so
+part of the win comes from in-flight coalescing rather than pure cache
+hits — exactly the traffic shape a parameter sweep produces.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serve import HessService, JobSpec  # noqa: E402
+
+
+def build_batch(jobs: int = 200, *, n: int = 32) -> list[JobSpec]:
+    """A mixed, duplicate-heavy batch: ~5 copies of each distinct spec."""
+    uniques: list[JobSpec] = []
+    for seed in range(8):
+        uniques.append(JobSpec(driver="gehrd", n=n, seed=seed))
+        uniques.append(JobSpec(driver="ft_gehrd", n=n, seed=seed))
+        uniques.append(JobSpec(driver="ft_gehrd", n=n, seed=seed, channels=2))
+        uniques.append(JobSpec(driver="hybrid_gehrd", n=n, seed=seed))
+        uniques.append(
+            JobSpec(
+                driver="ft_gehrd", n=n, seed=seed,
+                faults=({"iteration": 1, "row": n // 2, "col": n - 2,
+                         "magnitude": 2.0},),
+            )
+        )
+    batch = [uniques[i % len(uniques)] for i in range(jobs)]
+    return batch
+
+
+def bench_serve(jobs: int = 200, *, n: int = 32, workers: int = 2) -> dict:
+    batch = build_batch(jobs, n=n)
+    distinct = len({spec.key for spec in batch})
+    t0 = time.perf_counter()
+    with HessService(
+        workers=workers, max_queue=max(64, jobs), small_n_threshold=n,
+    ) as svc:
+        subs = svc.submit_batch(batch)
+        accepted = sum(s.accepted for s in subs)
+        svc.drain(timeout=600)
+        stats = svc.stats()
+    elapsed = time.perf_counter() - t0
+    assert accepted == jobs, f"only {accepted}/{jobs} jobs admitted"
+    assert stats["counts"].get("jobs_done", 0) == jobs
+    return {
+        "jobs": jobs,
+        "distinct_specs": distinct,
+        "n": n,
+        "workers": workers,
+        "elapsed_s": elapsed,
+        "jobs_per_sec": jobs / elapsed,
+        "hit_rate": stats["hit_rate"],
+        "cache_hits": stats["cache"]["hits"] if stats["cache"] else 0,
+        "coalesced": stats["counts"].get("coalesced", 0),
+        "executions": stats["counts"].get("completed", 0),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main() -> None:
+    payload = bench_serve()
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

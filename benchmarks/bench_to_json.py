@@ -10,7 +10,10 @@ at the repository root (plus a copy under ``benchmarks/results/``):
                         reference vs the fused in-place BLAS path
                         (n=512, nb=32);
 * ``campaign``        — a small fault campaign, serial vs ``--workers 4``
-                        (identical trial grids).
+                        (identical trial grids);
+* ``serve``           — a 200-job duplicate-heavy mixed batch through
+                        ``HessService`` (jobs/sec and cache hit-rate;
+                        see ``bench_serve.py``).
 
 Honest wall-clock numbers: speedups are whatever this host produces —
 on a single-core box the campaign rows will show pool overhead, not
@@ -51,6 +54,8 @@ from repro.perf.reference import (                                # noqa: E402
 )
 from repro.perf.workspace import Workspace                        # noqa: E402
 from repro.utils.rng import random_matrix                         # noqa: E402
+
+from bench_serve import bench_serve                               # noqa: E402
 
 N, NB = 512, 32
 
@@ -164,6 +169,7 @@ def main() -> None:
         "panel": bench_panel(),
         "encoded_updates": bench_encoded_updates(),
         "campaign": bench_campaign(),
+        "serve": bench_serve(),
     }
     text = json.dumps(payload, indent=2)
     (ROOT / "BENCH_kernels.json").write_text(text + "\n")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Domain scenario — serving many reductions through ``repro.serve``.
+
+A parameter sweep rarely submits unique work: the same matrix gets
+reduced under several configurations, several clients ask for the same
+baseline, and a crashed worker must not take queued jobs with it. This
+example drives :class:`~repro.serve.service.HessService` the way the
+``python -m repro submit`` subcommand does — a duplicate-heavy mixed
+batch with priority lanes, live progress events, a mid-flight
+cancellation, and a final stats dump showing the cache/coalescing win.
+
+Run:  python examples/batch_service.py
+"""
+
+import json
+import threading
+
+from repro.serve import HessService, JobSpec
+from repro.utils import Table
+
+
+def build_batch() -> list[JobSpec]:
+    """Two clients sweeping overlapping configs, one urgent audit job."""
+    batch: list[JobSpec] = []
+    for seed in range(4):
+        for client in ("alice", "bob"):  # both ask for the same baselines
+            batch.append(JobSpec(driver="gehrd", n=48, seed=seed,
+                                 submitter=client))
+            batch.append(JobSpec(driver="ft_gehrd", n=48, seed=seed,
+                                 submitter=client))
+    batch.append(
+        JobSpec(driver="ft_gehrd", n=48, seed=0, audit_every=2,
+                submitter="alice", priority="high")
+    )
+    # a fault-injection job: the service routes recovery through the
+    # same escalation ladder the one-shot drivers use
+    batch.append(
+        JobSpec(
+            driver="ft_gehrd", n=48, seed=1, submitter="bob",
+            faults=({"iteration": 1, "row": 30, "col": 40, "magnitude": 2.0},),
+        )
+    )
+    return batch
+
+
+def main() -> None:
+    batch = build_batch()
+    distinct = len({spec.key for spec in batch})
+    print(f"submitting {len(batch)} jobs ({distinct} distinct specs)\n")
+
+    with HessService(workers=2, max_queue=64, small_n_threshold=64) as svc:
+        events = svc.subscribe()
+        done = threading.Event()
+
+        def pump():
+            while not done.is_set():
+                try:
+                    ev = events.get(timeout=0.1)
+                except Exception:
+                    continue
+                if ev["event"] in ("started", "done", "failed"):
+                    print(f"  [{ev['event']:>7}] {ev.get('key', '')}")
+
+        t = threading.Thread(target=pump, daemon=True)
+        t.start()
+
+        subs = svc.submit_batch(batch)
+        rejected = [s for s in subs if not s.accepted]
+        print(f"accepted {len(subs) - len(rejected)}/{len(subs)} "
+              f"(rejections carry a structured reason, e.g. backpressure)")
+
+        # cancel one queued duplicate — a client changed its mind
+        victim = subs[-3]
+        if victim.accepted and svc.cancel(victim.job_id):
+            print(f"cancelled queued job {victim.job_id}")
+
+        svc.drain(timeout=300)
+        done.set()
+        t.join(timeout=1)
+
+        stats = svc.stats()
+        results = [svc.peek(s.job_id) for s in subs if s.accepted]
+
+    t = Table(["status", "jobs"])
+    for status in ("done", "failed", "cancelled"):
+        t.add_row([status, sum(r.status == status for r in results)])
+    print("\n" + t.render())
+    print(
+        f"\nhit rate: {stats['hit_rate']:.0%}  "
+        f"executions: {stats['counts'].get('completed', 0)}  "
+        f"coalesced: {stats['counts'].get('coalesced', 0)}  "
+        f"pool rebuilds: {stats['pool_rebuilds']}"
+    )
+    print("\ncache stats:")
+    print(json.dumps(stats["cache"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -10,9 +10,13 @@ Usage::
     python -m repro section5 --sizes 1022,4030,10110
     python -m repro campaign --n 128 --moments 4
     python -m repro demo
+    python -m repro submit --jobs jobs.jsonl --workers 2
+    python -m repro serve --jobs jobs.jsonl --stats stats.json
 
 Each subcommand prints the same rendered text the benchmark harness
-writes to ``benchmarks/results/``.
+writes to ``benchmarks/results/``. The ``submit``/``serve`` pair runs a
+JSONL job file through the :mod:`repro.serve` batch service (``serve``
+additionally streams progress events as JSON lines).
 """
 
 from __future__ import annotations
@@ -24,9 +28,15 @@ from typing import Sequence
 
 def _sizes(arg: str) -> list[int]:
     try:
-        return [int(x) for x in arg.split(",") if x]
+        sizes = [int(x) for x in arg.split(",") if x]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"bad size list {arg!r}") from exc
+    bad = [x for x in sizes if x <= 0]
+    if bad:
+        # catch these at parse time: a zero/negative order would otherwise
+        # surface as an opaque ShapeError deep inside a driver
+        raise argparse.ArgumentTypeError(f"sizes must be positive, got {bad}")
+    return sizes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--n", type=int, default=1022)
     tr.add_argument("--nb", type=int, default=32)
     tr.add_argument("--out", type=str, default="ft_hess_trace.json")
+    tr.add_argument("--chrome", type=str, default=None, metavar="PATH",
+                    help="also write the Chrome-trace JSON to this path")
+    tr.add_argument("--csv", type=str, default=None, metavar="PATH",
+                    help="also write the per-op CSV export to this path")
 
     cv = sub.add_parser("coverage", help="empirical protection-coverage map "
                                          "(one FT run per fault position)")
@@ -112,6 +126,33 @@ def build_parser() -> argparse.ArgumentParser:
                          "finished-H hole)")
     cv.add_argument("--workers", type=int, default=1,
                     help="trial-runner processes (1 = serial in-process)")
+
+    for name, help_text in (
+        ("submit", "run a JSONL job file through the batch service and "
+                   "print a summary"),
+        ("serve", "like submit, but stream progress events as JSON lines "
+                  "while the batch runs"),
+    ):
+        s = sub.add_parser(name, help=help_text)
+        s.add_argument("--jobs", type=str, required=True,
+                       help="JSONL file of JobSpec objects ('-' reads stdin)")
+        s.add_argument("--workers", type=int, default=2,
+                       help="pool worker processes")
+        s.add_argument("--max-queue", type=int, default=32,
+                       help="admission bound (full queue => structured "
+                            "backpressure rejection)")
+        s.add_argument("--small-n", type=int, default=64,
+                       help="jobs of order <= this run on the in-thread lane")
+        s.add_argument("--cache-mb", type=float, default=32.0,
+                       help="result-cache byte budget in MiB (0 disables)")
+        s.add_argument("--spill", type=str, default=None,
+                       help="directory for on-disk cache spill")
+        s.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt wall-clock budget in seconds")
+        s.add_argument("--stats", type=str, default=None, metavar="PATH",
+                       help="write the service stats dump to this JSON file")
+        s.add_argument("--results", type=str, default=None, metavar="PATH",
+                       help="write one JobResult JSON per line to this file")
 
     return p
 
@@ -240,11 +281,21 @@ def _cmd_trace(args) -> str:
     from repro.core import FTConfig, ft_gehrd
 
     res = ft_gehrd(args.n, FTConfig(nb=args.nb, functional=False))
-    with open(args.out, "w") as fh:
-        fh.write(res.timeline.to_chrome_trace())
+    chrome = res.timeline.to_chrome_trace()
+    written = []
+    for path in (args.out, args.chrome):
+        if path:
+            with open(path, "w") as fh:
+                fh.write(chrome)
+            written.append(path)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(res.timeline.to_csv())
+        written.append(args.csv)
     return (
         f"wrote {len(res.timeline.ops)} simulated ops "
-        f"(makespan {res.seconds:.4f}s on the Table-I machine) to {args.out}\n"
+        f"(makespan {res.seconds:.4f}s on the Table-I machine) to "
+        + ", ".join(written) + "\n"
         + res.timeline.gantt(width=90)
     )
 
@@ -290,6 +341,141 @@ def _cmd_demo(args) -> str:
     return "\n".join(lines)
 
 
+def _load_jobs(path: str) -> list:
+    """Parse a JSONL job file into JobSpecs (blank/# lines skipped)."""
+    import json
+
+    from repro.serve import JobSpec, JobSpecError
+
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as fh:
+            text = fh.read()
+    specs = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            specs.append(JobSpec.from_json(json.loads(line)))
+        except (ValueError, JobSpecError, TypeError) as exc:
+            raise SystemExit(f"jobs file {path}:{lineno}: {exc}") from exc
+    return specs
+
+
+def _run_jobs(args, *, stream: bool) -> str:
+    import json
+    import queue as queue_mod
+    import threading
+    import time
+
+    from repro.serve import HessService
+    from repro.utils import Table
+
+    specs = _load_jobs(args.jobs)
+    t0 = time.perf_counter()
+    svc = HessService(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        spill_dir=args.spill,
+        small_n_threshold=args.small_n,
+        default_timeout=args.timeout,
+    )
+    pumper = None
+    stop = threading.Event()
+    if stream:
+        evq = svc.subscribe()
+
+        def _pump() -> None:
+            while True:
+                try:
+                    event = evq.get(timeout=0.1)
+                except queue_mod.Empty:
+                    if stop.is_set():
+                        return
+                    continue
+                print(json.dumps(event), flush=True)
+
+        pumper = threading.Thread(target=_pump, name="serve-events", daemon=True)
+        pumper.start()
+
+    backpressured = 0
+    pairs = []  # (spec, submission)
+    try:
+        for spec in specs:
+            sub = svc.submit(spec)
+            if not sub.accepted and sub.reason.startswith("backpressure"):
+                # client-side flow control: wait out the full queue
+                backpressured += 1
+                sub = svc.submit_wait(spec)
+            pairs.append((spec, sub))
+        svc.drain()
+        results = [
+            svc.peek(sub.job_id) if sub.accepted else None for _, sub in pairs
+        ]
+        stats = svc.stats()
+    finally:
+        stop.set()
+        if pumper is not None:
+            pumper.join(timeout=5)
+        svc.close(drain=False)
+    elapsed = time.perf_counter() - t0
+
+    terminal = [r for r in results if r is not None]
+    dump = {
+        "jobs": len(specs),
+        "elapsed_s": elapsed,
+        "jobs_per_sec": len(terminal) / elapsed if elapsed > 0 else 0.0,
+        "backpressure_waits": backpressured,
+        "stats": stats,
+    }
+    if args.stats:
+        with open(args.stats, "w") as fh:
+            json.dump(dump, fh, indent=2)
+    if args.results:
+        with open(args.results, "w") as fh:
+            for r in terminal:
+                fh.write(json.dumps(r.to_json()) + "\n")
+
+    t = Table(
+        ["driver", "jobs", "done", "failed", "cancelled", "cache hits", "coalesced"],
+        title=f"batch of {len(specs)} jobs "
+              f"({args.workers} workers, max queue {args.max_queue})",
+    )
+    drivers = sorted({s.driver for s in specs})
+    for driver in drivers:
+        rows = [r for (s, _), r in zip(pairs, results) if s.driver == driver and r]
+        t.add_row(
+            [
+                driver,
+                sum(s.driver == driver for s, _ in pairs),
+                sum(r.status == "done" for r in rows),
+                sum(r.status == "failed" for r in rows),
+                sum(r.status == "cancelled" for r in rows),
+                sum(r.cache_hit for r in rows),
+                sum(r.coalesced for r in rows),
+            ]
+        )
+    tail = (
+        f"hit rate: {stats['hit_rate']:.0%}  "
+        f"jobs/sec: {dump['jobs_per_sec']:.2f}  "
+        f"retries: {stats['counts'].get('retries', 0)}  "
+        f"pool rebuilds: {stats['pool_rebuilds']}  "
+        f"backpressure waits: {backpressured}"
+    )
+    return t.render() + "\n" + tail
+
+
+def _cmd_submit(args) -> str:
+    return _run_jobs(args, stream=False)
+
+
+def _cmd_serve(args) -> str:
+    return _run_jobs(args, stream=True)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     dispatch = {
@@ -303,6 +489,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "demo": lambda: _cmd_demo(args),
         "trace": lambda: _cmd_trace(args),
         "coverage": lambda: _cmd_coverage(args),
+        "submit": lambda: _cmd_submit(args),
+        "serve": lambda: _cmd_serve(args),
     }
     print(dispatch[args.command]())
     return 0

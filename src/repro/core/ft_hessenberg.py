@@ -114,6 +114,7 @@ def ft_gehrd(
     config: FTConfig | None = None,
     *,
     injector: FaultInjector | None = None,
+    workspace: Workspace | None = None,
 ) -> FTResult:
     """Run the fault-tolerant Algorithm 3 on the simulated hybrid machine.
 
@@ -170,7 +171,10 @@ def ft_gehrd(
         store.save_initial(em)  # the restart tier's substrate
         taus = np.zeros(max(n - 1, 0))
         tau_guard = TauGuard(taus.size)
-        ws = Workspace()
+        # callers that run many reductions back to back (the serve
+        # worker pool) pass a long-lived arena; presize is grow-only,
+        # so reuse across differently sized jobs is safe
+        ws = workspace if workspace is not None else Workspace()
         ws.presize(n, config.nb, config.channels)
     else:
         detector = None

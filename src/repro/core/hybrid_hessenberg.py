@@ -103,6 +103,7 @@ def hybrid_gehrd(
     config: HybridConfig | None = None,
     *,
     injector: FaultInjector | None = None,
+    workspace: Workspace | None = None,
 ) -> HybridResult:
     """Run Algorithm 2 on the simulated hybrid machine.
 
@@ -134,7 +135,7 @@ def hybrid_gehrd(
     counter = FlopCounter()
     rt = HybridRuntime(config.machine, functional=config.functional)
     taus = np.zeros(max(n - 1, 0)) if work is not None else None
-    ws = Workspace() if work is not None else None
+    ws = (workspace if workspace is not None else Workspace()) if work is not None else None
 
     B = 8
     # line 1: ship A to the device

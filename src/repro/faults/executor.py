@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 
@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.errors import EscalationExhausted, ReproError
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.resilience.ladder import max_tier as _deepest_tier
+from repro.utils.procpool import ResilientProcessPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from repro.core.config import FTConfig
@@ -293,16 +294,11 @@ def run_ft_trials(
         chunksize = max(1, len(pending) // (workers * 4))
     chunks = [pending[i : i + chunksize] for i in range(0, len(pending), chunksize)]
 
-    def make_pool() -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(a, cfg, residual_tol),
-        )
-
     todo = list(range(len(chunks)))
     attempts = {ci: 0 for ci in todo}
-    pool = make_pool()
+    pool = ResilientProcessPool(
+        workers, initializer=_init_worker, initargs=(a, cfg, residual_tol)
+    )
     try:
         while todo:
             futures = [
@@ -337,8 +333,7 @@ def run_ft_trials(
                     lost.append(ci)
                     rebuild = True
             if rebuild:
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = make_pool()
+                pool.rebuild()
             todo = []
             for ci in lost:
                 if attempts[ci] < 1:
@@ -354,5 +349,5 @@ def run_ft_trials(
                                 "WorkerLost: process pool broke twice on this chunk",
                             ))
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        pool.shutdown()
     return [results[i] for i in range(len(tasks))]

@@ -78,15 +78,29 @@ class Timeline:
         """Chrome-trace JSON (open in chrome://tracing or Perfetto).
 
         Resources map to thread ids; durations are exported in
-        microseconds of *simulated* time.
+        microseconds of *simulated* time. Each span carries its op index
+        in ``args`` (so a bar in the viewer links back to
+        :meth:`to_csv` rows), and the document's ``otherData`` block
+        records the makespan and per-category totals for tooling that
+        consumes the file without rendering it.
         """
         import json
 
         resources = sorted({op.resource for op in self.ops})
         tid = {r: i for i, r in enumerate(resources)}
-        events = [
+        events: list[dict] = [
             {
-                "name": r,
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "repro simulated hybrid machine"},
+                "cat": "__metadata",
+            }
+        ]
+        events += [
+            {
+                "name": "thread_name",
                 "ph": "M",
                 "pid": 0,
                 "tid": tid[r],
@@ -105,9 +119,20 @@ class Timeline:
                     "tid": tid[op.resource],
                     "ts": op.start * 1e6,
                     "dur": op.duration * 1e6,
+                    "args": {"index": op.index},
                 }
             )
-        return json.dumps({"traceEvents": events})
+        return json.dumps(
+            {
+                "traceEvents": events,
+                "displayTimeUnit": "ms",
+                "otherData": {
+                    "makespan_s": self.makespan,
+                    "ops": len(self.ops),
+                    "category_seconds": self.by_category(),
+                },
+            }
+        )
 
     def gantt(self, width: int = 100, max_rows: int | None = None) -> str:
         """ASCII Gantt chart: one row per resource, time left→right."""

@@ -93,6 +93,37 @@ class Workspace:
         """Total bytes currently held by the arena."""
         return sum(pool.nbytes for pool in self._pools.values())
 
+    @property
+    def buffers(self) -> int:
+        """Number of named pools currently allocated."""
+        return len(self._pools)
+
+    def clear(self) -> None:
+        """Release every pool (the arena itself stays usable)."""
+        self._pools.clear()
+
+
+# One arena per *process*, for workers that run many driver invocations
+# back to back (the serve scheduler's pool workers and in-thread lanes).
+# A single driver invocation still owns the arena exclusively — the
+# serving layer guarantees one job at a time per worker, which is the
+# same lifetime contract as the per-invocation arenas above.
+_PROCESS_WS: Workspace | None = None
+
+
+def process_workspace() -> Workspace:
+    """The per-process shared arena (created on first use).
+
+    Buffer pools grow to the largest job the worker has seen and are
+    then reused allocation-free by every smaller job — the serving-layer
+    analogue of ``presize``. Call :meth:`Workspace.clear` to release the
+    memory between batches.
+    """
+    global _PROCESS_WS
+    if _PROCESS_WS is None:
+        _PROCESS_WS = Workspace()
+    return _PROCESS_WS
+
 
 def gemm_inplace(
     alpha: float,

@@ -95,6 +95,26 @@ class LadderConfig:
     max_deep_steps: int | None = None
     max_restarts: int = 1
 
+    def stricter(self) -> "LadderConfig":
+        """A retry configuration with fewer assumptions and more budget.
+
+        Used by the serving layer when a job dies with
+        :class:`~repro.errors.EscalationExhausted`: the optimistic
+        zero-rollback tier is disabled (if its exact-correction premise
+        were holding, the ladder would not have exhausted), the deep
+        rollback may unwind all the way to iteration 0, and one more
+        full restart is allowed than last time. Repeated application
+        keeps widening the restart budget, so a bounded retry loop
+        converges on "replay everything from the initial snapshot".
+        """
+        return LadderConfig(
+            in_place=False,
+            in_place_max_errors=self.in_place_max_errors,
+            max_in_place_total=0,
+            max_deep_steps=None,
+            max_restarts=self.max_restarts + 1,
+        )
+
 
 @dataclass
 class TierAttempt:

@@ -1,0 +1,65 @@
+"""Batch-reduction serving layer.
+
+The subsystem that turns one-shot driver calls into a service: typed
+jobs with content-addressed keys (:mod:`~repro.serve.jobs`), a bounded
+LRU result cache with disk spill (:mod:`~repro.serve.cache`), a
+resilience-aware retry policy (:mod:`~repro.serve.retry`), an async
+scheduler with admission control, fairness and priority lanes
+(:mod:`~repro.serve.scheduler`), and the synchronous
+:class:`~repro.serve.service.HessService` facade the CLI's
+``serve``/``submit`` subcommands drive. See ``docs/serving.md``.
+"""
+
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    DRIVERS,
+    FAILED,
+    LANES,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    JobResult,
+    JobSpec,
+    JobSpecError,
+    execute_job,
+)
+from repro.serve.retry import (
+    FAILURE_CLASSES,
+    JobTimeout,
+    RetryDecision,
+    RetryPolicy,
+    WorkerLost,
+    classify_failure,
+)
+from repro.serve.scheduler import AsyncScheduler, Submission
+from repro.serve.service import HessService
+
+__all__ = [
+    "JobSpec",
+    "JobResult",
+    "JobSpecError",
+    "execute_job",
+    "DRIVERS",
+    "LANES",
+    "STATES",
+    "TERMINAL_STATES",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "ResultCache",
+    "CacheStats",
+    "RetryPolicy",
+    "RetryDecision",
+    "FAILURE_CLASSES",
+    "classify_failure",
+    "JobTimeout",
+    "WorkerLost",
+    "AsyncScheduler",
+    "Submission",
+    "HessService",
+]

@@ -1,0 +1,201 @@
+"""Bounded, thread-safe, content-addressed result cache.
+
+Keys are :attr:`JobSpec.key` digests; values are the JSON-safe outcome
+payloads produced by :func:`repro.serve.jobs.execute_job`. The cache is
+an LRU over a *byte* budget (payload sizes vary by orders of magnitude
+between a residual record and a campaign outcome table), with hit /
+miss / eviction counters surfaced in service stats.
+
+An optional spill directory turns evictions into on-disk JSON files
+keyed by the same digest, so a benchmark sweep repeated tomorrow — or a
+service restarted after a crash — still resolves yesterday's jobs
+without recomputing them. Spill reads are promoted back into memory and
+counted separately (``spill_hits``) so the stats distinguish warm from
+disk-warm service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache's lifetime (all monotonic except gauges)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+    spill_writes: int = 0
+    spill_hits: int = 0
+    # gauges
+    entries: int = 0
+    bytes: int = 0
+    budget_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "spill_writes": self.spill_writes,
+            "spill_hits": self.spill_hits,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "budget_bytes": self.budget_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    payload: dict
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.nbytes:
+            self.nbytes = len(json.dumps(self.payload, sort_keys=True).encode())
+
+
+def _spill_name(key: str) -> str:
+    # job keys contain ':' and arbitrary recipe text; hash to a safe name
+    return hashlib.sha256(key.encode()).hexdigest()[:32] + ".json"
+
+
+class ResultCache:
+    """LRU result cache with a byte budget and optional disk spill.
+
+    Thread-safe: the service facade reads it from caller threads while
+    the scheduler loop writes it.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 32 * 1024 * 1024,
+        *,
+        spill_dir: "str | pathlib.Path | None" = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self._spill_dir = pathlib.Path(spill_dir) if spill_dir is not None else None
+        if self._spill_dir is not None:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats(budget_bytes=self.max_bytes)
+
+    # -- core ----------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for *key*, or ``None`` (a recorded miss).
+
+        Memory first; on a memory miss the spill directory is probed and
+        a disk hit is promoted back into the LRU.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return dict(entry.payload)
+            payload = self._read_spill(key)
+            if payload is not None:
+                self.stats.hits += 1
+                self.stats.spill_hits += 1
+                self._insert(key, _Entry(payload))
+                return dict(payload)
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Insert/overwrite *key*; evicts LRU entries over the budget."""
+        entry = _Entry(dict(payload))
+        with self._lock:
+            self.stats.puts += 1
+            if key in self._entries:
+                self._remove(key)
+            # an entry bigger than the whole budget can never be held in
+            # memory — spill it straight to disk instead of churning the LRU
+            if entry.nbytes > self.max_bytes:
+                self._write_spill(key, entry.payload)
+                return
+            self._insert(key, entry)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[str]:
+        """Current keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the spill directory is kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._sync_gauges()
+
+    # -- internals (lock held) ----------------------------------------------
+
+    def _insert(self, key: str, entry: _Entry) -> None:
+        self._entries[key] = entry
+        self._bytes += entry.nbytes
+        while self._bytes > self.max_bytes and self._entries:
+            victim, dropped = self._entries.popitem(last=False)
+            self._bytes -= dropped.nbytes
+            self.stats.evictions += 1
+            self._write_spill(victim, dropped.payload)
+        self._sync_gauges()
+
+    def _remove(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry.nbytes
+        self._sync_gauges()
+
+    def _sync_gauges(self) -> None:
+        self.stats.entries = len(self._entries)
+        self.stats.bytes = self._bytes
+
+    # -- spill ---------------------------------------------------------------
+
+    def _write_spill(self, key: str, payload: dict) -> None:
+        if self._spill_dir is None:
+            return
+        path = self._spill_dir / _spill_name(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"key": key, "payload": payload}))
+        tmp.replace(path)  # atomic: a crashed spill never leaves a torn file
+        self.stats.spill_writes += 1
+
+    def _read_spill(self, key: str) -> dict | None:
+        if self._spill_dir is None:
+            return None
+        path = self._spill_dir / _spill_name(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("key") != key:  # digest collision or foreign file
+            return None
+        return data.get("payload")

@@ -1,0 +1,435 @@
+"""Typed job model for the batch-reduction service.
+
+A :class:`JobSpec` describes one unit of work against any driver the
+library has — the plain blocked reduction, the hybrid baseline, the
+fault-tolerant Hessenberg/tridiagonal drivers, or a whole fault
+campaign. Specs are declarative and picklable, so the same object is
+what travels to a pool worker and what a JSONL job file deserializes
+into.
+
+Content addressing
+------------------
+``job_key(spec)`` is a deterministic digest of everything that can
+change the *result*: the matrix identity (an RNG recipe or a byte-exact
+fingerprint of an inline matrix) plus the driver configuration.
+Scheduling metadata — priority lane, submitter id, timeout, chaos
+hooks — is deliberately excluded, so the same computation submitted by
+two clients at different priorities is one cache entry. The key is what
+the result cache, the in-flight coalescer, and the on-disk spill all
+index by.
+
+The caveat that follows from byte-exact fingerprints: two matrices that
+differ in the last ulp of one entry are different jobs. Near-duplicate
+inputs (same matrix re-generated through a different code path, a
+round-tripped file, an epsilon perturbation) will *miss* the cache; see
+``docs/serving.md`` for the discussion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Drivers a job may target.
+DRIVERS = ("gehrd", "hybrid_gehrd", "ft_gehrd", "ft_sytrd", "campaign")
+
+#: Priority lanes, highest first. The scheduler always drains a higher
+#: lane before looking at a lower one.
+LANES = ("high", "normal", "low")
+
+#: Job lifecycle states (terminal: done / failed / cancelled).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class JobSpecError(ReproError, ValueError):
+    """A job specification is malformed (unknown driver, bad size, ...)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work for the batch service.
+
+    The matrix is either generated deterministically from
+    ``(kind, n, seed)`` — the common case for sweeps and job files — or
+    supplied inline via ``matrix`` (which then overrides the recipe and
+    is fingerprinted byte-exactly).
+
+    ``faults`` is a tuple of :class:`~repro.faults.FaultSpec` keyword
+    dicts injected into FT drivers, so resilience jobs (and their
+    recovery-tier tallies) flow through the same pipeline as clean runs.
+
+    ``crash`` / ``crash_once_path`` are chaos hooks mirroring the
+    campaign executor's: the worker process dies hard (``os._exit``)
+    before doing any work — once only if a sentinel path is given. They
+    exist for the broken-pool recovery tests and the CI smoke job and
+    are excluded from the content key.
+    """
+
+    driver: str = "ft_gehrd"
+    n: int = 128
+    seed: int = 0
+    kind: str = "uniform"
+    nb: int = 32
+    channels: int = 1
+    audit_every: int = 0
+    functional: bool = True
+    faults: tuple = ()
+    moments: int = 2
+    adversarial: bool = False
+    # scheduling metadata (not part of the content key)
+    priority: str = "normal"
+    submitter: str = "anon"
+    timeout: float | None = None
+    # chaos hooks (not part of the content key)
+    crash: bool = False
+    crash_once_path: str | None = None
+    matrix: np.ndarray | None = field(default=None, compare=False, repr=False)
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`JobSpecError` on anything the drivers would
+        only reject deep inside a worker."""
+        from repro.utils.rng import MatrixKind
+
+        if self.driver not in DRIVERS:
+            raise JobSpecError(f"unknown driver {self.driver!r} (want one of {DRIVERS})")
+        if self.priority not in LANES:
+            raise JobSpecError(f"unknown priority {self.priority!r} (want one of {LANES})")
+        if self.matrix is None and self.n < 2:
+            raise JobSpecError(f"matrix order must be >= 2, got {self.n}")
+        if self.matrix is not None:
+            m = np.asarray(self.matrix)
+            if m.ndim != 2 or m.shape[0] != m.shape[1] or m.shape[0] < 2:
+                raise JobSpecError(f"inline matrix must be square of order >= 2, got {m.shape}")
+        if self.nb < 1:
+            raise JobSpecError(f"nb must be >= 1, got {self.nb}")
+        if self.channels not in (1, 2):
+            raise JobSpecError(f"channels must be 1 or 2, got {self.channels}")
+        if self.moments < 1:
+            raise JobSpecError(f"moments must be >= 1, got {self.moments}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise JobSpecError(f"timeout must be positive, got {self.timeout}")
+        try:
+            MatrixKind(self.kind)
+        except ValueError as exc:
+            raise JobSpecError(f"unknown matrix kind {self.kind!r}") from exc
+        for f in self.faults:
+            if not isinstance(f, dict):
+                raise JobSpecError(f"faults entries must be FaultSpec kwarg dicts, got {f!r}")
+
+    # -- content addressing -------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """The matrix order the job will actually run at."""
+        if self.matrix is not None:
+            return int(np.asarray(self.matrix).shape[0])
+        return self.n
+
+    def matrix_fingerprint(self) -> str:
+        """Deterministic identity of the input matrix.
+
+        Generated matrices hash their recipe; inline matrices hash their
+        exact bytes (shape + dtype + data). ``ft_sytrd`` always
+        symmetrizes the recipe, so its fingerprint pins ``kind`` to
+        ``symmetric`` regardless of what the spec says.
+        """
+        if self.matrix is not None:
+            m = np.ascontiguousarray(np.asarray(self.matrix, dtype=np.float64))
+            h = hashlib.sha256()
+            h.update(repr((m.shape, str(m.dtype))).encode())
+            h.update(m.tobytes())
+            return f"sha256:{h.hexdigest()[:16]}"
+        kind = "symmetric" if self.driver == "ft_sytrd" else self.kind
+        return f"rng:{kind}:n={self.n}:seed={self.seed}"
+
+    def content_dict(self) -> dict:
+        """Everything that determines the result, canonically ordered."""
+        return {
+            "driver": self.driver,
+            "matrix": self.matrix_fingerprint(),
+            "nb": self.nb,
+            "channels": self.channels,
+            "audit_every": self.audit_every,
+            "functional": self.functional,
+            "faults": [dict(sorted(f.items())) for f in self.faults],
+            "moments": self.moments if self.driver == "campaign" else None,
+            "adversarial": self.adversarial if self.driver == "campaign" else None,
+            "seed": self.seed if self.driver == "campaign" else None,
+        }
+
+    @property
+    def key(self) -> str:
+        """The content-addressed job key (stable across processes)."""
+        blob = json.dumps(self.content_dict(), sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
+        return f"{self.driver}:{self.matrix_fingerprint()}:{digest}"
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_json(self) -> dict:
+        out = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if f.name == "matrix":
+                if v is not None:
+                    out["matrix"] = np.asarray(v, dtype=np.float64).tolist()
+                continue
+            if f.name == "faults":
+                v = [dict(x) for x in v]
+            out[f.name] = v
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise JobSpecError(f"unknown JobSpec fields: {sorted(unknown)}")
+        kw = dict(data)
+        if kw.get("matrix") is not None:
+            kw["matrix"] = np.asarray(kw["matrix"], dtype=np.float64)
+        if "faults" in kw:
+            kw["faults"] = tuple(dict(x) for x in kw["faults"])
+        return cls(**kw)
+
+
+@dataclass
+class JobResult:
+    """The JSON-serializable lifecycle record of one submitted job.
+
+    ``payload`` is the driver outcome (residuals, recovery counts, tier
+    tally, ...) — always plain JSON types, which is what lets the result
+    cache spill it to disk and the CLI stream it as JSONL.
+    """
+
+    job_id: int
+    key: str
+    status: str = QUEUED
+    lane: str = "normal"
+    submitter: str = "anon"
+    payload: dict | None = None
+    error: str = ""
+    failure_class: str = ""
+    retries: int = 0
+    cache_hit: bool = False
+    coalesced: bool = False
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def tier_tally(self) -> dict:
+        """Recovery-ladder tiers the job's driver run climbed through."""
+        if not self.payload:
+            return {}
+        return dict(self.payload.get("tier_tally", {}))
+
+    def to_json(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "status": self.status,
+            "lane": self.lane,
+            "submitter": self.submitter,
+            "payload": self.payload,
+            "error": self.error,
+            "failure_class": self.failure_class,
+            "retries": self.retries,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobResult":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Execution — runs inside a pool worker process or an in-thread lane.
+# ---------------------------------------------------------------------------
+
+
+def _maybe_crash(spec: JobSpec) -> None:
+    """Chaos hook: die like a segfault (no exception, no cleanup)."""
+    if not spec.crash:
+        return
+    if spec.crash_once_path is not None:
+        if os.path.exists(spec.crash_once_path):
+            return
+        with open(spec.crash_once_path, "w") as fh:
+            fh.write("crashed\n")
+    os._exit(23)
+
+
+def _build_matrix(spec: JobSpec) -> np.ndarray:
+    from repro.utils.rng import random_matrix
+
+    if spec.matrix is not None:
+        return np.asfortranarray(np.asarray(spec.matrix, dtype=np.float64))
+    kind = "symmetric" if spec.driver == "ft_sytrd" else spec.kind
+    return random_matrix(spec.n, kind=kind, seed=spec.seed)
+
+
+def _injector(spec: JobSpec):
+    if not spec.faults:
+        return None
+    from repro.faults import FaultInjector, FaultSpec
+
+    return FaultInjector(faults=[FaultSpec(**f) for f in spec.faults])
+
+
+def _tier_tally(recoveries, restarts: int) -> dict:
+    tally: dict[str, int] = {}
+    for rec in recoveries:
+        tally[rec.tier] = tally.get(rec.tier, 0) + 1
+    if restarts:
+        tally["restart"] = tally.get("restart", 0) + restarts
+    return tally
+
+
+def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
+    """Run the job's driver and return a JSON-safe outcome payload.
+
+    ``workspace`` is the caller's long-lived scratch arena (one per pool
+    worker / in-thread lane); ``ladder`` overrides the FT driver's
+    escalation-ladder budgets — the retry policy passes a stricter one
+    after an :class:`~repro.errors.EscalationExhausted` failure.
+
+    Failures propagate as the driver's own exceptions; classification
+    into retryable/permanent is the scheduler's job, not this one's.
+    """
+    _maybe_crash(spec)
+    t0 = time.perf_counter()
+    payload: dict = {"driver": spec.driver, "n": spec.order, "nb": spec.nb}
+
+    if spec.driver == "gehrd":
+        from repro.linalg import extract_hessenberg, factorization_residual, gehrd, orghr
+
+        a = _build_matrix(spec)
+        fact = gehrd(a.copy(order="F"), nb=spec.nb)
+        q = orghr(fact.a, fact.taus)
+        h = extract_hessenberg(fact.a)
+        payload["residual"] = float(factorization_residual(a, q, h))
+
+    elif spec.driver == "hybrid_gehrd":
+        from repro.core import HybridConfig, hybrid_gehrd
+        from repro.linalg import extract_hessenberg, factorization_residual, orghr
+
+        cfg = HybridConfig(nb=spec.nb, functional=spec.functional)
+        arg = _build_matrix(spec) if spec.functional else spec.order
+        res = hybrid_gehrd(arg, cfg, workspace=workspace)
+        payload["seconds_simulated"] = float(res.seconds)
+        payload["gflops"] = float(res.gflops)
+        if spec.functional:
+            q = orghr(res.a, res.taus)
+            h = extract_hessenberg(res.a)
+            payload["residual"] = float(factorization_residual(arg, q, h))
+
+    elif spec.driver == "ft_gehrd":
+        from repro.core import FTConfig, ft_gehrd
+        from repro.linalg import extract_hessenberg, factorization_residual, orghr
+
+        cfg = FTConfig(
+            nb=spec.nb,
+            channels=spec.channels,
+            audit_every=spec.audit_every,
+            functional=spec.functional,
+        )
+        if ladder is not None:
+            cfg.ladder = ladder
+        arg = _build_matrix(spec) if spec.functional else spec.order
+        res = ft_gehrd(arg, cfg, injector=_injector(spec), workspace=workspace)
+        payload["seconds_simulated"] = float(res.seconds)
+        payload["detections"] = int(res.detections)
+        payload["recoveries"] = len(res.recoveries)
+        payload["restarts"] = int(res.restarts)
+        payload["tau_repairs"] = int(res.tau_repairs)
+        payload["tier_tally"] = _tier_tally(res.recoveries, res.restarts)
+        if spec.functional:
+            q = orghr(res.a, res.taus)
+            h = extract_hessenberg(res.a)
+            payload["residual"] = float(factorization_residual(arg, q, h))
+
+    elif spec.driver == "ft_sytrd":
+        from repro.core import ft_sytrd
+        from repro.core.ft_tridiag import DEFAULT_AUDIT_EVERY
+
+        a = _build_matrix(spec)
+        # the tridiagonal driver's audit is mandatory (>= 1); 0 means
+        # "driver default" here, unlike the gehrd family where it's "off"
+        res = ft_sytrd(
+            a,
+            audit_every=spec.audit_every or DEFAULT_AUDIT_EVERY,
+            injector=_injector(spec),
+        )
+        payload["detections"] = int(res.detections)
+        payload["recoveries"] = len(res.recoveries)
+        payload["checks"] = int(res.checks)
+        payload["tier_tally"] = _tier_tally(res.recoveries, 0)
+
+    elif spec.driver == "campaign":
+        from repro.core import FTConfig
+        from repro.faults import run_campaign
+
+        a = _build_matrix(spec)
+        channels = max(spec.channels, 2) if spec.adversarial else spec.channels
+        res = run_campaign(
+            a,
+            nb=spec.nb,
+            moments=spec.moments,
+            seed=spec.seed,
+            config=FTConfig(nb=spec.nb, channels=channels),
+            adversarial=spec.adversarial,
+            workers=1,  # the service already owns the process fan-out
+        )
+        payload["trials"] = len(res.trials)
+        payload["recovery_rate"] = float(res.recovery_rate)
+        payload["worst_residual"] = float(res.worst_residual)
+        payload["outcomes"] = {k: int(v) for k, v in res.outcome_counts.items()}
+
+    else:  # pragma: no cover - validate() runs first
+        raise JobSpecError(f"unknown driver {spec.driver!r}")
+
+    payload["elapsed_s"] = time.perf_counter() - t0
+    return payload
+
+
+# -- pool-worker entry points (top-level, so they pickle) -------------------
+
+
+def pool_worker_init() -> None:
+    """Prime a pool worker: import the hot modules and create the
+    per-process scratch arena once, off the first job's latency."""
+    import repro.core  # noqa: F401  (driver import cost paid here)
+    from repro.perf.workspace import process_workspace
+
+    process_workspace()
+
+
+def execute_job_pooled(spec: JobSpec, ladder=None) -> dict:
+    """Worker-side wrapper binding the per-process Workspace arena."""
+    from repro.perf.workspace import process_workspace
+
+    return execute_job(spec, workspace=process_workspace(), ladder=ladder)

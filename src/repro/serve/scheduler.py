@@ -1,0 +1,530 @@
+"""Async batch scheduler: admission control, fairness, lanes, retries.
+
+The scheduler is the execution path the ROADMAP's "serve heavy traffic"
+goal needs: many callers submit :class:`~repro.serve.jobs.JobSpec`\\ s,
+and a fixed worker budget drains them without ever blocking a submitter
+or losing a job.
+
+Design points, in the order a job meets them:
+
+**Admission control.** The submission queue is bounded. A submit
+against a full queue is *rejected with a structured reason* (a
+:class:`Submission` with ``accepted=False``), never blocked and never
+raised — backpressure is data the client can act on, not an exception.
+Cache hits and coalesced duplicates bypass admission entirely: they
+consume no worker, so a full queue is no reason to refuse them.
+
+**Content-addressed reuse.** Each accepted key becomes one *work item*;
+duplicate submissions attach to the in-flight item (coalescing) and
+completed payloads are served straight from the
+:class:`~repro.serve.cache.ResultCache`. A duplicate-heavy sweep
+therefore executes each distinct computation once.
+
+**Fairness + priority.** Work items are queued per (lane, submitter).
+Lanes drain strictly in priority order; within a lane, submitters are
+served round-robin, so one client flooding the queue cannot starve
+another's occasional job.
+
+**Execution lanes.** CPU-heavy jobs ship to a
+:class:`~repro.utils.procpool.ResilientProcessPool` whose workers hold
+per-process :func:`~repro.perf.workspace.process_workspace` arenas (the
+PR 1 pooling, amortized across jobs). Jobs at or below
+``small_n_threshold`` run on an in-process thread instead — too small
+to amortize a pickle round-trip. A worker crash (BrokenProcessPool)
+rebuilds the pool and re-queues the job through the retry policy: no
+job is ever lost to infrastructure.
+
+**Resilience-aware retries.** Failures are classified by
+:mod:`repro.serve.retry`; ``EscalationExhausted`` re-runs with a
+stricter ladder, timeouts and lost workers get one fresh-worker retry,
+config errors fail permanently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import queue as _queue
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+
+from repro.perf.workspace import Workspace
+from repro.resilience.ladder import LadderConfig
+from repro.utils.procpool import ResilientProcessPool
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    LANES,
+    QUEUED,
+    RUNNING,
+    JobResult,
+    JobSpec,
+    JobSpecError,
+    execute_job,
+    execute_job_pooled,
+    pool_worker_init,
+)
+from repro.serve.retry import (
+    JobTimeout,
+    RetryPolicy,
+    WorkerLost,
+    classify_failure,
+)
+
+
+@dataclass(frozen=True)
+class Submission:
+    """The structured answer to one ``submit`` call.
+
+    ``accepted=False`` carries the machine-readable refusal in
+    ``reason`` (``"backpressure: ..."`` or ``"invalid: ..."``); the
+    client decides whether to wait, shed, or fix the spec.
+    """
+
+    accepted: bool
+    job_id: int | None = None
+    key: str = ""
+    reason: str = ""
+    queue_depth: int = 0
+
+
+@dataclass
+class _Job:
+    """One submitted job (possibly one of several attached to a work item)."""
+
+    result: JobResult
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+@dataclass
+class _Work:
+    """One distinct computation: a key plus every job attached to it."""
+
+    key: str
+    spec: JobSpec
+    lane: str
+    submitter: str
+    jobs: list[_Job] = field(default_factory=list)
+    cancelled: bool = False
+    ladder: LadderConfig | None = None
+    class_failures: dict[str, int] = field(default_factory=dict)
+
+    def live_jobs(self) -> list[_Job]:
+        return [j for j in self.jobs if j.result.status != CANCELLED]
+
+
+class AsyncScheduler:
+    """The asyncio half of the service (see module docstring).
+
+    All state mutation happens on the owning event loop; the only
+    cross-thread surface is the subscriber queues (thread-safe
+    ``queue.Queue``) and the read-only stats snapshot.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_queue: int = 64,
+        cache: ResultCache | None = None,
+        retry: RetryPolicy | None = None,
+        small_n_threshold: int = 0,
+        default_timeout: float | None = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.workers = max(1, int(workers))
+        self.max_queue = int(max_queue)
+        self.cache = cache
+        self.retry = retry or RetryPolicy()
+        self.small_n_threshold = int(small_n_threshold)
+        self.default_timeout = default_timeout
+
+        # (lane, submitter) -> FIFO of work items; round-robin ring per lane
+        self._lanes: dict[str, dict[str, collections.deque]] = {ln: {} for ln in LANES}
+        self._rr: dict[str, collections.deque] = {ln: collections.deque() for ln in LANES}
+        self._queued = 0  # non-cancelled queued work items (admission gauge)
+        self._running = 0
+
+        self._jobs: dict[int, _Job] = {}
+        self._inflight: dict[str, _Work] = {}  # queued or running work, by key
+        self._next_id = 0
+
+        self._cond = asyncio.Condition()
+        self._pool = ResilientProcessPool(self.workers, initializer=pool_worker_init)
+        self._thread_lane = asyncio.Lock()  # the in-thread lane is single-file
+        self._thread_ws = Workspace()
+        self._runners: list[asyncio.Task] = []
+        self._stopped = False
+
+        self._subscribers: list[_queue.SimpleQueue] = []
+        self._t0 = time.perf_counter()
+        self._counts = collections.Counter()
+        self._tier_tally: collections.Counter = collections.Counter()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._runners:
+            return
+        self._runners = [
+            asyncio.create_task(self._runner(), name=f"serve-runner-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        async with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        for task in self._runners:
+            task.cancel()
+        await asyncio.gather(*self._runners, return_exceptions=True)
+        self._runners = []
+        self._pool.shutdown()
+        self._emit("stopped")
+
+    # -- events --------------------------------------------------------------
+
+    def subscribe(self) -> _queue.SimpleQueue:
+        """A thread-safe queue receiving every progress event from now on."""
+        q: _queue.SimpleQueue = _queue.SimpleQueue()
+        self._subscribers.append(q)
+        return q
+
+    def _emit(self, kind: str, **data) -> None:
+        if not self._subscribers:
+            return
+        event = {"event": kind, "t": round(time.perf_counter() - self._t0, 6), **data}
+        for q in self._subscribers:
+            q.put(event)
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, spec: JobSpec) -> Submission:
+        """Admit, coalesce, serve-from-cache, or reject — never block."""
+        self._counts["submitted"] += 1
+        try:
+            spec.validate()
+        except JobSpecError as exc:
+            self._counts["rejected_invalid"] += 1
+            self._emit("rejected", reason=f"invalid: {exc}")
+            return Submission(False, reason=f"invalid: {exc}", queue_depth=self._queued)
+        if self._stopped:
+            self._counts["rejected_stopped"] += 1
+            return Submission(False, key=spec.key, reason="unavailable: scheduler stopped",
+                              queue_depth=self._queued)
+
+        key = spec.key
+
+        cached = self.cache.get(key) if self.cache is not None else None
+        if cached is not None:
+            job = self._new_job(spec, key)
+            job.result.cache_hit = True
+            self._finish_job(job, DONE, payload=cached)
+            self._emit("cache_hit", job_id=job.result.job_id, key=key)
+            return Submission(True, job.result.job_id, key, queue_depth=self._queued)
+
+        work = self._inflight.get(key)
+        if work is not None and not work.cancelled:
+            job = self._new_job(spec, key)
+            job.result.coalesced = True
+            self._counts["coalesced"] += 1
+            work.jobs.append(job)
+            self._emit("coalesced", job_id=job.result.job_id, key=key,
+                       leader=work.jobs[0].result.job_id)
+            return Submission(True, job.result.job_id, key, queue_depth=self._queued)
+
+        if self._queued >= self.max_queue:
+            # a structured refusal, not an exception and not a job record:
+            # the submission never entered the system
+            self._counts["rejected_backpressure"] += 1
+            reason = (
+                f"backpressure: queue full ({self._queued}/{self.max_queue} work items); "
+                f"drain or cancel before resubmitting"
+            )
+            self._emit("rejected", key=key, reason=reason)
+            return Submission(False, None, key, reason=reason, queue_depth=self._queued)
+
+        job = self._new_job(spec, key)
+        work = _Work(key=key, spec=spec, lane=spec.priority, submitter=spec.submitter,
+                     jobs=[job])
+        self._inflight[key] = work
+        lane = self._lanes[work.lane]
+        if work.submitter not in lane:
+            lane[work.submitter] = collections.deque()
+            self._rr[work.lane].append(work.submitter)
+        lane[work.submitter].append(work)
+        self._queued += 1
+        self._counts["accepted"] += 1
+        self._emit("submitted", job_id=job.result.job_id, key=key, lane=work.lane,
+                   submitter=work.submitter, queue_depth=self._queued)
+        async with self._cond:
+            self._cond.notify()
+        return Submission(True, job.result.job_id, key, queue_depth=self._queued)
+
+    def _new_job(self, spec: JobSpec, key: str) -> _Job:
+        self._next_id += 1
+        result = JobResult(
+            job_id=self._next_id,
+            key=key,
+            status=QUEUED,
+            lane=spec.priority,
+            submitter=spec.submitter,
+            submitted_at=self._now(),
+        )
+        job = _Job(result=result)
+        self._jobs[result.job_id] = job
+        return job
+
+    # -- queries / control ---------------------------------------------------
+
+    def status(self, job_id: int) -> str | None:
+        job = self._jobs.get(job_id)
+        return job.result.status if job else None
+
+    def get_result(self, job_id: int) -> JobResult | None:
+        job = self._jobs.get(job_id)
+        return job.result if job else None
+
+    async def wait_result(self, job_id: int, timeout: float | None = None) -> JobResult:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job id {job_id}")
+        await asyncio.wait_for(job.done.wait(), timeout)
+        return job.result
+
+    async def cancel(self, job_id: int) -> bool:
+        """Cancel a *queued* job. Running or terminal jobs return False.
+
+        If the job was the only one attached to its work item, the item
+        itself is cancelled (lazily discarded at pop time) and its queue
+        slot freed immediately.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.result.status != QUEUED:
+            return False
+        work = self._inflight.get(job.result.key)
+        if work is None:  # already picked up and resolved concurrently
+            return False
+        if work not in _queued_items(self._lanes, work.lane, work.submitter):
+            return False  # running: too late to cancel
+        self._finish_job(job, CANCELLED, error="cancelled while queued")
+        self._counts["cancelled"] += 1
+        self._emit("cancelled", job_id=job_id, key=work.key)
+        if not work.live_jobs():
+            work.cancelled = True
+            self._inflight.pop(work.key, None)
+            self._queued -= 1
+            async with self._cond:
+                self._cond.notify_all()
+        return True
+
+    async def drain(self) -> None:
+        """Wait until every accepted job has reached a terminal state."""
+        async with self._cond:
+            while self._queued > 0 or self._running > 0:
+                await self._cond.wait()
+
+    # -- the runner loop -----------------------------------------------------
+
+    async def _runner(self) -> None:
+        while True:
+            async with self._cond:
+                work = None
+                while work is None:
+                    if self._stopped:
+                        return
+                    work = self._pop_work()
+                    if work is None:
+                        await self._cond.wait()
+                self._queued -= 1
+                self._running += 1
+            try:
+                await self._run_work(work)
+            finally:
+                self._inflight.pop(work.key, None)
+                async with self._cond:
+                    self._running -= 1
+                    self._cond.notify_all()
+
+    def _pop_work(self) -> _Work | None:
+        """Highest non-empty lane; round-robin over submitters within it."""
+        for lane in LANES:
+            ring = self._rr[lane]
+            buckets = self._lanes[lane]
+            for _ in range(len(ring)):
+                submitter = ring[0]
+                ring.rotate(-1)
+                dq = buckets.get(submitter)
+                work = None
+                while dq:
+                    cand = dq.popleft()
+                    if not cand.cancelled:
+                        work = cand
+                        break  # cancelled items were already de-counted
+                if dq is not None and not dq:
+                    buckets.pop(submitter, None)
+                    ring.remove(submitter)
+                if work is not None:
+                    return work
+        return None
+
+    async def _run_work(self, work: _Work) -> None:
+        for job in work.live_jobs():
+            job.result.status = RUNNING
+            job.result.started_at = self._now()
+        self._emit("started", job_id=work.jobs[0].result.job_id, key=work.key,
+                   lane=work.lane)
+        while True:
+            if not work.live_jobs():
+                # every attached job was cancelled between retries
+                work.cancelled = True
+                return
+            try:
+                self._counts["executed"] += 1
+                payload = await self._execute(work)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                fclass = classify_failure(exc)
+                prior = work.class_failures.get(fclass, 0)
+                decision = self.retry.decide(fclass, prior, key=work.key)
+                work.class_failures[fclass] = prior + 1
+                if not decision.retry:
+                    for job in work.live_jobs():
+                        self._finish_job(job, FAILED, error=f"{type(exc).__name__}: {exc}",
+                                         failure_class=fclass)
+                    self._counts["failed"] += 1
+                    self._emit("failed", job_id=work.jobs[0].result.job_id, key=work.key,
+                               failure_class=fclass, reason=decision.reason)
+                    return
+                self._counts["retries"] += 1
+                if decision.escalate_ladder:
+                    work.ladder = (work.ladder or LadderConfig()).stricter()
+                if decision.fresh_worker:
+                    self._pool.rebuild()
+                for job in work.live_jobs():
+                    job.result.retries += 1
+                self._emit("retrying", job_id=work.jobs[0].result.job_id, key=work.key,
+                           failure_class=fclass, wait=round(decision.wait, 4),
+                           reason=decision.reason,
+                           stricter_ladder=decision.escalate_ladder)
+                await asyncio.sleep(decision.wait)
+                continue
+            # success
+            if self.cache is not None:
+                self.cache.put(work.key, payload)
+            for tier, count in payload.get("tier_tally", {}).items():
+                self._tier_tally[tier] += count
+            for job in work.live_jobs():
+                self._finish_job(job, DONE, payload=payload)
+            self._counts["completed"] += 1
+            self._emit("done", job_id=work.jobs[0].result.job_id, key=work.key,
+                       followers=len(work.jobs) - 1,
+                       elapsed_s=round(payload.get("elapsed_s", 0.0), 6))
+            return
+
+    async def _execute(self, work: _Work) -> dict:
+        """One attempt: in-thread for small jobs, process pool otherwise."""
+        spec = work.spec
+        timeout = spec.timeout if spec.timeout is not None else self.default_timeout
+        # crash-chaos jobs must run out-of-process: the hook kills its host
+        in_thread = spec.order <= self.small_n_threshold and not spec.crash
+        if in_thread:
+            async with self._thread_lane:
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.to_thread(
+                            execute_job, spec, workspace=self._thread_ws, ladder=work.ladder
+                        ),
+                        timeout,
+                    )
+                except asyncio.TimeoutError:
+                    # the abandoned thread may still be touching the lane's
+                    # arena; give subsequent jobs a fresh one
+                    self._thread_ws = Workspace()
+                    raise JobTimeout(
+                        f"job {work.key} exceeded {timeout}s (in-thread lane)"
+                    ) from None
+        # capture the pool instance this attempt runs on: concurrent
+        # failures from one dead pool must rebuild it once, not tear
+        # down each other's replacement (ResilientProcessPool.generation)
+        gen = self._pool.generation
+        fut = self._pool.submit(execute_job_pooled, spec, work.ladder)
+        try:
+            return await asyncio.wait_for(asyncio.wrap_future(fut), timeout)
+        except asyncio.TimeoutError:
+            fut.cancel()
+            # the worker may be wedged; a rebuild guarantees the retry
+            # (or the next job) gets a responsive pool
+            self._pool.rebuild(gen)
+            raise JobTimeout(f"job {work.key} exceeded {timeout}s") from None
+        except asyncio.CancelledError:
+            if fut.cancelled():
+                # the future was swept by a concurrent rebuild's
+                # cancel_futures, not by the scheduler being stopped
+                self._pool.rebuild(gen)
+                raise WorkerLost(
+                    f"pool was rebuilt under queued job {work.key}"
+                ) from None
+            raise
+        except BrokenExecutor:
+            self._pool.rebuild(gen)
+            raise WorkerLost(f"worker died while running {work.key}") from None
+
+    def _finish_job(
+        self,
+        job: _Job,
+        status: str,
+        *,
+        payload: dict | None = None,
+        error: str = "",
+        failure_class: str = "",
+    ) -> None:
+        job.result.status = status
+        job.result.payload = dict(payload) if payload is not None else None
+        job.result.error = error
+        job.result.failure_class = failure_class
+        job.result.finished_at = self._now()
+        if status == DONE:
+            self._counts["jobs_done"] += 1
+        job.done.set()
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-safe snapshot of the scheduler's health."""
+        counts = dict(self._counts)
+        hits = self.cache.stats.hits if self.cache is not None else 0
+        misses = self.cache.stats.misses if self.cache is not None else 0
+        coalesced = counts.get("coalesced", 0)
+        lookups = hits + misses
+        return {
+            "uptime_s": self._now(),
+            "workers": self.workers,
+            "max_queue": self.max_queue,
+            "queued": self._queued,
+            "running": self._running,
+            "counts": counts,
+            "pool_rebuilds": self._pool.rebuilds,
+            "tier_tally": dict(self._tier_tally),
+            "cache": self.cache.stats.to_json() if self.cache is not None else None,
+            # share of lookups served without executing a driver: cache
+            # hits plus duplicates coalesced onto an in-flight run
+            "hit_rate": ((hits + coalesced) / lookups) if lookups else 0.0,
+            "lanes": {
+                lane: {sub: len(dq) for sub, dq in buckets.items()}
+                for lane, buckets in self._lanes.items()
+                if buckets
+            },
+        }
+
+
+def _queued_items(lanes: dict, lane: str, submitter: str):
+    return lanes.get(lane, {}).get(submitter, ())

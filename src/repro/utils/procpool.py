@@ -1,0 +1,107 @@
+"""Crash-tolerant process-pool lifecycle, shared by the campaign
+executor and the serving layer.
+
+A ``ProcessPoolExecutor`` that loses a worker (segfault, OOM kill,
+``os._exit``) marks itself broken forever: every outstanding and future
+submission raises :class:`~concurrent.futures.BrokenExecutor`.  Both the
+fault-campaign executor (:mod:`repro.faults.executor`) and the batch
+service scheduler (:mod:`repro.serve.scheduler`) need the same
+response — throw the broken pool away, build an identical one, and keep
+serving — so the lifecycle lives here once.
+
+:class:`ResilientProcessPool` owns the executor-factory parameters
+(worker count, initializer, initargs), creates the pool lazily on first
+``submit``, and exposes ``rebuild()`` as the one-line recovery step.
+What to *do* about the work that was in flight when the pool broke is
+policy, not lifecycle, and stays with the caller (the campaign retries
+the lost chunk once; the scheduler re-queues the job through its retry
+policy).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable
+
+
+class ResilientProcessPool:
+    """A rebuildable :class:`ProcessPoolExecutor` wrapper.
+
+    The pool is created lazily (so constructing the wrapper is free) and
+    recreated from the same factory parameters by :meth:`rebuild`.
+    ``rebuilds`` counts how many times the pool had to be replaced —
+    surfaced in campaign results and service stats as a health signal.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        self.max_workers = max(1, int(max_workers))
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool: ProcessPoolExecutor | None = None
+        self._generation = 0
+        self.rebuilds = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def pool(self) -> ProcessPoolExecutor:
+        """The live executor, created on first use."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    @property
+    def generation(self) -> int:
+        """Monotonic pool-instance id; bumped by every :meth:`rebuild`.
+
+        Capture it before ``submit`` and pass it back to ``rebuild`` so
+        two callers observing failures from the *same* dead pool don't
+        rebuild twice — the second teardown would sweep away the fresh
+        pool the first caller's retry already resubmitted into.
+        """
+        return self._generation
+
+    def rebuild(self, generation: int | None = None) -> None:
+        """Discard the (presumed broken) pool; the next submit gets a
+        fresh one with fresh worker processes.
+
+        With ``generation`` given, the rebuild is a no-op unless that
+        pool instance is still the live one (stale-failure dedup).
+        """
+        if generation is not None and generation != self._generation:
+            return
+        if self._pool is not None:
+            # wait=False: broken pools cannot be joined; cancel_futures
+            # drops anything still queued inside the dead executor
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._generation += 1
+            self.rebuilds += 1
+
+    def shutdown(self, *, wait: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        return self.pool.submit(fn, *args, **kwargs)
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "ResilientProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -17,6 +17,9 @@ class TestParser:
             ["section5"],
             ["campaign", "--n", "96", "--channels", "2"],
             ["demo", "--n", "96"],
+            ["submit", "--jobs", "jobs.jsonl", "--workers", "4"],
+            ["serve", "--jobs", "-", "--max-queue", "8", "--cache-mb", "16"],
+            ["trace", "--n", "256", "--chrome", "t.json", "--csv", "t.csv"],
         ):
             assert p.parse_args(args).command == args[0]
 
@@ -27,6 +30,16 @@ class TestParser:
     def test_bad_sizes_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig6", "--sizes", "1022,abc"])
+
+    @pytest.mark.parametrize("sizes", ["0", "-96", "96,0", "96,-1,128"])
+    def test_nonpositive_sizes_rejected(self, sizes, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--sizes", sizes])
+        assert "sizes must be positive" in capsys.readouterr().err
+
+    def test_submit_requires_jobs_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
 
 
 class TestCommands:
@@ -81,6 +94,59 @@ class TestTraceCommand:
 
         doc = json.loads(out_file.read_text())
         assert len(doc["traceEvents"]) > 10
+
+    def test_trace_chrome_and_csv_flags(self, capsys, tmp_path):
+        chrome = tmp_path / "chrome.json"
+        csv = tmp_path / "trace.csv"
+        assert main(
+            ["trace", "--n", "512", "--chrome", str(chrome), "--csv", str(csv)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(chrome) in out and str(csv) in out
+        import json
+
+        doc = json.loads(chrome.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert spans and meta
+        assert doc["otherData"]["ops"] == len(spans)
+        assert csv.read_text().startswith("index,name,resource,category")
+
+
+class TestSubmitCommand:
+    def test_submit_runs_jsonl_batch(self, capsys, tmp_path):
+        import json
+
+        jobs = tmp_path / "jobs.jsonl"
+        lines = ["# duplicate-heavy demo batch"]
+        for seed in (0, 1, 0, 1, 0, 1):
+            lines.append(json.dumps({"driver": "gehrd", "n": 32, "seed": seed}))
+        jobs.write_text("\n".join(lines) + "\n")
+        stats_file = tmp_path / "stats.json"
+        results_file = tmp_path / "results.jsonl"
+        assert main(
+            [
+                "submit", "--jobs", str(jobs), "--workers", "1",
+                "--small-n", "512", "--stats", str(stats_file),
+                "--results", str(results_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out and "jobs/sec" in out
+
+        stats = json.loads(stats_file.read_text())
+        assert stats["jobs"] == 6
+        assert stats["stats"]["hit_rate"] >= 0.3
+
+        results = [json.loads(s) for s in results_file.read_text().splitlines()]
+        assert len(results) == 6
+        assert all(r["status"] == "done" for r in results)
+
+    def test_submit_rejects_malformed_jobs_file(self, tmp_path):
+        jobs = tmp_path / "bad.jsonl"
+        jobs.write_text('{"driver": "gehrd", "n": 32}\n{not json}\n')
+        with pytest.raises(SystemExit):
+            main(["submit", "--jobs", str(jobs)])
 
 
 class TestCoverageCommand:

@@ -1,0 +1,515 @@
+"""Tests for the batch-reduction service (``repro.serve``)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import EscalationExhausted, FaultConfigError, ShapeError, UncorrectableError
+from repro.resilience.ladder import LadderConfig
+from repro.serve import (
+    AsyncScheduler,
+    HessService,
+    JobSpec,
+    JobSpecError,
+    JobTimeout,
+    ResultCache,
+    RetryPolicy,
+    WorkerLost,
+    classify_failure,
+)
+from repro.serve.jobs import execute_job
+from repro.serve.retry import (
+    ESCALATION,
+    FAULT_CONFIG,
+    INVALID,
+    TIMEOUT,
+    TRANSIENT,
+    UNEXPECTED,
+    WORKER_LOST,
+)
+
+
+# ---------------------------------------------------------------------------
+# JobSpec: content-addressed keys + serialization
+# ---------------------------------------------------------------------------
+
+
+class TestJobSpec:
+    def test_key_is_deterministic(self):
+        a = JobSpec(driver="ft_gehrd", n=96, seed=3, nb=32)
+        b = JobSpec(driver="ft_gehrd", n=96, seed=3, nb=32)
+        assert a.key == b.key
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 4},
+            {"n": 128},
+            {"nb": 16},
+            {"driver": "gehrd"},
+            {"channels": 2},
+            {"audit_every": 4},
+            {"faults": ({"iteration": 1, "row": 3, "col": 5, "magnitude": 2.0},)},
+        ],
+    )
+    def test_key_tracks_content(self, change):
+        base = JobSpec(driver="ft_gehrd", n=96, seed=3)
+        assert base.key != JobSpec(**{**base.to_json(), **change,
+                                      "faults": change.get("faults", ())}).key
+
+    def test_scheduling_metadata_excluded_from_key(self):
+        a = JobSpec(n=96, priority="high", submitter="alice", timeout=5.0)
+        b = JobSpec(n=96, priority="low", submitter="bob")
+        assert a.key == b.key
+
+    def test_chaos_hooks_excluded_from_key(self):
+        assert JobSpec(n=96).key == JobSpec(n=96, crash=True).key
+
+    def test_inline_matrix_fingerprint_is_byte_exact(self):
+        m = np.arange(16.0).reshape(4, 4)
+        a = JobSpec(driver="gehrd", matrix=m)
+        b = JobSpec(driver="gehrd", matrix=m.copy())
+        c = JobSpec(driver="gehrd", matrix=m + 1e-16 * np.eye(4))
+        assert a.key == b.key
+        assert a.key != c.key  # near-duplicates are different jobs
+
+    def test_sytrd_pins_matrix_kind(self):
+        spec = JobSpec(driver="ft_sytrd", n=64, kind="uniform")
+        assert "symmetric" in spec.matrix_fingerprint()
+
+    def test_json_roundtrip(self):
+        spec = JobSpec(
+            driver="ft_gehrd", n=96, seed=7, channels=2, priority="high",
+            submitter="alice", faults=({"iteration": 1, "row": 2, "col": 3},),
+        )
+        again = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert again == spec
+        assert again.key == spec.key
+
+    def test_json_roundtrip_inline_matrix(self):
+        m = np.arange(9.0).reshape(3, 3)
+        spec = JobSpec(driver="gehrd", matrix=m)
+        again = JobSpec.from_json(spec.to_json())
+        assert again.key == spec.key
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(JobSpecError):
+            JobSpec.from_json({"driver": "gehrd", "wat": 1})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"driver": "qr_but_wrong"},
+            {"n": 1},
+            {"nb": 0},
+            {"channels": 3},
+            {"priority": "urgent"},
+            {"kind": "nonsense"},
+            {"timeout": -1.0},
+            {"moments": 0},
+        ],
+    )
+    def test_validate_rejects(self, bad):
+        with pytest.raises(JobSpecError):
+            JobSpec(**bad).validate()
+
+
+class TestExecuteJob:
+    def test_gehrd_payload(self):
+        payload = execute_job(JobSpec(driver="gehrd", n=48, seed=0))
+        assert payload["driver"] == "gehrd"
+        assert payload["residual"] < 1e-12
+
+    def test_ft_sytrd_default_audit(self):
+        # JobSpec's audit_every=0 means "off" for the gehrd family but
+        # the tridiagonal driver's audit is mandatory: 0 must map to the
+        # driver default instead of being rejected
+        payload = execute_job(JobSpec(driver="ft_sytrd", n=48, seed=0))
+        assert payload["driver"] == "ft_sytrd"
+        assert payload["checks"] >= 1
+
+    def test_ft_gehrd_with_fault_reports_tiers(self):
+        spec = JobSpec(
+            driver="ft_gehrd", n=48, seed=1,
+            faults=({"iteration": 1, "row": 30, "col": 40, "magnitude": 2.0},),
+        )
+        payload = execute_job(spec)
+        assert payload["residual"] < 1e-12
+        assert payload["detections"] >= 1
+        assert sum(payload["tier_tally"].values()) >= 1
+
+
+# ---------------------------------------------------------------------------
+# ResultCache: LRU order, byte budget, spill
+# ---------------------------------------------------------------------------
+
+
+def _sized_payload(tag: str, nbytes: int) -> dict:
+    pad = max(1, nbytes - len(json.dumps({"tag": tag, "pad": ""}).encode()))
+    return {"tag": tag, "pad": "x" * pad}
+
+
+class TestResultCache:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(1 << 20)
+        assert cache.get("a") is None
+        cache.put("a", {"v": 1})
+        assert cache.get("a") == {"v": 1}
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(3 * 200)
+        for tag in ("a", "b", "c"):
+            cache.put(tag, _sized_payload(tag, 200))
+        cache.get("a")  # promote: LRU order is now b, c, a
+        cache.put("d", _sized_payload("d", 200))
+        assert "b" not in cache  # least recently used went first
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_is_respected(self):
+        cache = ResultCache(1000)
+        for i in range(20):
+            cache.put(f"k{i}", _sized_payload(str(i), 300))
+        assert cache.stats.bytes <= 1000
+        assert len(cache) <= 3
+
+    def test_oversized_payload_not_held_in_memory(self, tmp_path):
+        cache = ResultCache(100, spill_dir=tmp_path)
+        cache.put("big", _sized_payload("big", 5000))
+        assert "big" not in cache
+        assert cache.get("big")["tag"] == "big"  # served from spill
+        assert cache.stats.spill_hits == 1
+
+    def test_eviction_spills_and_spill_promotes(self, tmp_path):
+        cache = ResultCache(2 * 200, spill_dir=tmp_path)
+        for tag in ("a", "b", "c"):
+            cache.put(tag, _sized_payload(tag, 200))
+        assert "a" not in cache and cache.stats.spill_writes >= 1
+        payload = cache.get("a")
+        assert payload["tag"] == "a"
+        assert cache.stats.spill_hits == 1
+        assert "a" in cache  # promoted back into the LRU
+
+    def test_spill_survives_cache_restart(self, tmp_path):
+        first = ResultCache(1 << 20, spill_dir=tmp_path)
+        first.put("big", _sized_payload("big", 1 << 21))  # straight to disk
+        fresh = ResultCache(1 << 20, spill_dir=tmp_path)
+        assert fresh.get("big")["tag"] == "big"
+
+    def test_clear_keeps_spill(self, tmp_path):
+        cache = ResultCache(1 << 20, spill_dir=tmp_path)
+        cache.put("big", _sized_payload("big", 1 << 21))
+        cache.clear()
+        assert cache.get("big") is not None
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy: the PR 2 failure taxonomy -> scheduling decisions
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        ("exc", "expected"),
+        [
+            (EscalationExhausted("ladder out"), ESCALATION),
+            (JobTimeout("too slow"), TIMEOUT),
+            (WorkerLost("pool broke"), WORKER_LOST),
+            (FaultConfigError("bad spec"), FAULT_CONFIG),
+            (JobSpecError("bad job"), INVALID),
+            (ShapeError("not square"), INVALID),
+            (UncorrectableError("rectangle"), TRANSIENT),
+            (RuntimeError("who knows"), UNEXPECTED),
+        ],
+    )
+    def test_classification(self, exc, expected):
+        assert classify_failure(exc) == expected
+
+    def test_escalation_retries_up_to_budget(self):
+        policy = RetryPolicy(escalation_retries=2)
+        first = policy.decide(ESCALATION, 0)
+        second = policy.decide(ESCALATION, 1)
+        third = policy.decide(ESCALATION, 2)
+        assert first.retry and first.escalate_ladder
+        assert second.retry and second.escalate_ladder
+        assert not third.retry
+
+    def test_timeout_retries_once_on_fresh_worker(self):
+        policy = RetryPolicy()
+        first = policy.decide(TIMEOUT, 0)
+        assert first.retry and first.fresh_worker
+        assert not policy.decide(TIMEOUT, 1).retry
+
+    def test_worker_lost_retries_once_on_fresh_worker(self):
+        decision = RetryPolicy().decide(WORKER_LOST, 0)
+        assert decision.retry and decision.fresh_worker
+
+    @pytest.mark.parametrize("fclass", [FAULT_CONFIG, INVALID, UNEXPECTED])
+    def test_permanent_classes_never_retry(self, fclass):
+        decision = RetryPolicy().decide(fclass, 0)
+        assert not decision.retry
+        assert "permanent" in decision.reason
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=1.0, jitter=0.5)
+        waits = [policy.backoff(k, key="job") for k in (1, 2, 3, 10)]
+        assert waits == [policy.backoff(k, key="job") for k in (1, 2, 3, 10)]
+        assert waits[0] < waits[1] < waits[2]
+        assert all(w <= 1.5 for w in waits)
+        assert policy.backoff(1, key="a") != policy.backoff(1, key="b")
+
+    def test_stricter_ladder(self):
+        cfg = LadderConfig()
+        strict = cfg.stricter()
+        assert strict.in_place is False
+        assert strict.max_in_place_total == 0
+        assert strict.max_deep_steps is None
+        assert strict.max_restarts == cfg.max_restarts + 1
+        assert strict.stricter().max_restarts == cfg.max_restarts + 2
+
+
+# ---------------------------------------------------------------------------
+# Scheduler admission control / fairness (no runners: fully deterministic)
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_full_queue_rejected_with_structured_reason(self):
+        async def run():
+            sched = AsyncScheduler(workers=1, max_queue=2, cache=ResultCache(1 << 20))
+            return [
+                await sched.submit(JobSpec(driver="gehrd", n=24, seed=s))
+                for s in range(3)
+            ]
+
+        subs = asyncio.run(run())
+        assert [s.accepted for s in subs] == [True, True, False]
+        rejected = subs[2]
+        assert rejected.job_id is None
+        assert rejected.reason.startswith("backpressure: queue full (2/2")
+        assert rejected.queue_depth == 2
+
+    def test_invalid_spec_rejected_with_reason(self):
+        async def run():
+            sched = AsyncScheduler(workers=1, max_queue=2)
+            return await sched.submit(JobSpec(driver="nope", n=24))
+
+        sub = asyncio.run(run())
+        assert not sub.accepted
+        assert sub.reason.startswith("invalid:")
+
+    def test_duplicates_coalesce_past_a_full_queue(self):
+        async def run():
+            sched = AsyncScheduler(workers=1, max_queue=1, cache=ResultCache(1 << 20))
+            first = await sched.submit(JobSpec(driver="gehrd", n=24, seed=0))
+            dup = await sched.submit(JobSpec(driver="gehrd", n=24, seed=0))
+            distinct = await sched.submit(JobSpec(driver="gehrd", n=24, seed=1))
+            return first, dup, distinct
+
+        first, dup, distinct = asyncio.run(run())
+        assert first.accepted and dup.accepted
+        assert not distinct.accepted  # the queue really was full
+        assert dup.key == first.key
+
+    def test_priority_lanes_and_round_robin_fairness(self):
+        async def run():
+            sched = AsyncScheduler(workers=1, max_queue=16)
+            order = [
+                ("low", "a", 0), ("normal", "a", 1), ("normal", "a", 2),
+                ("normal", "a", 3), ("normal", "b", 4), ("high", "b", 5),
+                ("normal", "b", 6),
+            ]
+            for lane, submitter, seed in order:
+                await sched.submit(
+                    JobSpec(driver="gehrd", n=24, seed=seed,
+                            priority=lane, submitter=submitter)
+                )
+            popped = []
+            while True:
+                work = sched._pop_work()
+                if work is None:
+                    return popped
+                popped.append((work.lane, work.submitter, work.spec.seed))
+
+        popped = asyncio.run(run())
+        # high lane first; then the normal lane alternates submitters
+        # a/b round-robin; the low lane drains last
+        assert popped[0] == ("high", "b", 5)
+        normal = [p for p in popped if p[0] == "normal"]
+        assert [s for _, s, _ in normal[:4]] in (["a", "b"] * 2, ["b", "a"] * 2)
+        assert popped[-1] == ("low", "a", 0)
+
+
+# ---------------------------------------------------------------------------
+# Service end-to-end (in-thread lane; stubbed drivers where determinism
+# matters more than realism)
+# ---------------------------------------------------------------------------
+
+
+def _service(**kw) -> HessService:
+    kw.setdefault("workers", 2)
+    kw.setdefault("max_queue", 32)
+    kw.setdefault("small_n_threshold", 512)  # keep everything in-thread
+    return HessService(**kw)
+
+
+class TestServiceEndToEnd:
+    def test_duplicate_heavy_batch_hits_cache(self):
+        uniques = [JobSpec(driver="gehrd", n=32, seed=s) for s in range(4)]
+        batch = uniques * 4  # 16 jobs, 4 distinct
+        with _service() as svc:
+            subs = svc.submit_batch(batch)
+            assert all(s.accepted for s in subs)
+            svc.drain(timeout=120)
+            results = [svc.peek(s.job_id) for s in subs]
+            stats = svc.stats()
+        assert all(r.status == "done" for r in results)
+        assert all(r.payload["residual"] < 1e-12 for r in results)
+        assert stats["hit_rate"] >= 0.3
+        assert stats["counts"]["completed"] == 4  # one execution per key
+
+    def test_result_blocks_until_done_and_events_stream(self):
+        with _service() as svc:
+            q = svc.subscribe()
+            sub = svc.submit(JobSpec(driver="ft_gehrd", n=32, seed=0))
+            res = svc.result(sub.job_id, timeout=60)
+            assert res.status == "done"
+            svc.drain(timeout=10)
+        kinds = []
+        while not q.empty():
+            kinds.append(q.get()["event"])
+        assert "submitted" in kinds and "started" in kinds and "done" in kinds
+
+    def test_cancel_while_queued_race(self, monkeypatch):
+        def slow_job(spec, *, workspace=None, ladder=None):
+            time.sleep(0.15)
+            return {"driver": spec.driver, "n": spec.n, "elapsed_s": 0.15}
+
+        monkeypatch.setattr("repro.serve.scheduler.execute_job", slow_job)
+        with _service(workers=1) as svc:
+            subs = svc.submit_batch(
+                [JobSpec(driver="gehrd", n=24, seed=s) for s in range(6)]
+            )
+            # the first job is running; cancel every other queued job
+            cancelled_ids = [s.job_id for s in subs[2::2]]
+            outcomes = [svc.cancel(job_id) for job_id in cancelled_ids]
+            svc.drain(timeout=60)
+            results = {s.job_id: svc.peek(s.job_id) for s in subs}
+            stats = svc.stats()
+            # cancelling a terminal job is a no-op
+            cancel_after_done = svc.cancel(subs[0].job_id)
+        assert all(outcomes)
+        for job_id in cancelled_ids:
+            assert results[job_id].status == "cancelled"
+            assert results[job_id].payload is None
+        done = [r for r in results.values() if r.status == "done"]
+        assert len(done) == len(subs) - len(cancelled_ids)
+        assert stats["counts"]["cancelled"] == len(cancelled_ids)
+        assert cancel_after_done is False
+
+    def test_escalation_exhausted_retries_with_stricter_ladder(self, monkeypatch):
+        seen_ladders = []
+
+        def flaky(spec, *, workspace=None, ladder=None):
+            seen_ladders.append(ladder)
+            if len(seen_ladders) == 1:
+                raise EscalationExhausted("ladder out of budget")
+            return {"driver": spec.driver, "n": spec.n, "elapsed_s": 0.0}
+
+        monkeypatch.setattr("repro.serve.scheduler.execute_job", flaky)
+        with _service(workers=1, retry=RetryPolicy(backoff_base=0.001)) as svc:
+            sub = svc.submit(JobSpec(driver="ft_gehrd", n=32, seed=0))
+            res = svc.result(sub.job_id, timeout=30)
+        assert res.status == "done"
+        assert res.retries == 1
+        assert seen_ladders[0] is None
+        assert seen_ladders[1].in_place is False
+        assert seen_ladders[1].max_restarts == LadderConfig().max_restarts + 1
+
+    def test_fault_config_error_fails_permanently(self, monkeypatch):
+        def broken(spec, *, workspace=None, ladder=None):
+            raise FaultConfigError("no such channel")
+
+        monkeypatch.setattr("repro.serve.scheduler.execute_job", broken)
+        with _service(workers=1) as svc:
+            sub = svc.submit(JobSpec(driver="ft_gehrd", n=32, seed=0))
+            res = svc.result(sub.job_id, timeout=30)
+        assert res.status == "failed"
+        assert res.failure_class == "fault_config"
+        assert res.retries == 0
+
+    def test_timeout_retries_once_then_fails(self, monkeypatch):
+        attempts = []
+
+        def wedged(spec, *, workspace=None, ladder=None):
+            attempts.append(time.perf_counter())
+            time.sleep(0.3)
+            return {"elapsed_s": 0.3}
+
+        monkeypatch.setattr("repro.serve.scheduler.execute_job", wedged)
+        with _service(workers=1, default_timeout=0.05,
+                      retry=RetryPolicy(backoff_base=0.001)) as svc:
+            sub = svc.submit(JobSpec(driver="gehrd", n=24, seed=0))
+            res = svc.result(sub.job_id, timeout=30)
+        assert res.status == "failed"
+        assert res.failure_class == "timeout"
+        assert res.retries == 1
+        assert len(attempts) == 2
+
+    def test_submit_wait_rides_out_backpressure(self, monkeypatch):
+        def slow_job(spec, *, workspace=None, ladder=None):
+            time.sleep(0.05)
+            return {"elapsed_s": 0.05}
+
+        monkeypatch.setattr("repro.serve.scheduler.execute_job", slow_job)
+        with _service(workers=1, max_queue=1) as svc:
+            subs = [
+                svc.submit_wait(JobSpec(driver="gehrd", n=24, seed=s))
+                for s in range(4)
+            ]
+            svc.drain(timeout=60)
+            stats = svc.stats()
+        assert all(s.accepted for s in subs)
+        assert stats["counts"].get("rejected_backpressure", 0) >= 1
+
+    def test_stats_tier_tally_aggregates_recoveries(self):
+        spec = JobSpec(
+            driver="ft_gehrd", n=48, seed=1,
+            faults=({"iteration": 1, "row": 30, "col": 40, "magnitude": 2.0},),
+        )
+        with _service() as svc:
+            sub = svc.submit(spec)
+            res = svc.result(sub.job_id, timeout=120)
+            stats = svc.stats()
+        assert res.status == "done"
+        assert sum(stats["tier_tally"].values()) >= 1
+
+
+class TestServiceCrashRecovery:
+    def test_worker_crash_loses_no_jobs(self, tmp_path):
+        sentinel = str(tmp_path / "crash.once")
+        specs = [
+            JobSpec(driver="ft_gehrd", n=32, seed=s, submitter="c") for s in range(3)
+        ]
+        specs.insert(
+            1,
+            JobSpec(driver="ft_gehrd", n=32, seed=9, submitter="c",
+                    crash=True, crash_once_path=sentinel),
+        )
+        # small_n_threshold=0: everything rides the process pool
+        with HessService(workers=2, max_queue=16, small_n_threshold=0,
+                         retry=RetryPolicy(backoff_base=0.001)) as svc:
+            subs = svc.submit_batch(specs)
+            assert all(s.accepted for s in subs)
+            svc.drain(timeout=300)
+            results = [svc.peek(s.job_id) for s in subs]
+            stats = svc.stats()
+        assert all(r.status == "done" for r in results), [r.error for r in results]
+        assert stats["pool_rebuilds"] >= 1
+        assert stats["counts"].get("retries", 0) >= 1
