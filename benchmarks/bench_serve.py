@@ -73,8 +73,62 @@ def bench_serve(jobs: int = 200, *, n: int = 32, workers: int = 2) -> dict:
     }
 
 
+def bench_serve_dataplane(n: int = 256, *, workers: int = 2, jobs: int = 6) -> dict:
+    """Inline-matrix jobs through the pool lane, pickle vs shared memory.
+
+    Submits *jobs* ft_gehrd jobs over 3 distinct inline n×n matrices
+    (duplicates coalesce onto in-flight runs), once with
+    ``transport="pickle"`` and once with ``"auto"``, and reports the
+    serialized bytes each submitted job pushes through the pool's pipes:
+    the pickled spec carries the full matrix on the pickle plane and a
+    ~100-byte :class:`SharedMatrix` handle on the shm plane.
+    """
+    import pickle
+    from dataclasses import replace
+
+    from repro.utils.rng import random_matrix
+    from repro.utils.shm import SharedMatrix
+
+    mats = [random_matrix(n, seed=seed) for seed in range(3)]
+
+    def batch() -> list[JobSpec]:
+        return [
+            JobSpec(driver="ft_gehrd", n=n, matrix=mats[i % len(mats)])
+            for i in range(jobs)
+        ]
+
+    times: dict[str, float] = {}
+    for transport in ("pickle", "auto"):
+        t0 = time.perf_counter()
+        with HessService(
+            workers=workers, max_queue=max(64, jobs), small_n_threshold=0,
+            cache_bytes=0, transport=transport,
+        ) as svc:
+            subs = svc.submit_batch(batch())
+            assert all(s.accepted for s in subs)
+            svc.drain(timeout=600)
+        times[transport] = time.perf_counter() - t0
+
+    spec = JobSpec(driver="ft_gehrd", n=n, matrix=mats[0])
+    handle = SharedMatrix(name="repro-shm-0-00000000", shape=(n, n), dtype="float64")
+    bytes_per_job_pickle = len(pickle.dumps(spec))
+    bytes_per_job_shm = len(pickle.dumps(replace(spec, matrix=handle)))
+    return {
+        "n": n,
+        "jobs": jobs,
+        "distinct_matrices": len(mats),
+        "workers": workers,
+        "pickle_s": times["pickle"],
+        "shm_s": times["auto"],
+        "bytes_per_job_pickle": bytes_per_job_pickle,
+        "bytes_per_job_shm": bytes_per_job_shm,
+        "bytes_ratio": bytes_per_job_pickle / bytes_per_job_shm,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def main() -> None:
-    payload = bench_serve()
+    payload = {"serve": bench_serve(), "serve_dataplane": bench_serve_dataplane()}
     print(json.dumps(payload, indent=2))
 
 

@@ -9,11 +9,19 @@ at the repository root (plus a copy under ``benchmarks/results/``):
 * ``encoded_updates`` — one checksum-extended right+left update pair:
                         reference vs the fused in-place BLAS path
                         (n=512, nb=32);
-* ``campaign``        — a small fault campaign, serial vs ``--workers 4``
-                        (identical trial grids);
+* ``campaign``        — a small fault campaign (n=96), serial vs
+                        ``--workers 4``, with serialized-bytes-per-trial
+                        for the pickle vs shared-memory data planes and
+                        the measured pool-startup cost;
+* ``campaign_n256``   — the same comparison at n=256, where the pool
+                        should win outright and the shm transport moves
+                        orders of magnitude fewer serialized bytes;
 * ``serve``           — a 200-job duplicate-heavy mixed batch through
                         ``HessService`` (jobs/sec and cache hit-rate;
-                        see ``bench_serve.py``).
+                        see ``bench_serve.py``);
+* ``serve_dataplane`` — inline n=256 matrices through the service under
+                        ``transport="pickle"`` vs ``"auto"`` (bytes per
+                        submitted job each way; see ``bench_serve.py``).
 
 Honest wall-clock numbers: speedups are whatever this host produces —
 on a single-core box the campaign rows will show pool overhead, not
@@ -55,7 +63,7 @@ from repro.perf.reference import (                                # noqa: E402
 from repro.perf.workspace import Workspace                        # noqa: E402
 from repro.utils.rng import random_matrix                         # noqa: E402
 
-from bench_serve import bench_serve                               # noqa: E402
+from bench_serve import bench_serve, bench_serve_dataplane        # noqa: E402
 
 N, NB = 512, 32
 
@@ -134,8 +142,41 @@ def bench_encoded_updates() -> dict:
     }
 
 
-def bench_campaign() -> dict:
-    n, nb, moments = 96, 32, 3
+def _noop() -> None:
+    """Top-level (hence picklable) no-op for the pool-startup probe."""
+
+
+def _pool_startup_cost(workers: int, initargs: tuple) -> float:
+    """Wall-clock cost of bringing up a campaign pool: process spawn,
+    the real worker initializer (matrix + workspace priming), and one
+    round-trip per worker.
+
+    The campaign's parallel path pays this once per run; at small n it
+    dominates the trial work itself, which is why the n=96 row is judged
+    against ``serial_s + pool_startup_s`` rather than ``serial_s``.
+    """
+    from repro.faults.executor import _init_worker
+    from repro.utils.procpool import ResilientProcessPool
+
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        pool = ResilientProcessPool(workers, initializer=_init_worker,
+                                    initargs=initargs)
+        for fut in [pool.submit(_noop) for _ in range(workers)]:
+            fut.result()
+        best = min(best, time.perf_counter() - t0)
+        pool.shutdown()
+    return best
+
+
+def bench_campaign(n: int = 96, moments: int = 3, *, workers: int = 4,
+                   repeats: int = 3) -> dict:
+    import pickle
+
+    from repro.utils.shm import SharedMatrix, shm_available
+
+    nb = 32
     a = random_matrix(n, seed=2)
     cfg = FTConfig(nb=nb)
     tasks = build_fault_grid(n, nb, moments=moments, seed=0)
@@ -143,17 +184,44 @@ def bench_campaign() -> dict:
     def serial():
         run_ft_trials(a, tasks, cfg, residual_tol=1e-13, workers=1)
 
-    def pooled():
-        run_ft_trials(a, tasks, cfg, residual_tol=1e-13, workers=4)
+    def pooled_shm():
+        run_ft_trials(a, tasks, cfg, residual_tol=1e-13, workers=workers,
+                      transport="shm" if shm_available() else "pickle")
+
+    def pooled_pickle():
+        run_ft_trials(a, tasks, cfg, residual_tol=1e-13, workers=workers,
+                      transport="pickle")
 
     serial()  # warm the lru caches / BLAS threads out of both timings
-    t_serial = _best_of(serial, repeats=3)
-    t_pooled = _best_of(pooled, repeats=3)
+    t_serial = _best_of(serial, repeats=repeats)
+    t_shm = _best_of(pooled_shm, repeats=repeats)
+    t_pickle = _best_of(pooled_pickle, repeats=repeats)
+
+    # serialized bytes crossing the pool's pipes, per trial: the pool
+    # primes each worker once through its initargs — pickle ships the
+    # whole matrix to every worker, shm ships a ~100-byte handle (the
+    # matrix bytes are written to the segment once, as a memcpy, not a
+    # serialization; reported separately as bytes_copied_shm)
+    eff_workers = min(workers, len(tasks))
+    init_pickle = len(pickle.dumps((a, cfg, 1e-13)))
+    handle = SharedMatrix(name="repro-shm-0-00000000", shape=tuple(a.shape),
+                          dtype=str(a.dtype))
+    init_shm = len(pickle.dumps((handle, cfg, 1e-13)))
+    bytes_per_trial_pickle = eff_workers * init_pickle / len(tasks)
+    bytes_per_trial_shm = eff_workers * init_shm / len(tasks)
+    startup = _pool_startup_cost(eff_workers, (a, cfg, 1e-13))
     return {
-        "n": n, "nb": nb, "trials": len(tasks), "workers": 4,
+        "n": n, "nb": nb, "trials": len(tasks), "workers": workers,
         "serial_s": t_serial,
-        "parallel_s": t_pooled,
-        "speedup": t_serial / t_pooled,
+        "parallel_s": t_shm,
+        "parallel_pickle_s": t_pickle,
+        "speedup": t_serial / t_shm,
+        "pool_startup_s": startup,
+        "overhead_within_startup": (t_shm - t_serial) <= startup,
+        "bytes_per_trial_pickle": bytes_per_trial_pickle,
+        "bytes_per_trial_shm": bytes_per_trial_shm,
+        "bytes_ratio": bytes_per_trial_pickle / bytes_per_trial_shm,
+        "bytes_copied_shm": a.nbytes,
         "cpu_count": os.cpu_count(),
     }
 
@@ -168,8 +236,10 @@ def main() -> None:
         },
         "panel": bench_panel(),
         "encoded_updates": bench_encoded_updates(),
-        "campaign": bench_campaign(),
+        "campaign": bench_campaign(96, 3),
+        "campaign_n256": bench_campaign(256, 2, repeats=1),
         "serve": bench_serve(),
+        "serve_dataplane": bench_serve_dataplane(),
     }
     text = json.dumps(payload, indent=2)
     (ROOT / "BENCH_kernels.json").write_text(text + "\n")

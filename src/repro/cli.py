@@ -99,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--trial-timeout", type=float, default=None,
                    help="per-trial wall-clock budget in seconds (pooled "
                         "runs; a wedged worker aborts its chunk)")
+    c.add_argument("--transport", choices=("auto", "shm", "pickle"),
+                   default="auto",
+                   help="how the matrix reaches pooled trial runners: "
+                        "shared memory, pickle, or pick automatically")
 
     d = sub.add_parser("demo", help="one FT run with an injected error")
     d.add_argument("--n", type=int, default=158)
@@ -149,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for on-disk cache spill")
         s.add_argument("--timeout", type=float, default=None,
                        help="per-attempt wall-clock budget in seconds")
+        s.add_argument("--transport", choices=("auto", "shm", "pickle"),
+                       default="auto",
+                       help="cross-process data plane for inline matrices "
+                            "and returned factors (see docs/performance.md)")
         s.add_argument("--stats", type=str, default=None, metavar="PATH",
                        help="write the service stats dump to this JSON file")
         s.add_argument("--results", type=str, default=None, metavar="PATH",
@@ -227,6 +235,7 @@ def _cmd_campaign(args) -> str:
         journal=args.journal,
         resume=args.resume,
         trial_timeout=args.trial_timeout,
+        transport=args.transport,
     )
     if args.adversarial:
         from repro.faults import OUTCOMES
@@ -382,6 +391,7 @@ def _run_jobs(args, *, stream: bool) -> str:
         spill_dir=args.spill,
         small_n_threshold=args.small_n,
         default_timeout=args.timeout,
+        transport=args.transport,
     )
     pumper = None
     stop = threading.Event()

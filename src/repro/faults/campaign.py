@@ -35,6 +35,7 @@ from repro.faults.injector import SPACE_PHASES, SPACES, FaultSpec
 from repro.faults.journal import CampaignJournal, grid_fingerprint
 from repro.faults.regions import finished_cols_at, iteration_count, sample_in_area
 from repro.utils.rng import make_rng
+from repro.utils.shm import hash_update_array
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from repro.core.config import FTConfig
@@ -257,7 +258,9 @@ def baseline_residual(a: np.ndarray, cfg: "FTConfig") -> float:
     from repro.linalg.orghr import orghr
     from repro.linalg.verify import extract_hessenberg, factorization_residual
 
-    digest = hashlib.sha1(np.ascontiguousarray(a).tobytes()).hexdigest()
+    h = hashlib.sha1()
+    hash_update_array(h, a)  # zero-copy for contiguous inputs
+    digest = h.hexdigest()
     key = (a.shape[0], cfg.nb, cfg.channels, digest)
     cached = _BASELINE_CACHE.get(key)
     if cached is not None:
@@ -290,6 +293,7 @@ def run_campaign(
     trial_timeout: float | None = None,
     crash_index: int | None = None,
     crash_once_path: str | None = None,
+    transport: str = "auto",
 ) -> CampaignResult:
     """Run a fault campaign over *a* and verify recovery of every trial.
 
@@ -311,6 +315,9 @@ def run_campaign(
     ``trial_timeout`` (seconds) bounds each pooled trial; see
     :func:`repro.faults.executor.run_ft_trials` for the crash semantics
     of ``crash_index`` / ``crash_once_path`` (test/chaos hooks).
+    ``transport`` selects the pooled data plane (``"auto"``/``"shm"``/
+    ``"pickle"``): with shared memory the input matrix reaches every
+    worker as a ~100-byte handle instead of an n×n pickle.
     """
     from repro.core.config import FTConfig
 
@@ -365,5 +372,6 @@ def run_campaign(
         precomputed=precomputed,
         crash_index=crash_index,
         crash_once_path=crash_once_path,
+        transport=transport,
     )
     return result

@@ -25,6 +25,18 @@ Workers are primed once via the pool initializer with the (read-only)
 input matrix, the FT configuration and the residual bar, so the per-task
 payload is just the plan. Tasks are shipped in contiguous chunks to
 amortize IPC, and results are reassembled in grid order.
+
+Data plane: with ``transport="auto"`` (the default) a base matrix big
+enough to beat a pickle travels as a ~100-byte
+:class:`~repro.utils.shm.SharedMatrix` handle over ``/dev/shm`` instead
+of being serialized into each worker. Workers attach the segment once,
+share the same read-only pages for every trial of every chunk, and pair
+the attached view with the per-process
+:func:`~repro.perf.workspace.process_workspace` arena — a warm worker
+performs zero allocation and zero deserialization per trial. The
+segment is owned by a :class:`~repro.utils.shm.SegmentRegistry` tied to
+the pool, which guarantees the unlink on shutdown, rebuild, crash and
+interpreter exit.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from repro.errors import EscalationExhausted, ReproError
 from repro.faults.injector import FaultInjector, FaultSpec
 from repro.resilience.ladder import max_tier as _deepest_tier
 from repro.utils.procpool import ResilientProcessPool
+from repro.utils.shm import SegmentRegistry, SharedMatrix, use_shm_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from repro.core.config import FTConfig
@@ -128,11 +141,16 @@ def run_one_trial(
     area: int,
     cfg: "FTConfig",
     residual_tol: float,
+    *,
+    workspace=None,
 ) -> TrialOutcome:
     """Run FT-GEHRD under one fault plan and grade the outcome.
 
     ``residual_tol`` is the pass bar on the Table II residual after
     recovery — recovered runs must be as good as fault-free ones.
+    ``workspace`` is a long-lived scratch arena for callers that run
+    many trials back to back (the pool workers and the serial sweep);
+    without one the driver allocates a fresh arena per trial.
     """
     from repro.core.ft_hessenberg import ft_gehrd
     from repro.linalg.orghr import orghr
@@ -150,7 +168,7 @@ def run_one_trial(
             # NaN-poisoned trials spray numpy RuntimeWarnings; unfired-spec
             # warnings are the caller's business, not per-trial noise
             warnings.simplefilter("ignore", RuntimeWarning)
-            ft = ft_gehrd(a, cfg, injector=inj)
+            ft = ft_gehrd(a, cfg, injector=inj, workspace=workspace)
             q = orghr(ft.a, ft.taus)
             h = extract_hessenberg(ft.a)
             residual = factorization_residual(a, q, h)
@@ -210,10 +228,24 @@ def _aborted_outcome(plan, area: int, why: str) -> TrialOutcome:
 _WORKER: dict = {}
 
 
-def _init_worker(a: np.ndarray, cfg: "FTConfig", residual_tol: float) -> None:
+def _init_worker(
+    a: "np.ndarray | SharedMatrix", cfg: "FTConfig", residual_tol: float
+) -> None:
+    from repro.perf.workspace import process_workspace
+
+    if isinstance(a, SharedMatrix):
+        # attach once; every trial of every chunk re-views the same
+        # read-only pages (the driver copies into its own encoded
+        # storage, so read-only is exactly the access it needs)
+        a = a.attach()
     _WORKER["a"] = a
     _WORKER["cfg"] = cfg
     _WORKER["residual_tol"] = residual_tol
+    # the per-process arena: presized here so the steady state of a
+    # warm worker allocates nothing at all between trials
+    ws = process_workspace()
+    ws.presize(a.shape[0], cfg.nb, getattr(cfg, "channels", 1))
+    _WORKER["ws"] = ws
 
 
 def _maybe_crash(index: int, crash_index: int | None, crash_once_path: str | None) -> None:
@@ -236,10 +268,13 @@ def _run_chunk(payload) -> list:
     a = _WORKER["a"]
     cfg = _WORKER["cfg"]
     residual_tol = _WORKER["residual_tol"]
+    ws = _WORKER.get("ws")
     out = []
     for index, plan, area in tasks:
         _maybe_crash(index, crash_index, crash_once_path)
-        out.append((index, run_one_trial(a, plan, area, cfg, residual_tol)))
+        out.append(
+            (index, run_one_trial(a, plan, area, cfg, residual_tol, workspace=ws))
+        )
     return out
 
 
@@ -256,6 +291,8 @@ def run_ft_trials(
     precomputed: "dict[int, TrialOutcome] | None" = None,
     crash_index: int | None = None,
     crash_once_path: str | None = None,
+    transport: str = "auto",
+    shm_min_bytes: int | None = None,
 ) -> list[TrialOutcome]:
     """Run every (plan, area) task; order of results matches *tasks*.
 
@@ -266,6 +303,12 @@ def run_ft_trials(
     the pooled path crash-proof: every trial always ends in an outcome.
     ``precomputed`` maps grid indices to already-known outcomes (resume);
     ``on_result(index, outcome)`` fires for each newly computed trial.
+
+    ``transport`` picks how the base matrix reaches the workers:
+    ``"auto"`` ships it over shared memory when that beats pickling
+    (see :func:`repro.utils.shm.use_shm_for`), ``"shm"`` forces shared
+    memory (raising where unavailable), ``"pickle"`` forces the classic
+    serialized path. The serial path has no transport and ignores this.
     """
     if not tasks:
         return []
@@ -283,27 +326,47 @@ def run_ft_trials(
             on_result(index, outcome)
 
     if workers <= 1 or not pending:
+        from repro.perf.workspace import Workspace
+
+        ws = Workspace()  # one arena reused across the serial sweep
         for index, plan, area in pending:
             _maybe_crash(index, crash_index, crash_once_path)
-            emit(index, run_one_trial(a, plan, area, cfg, residual_tol))
+            emit(index, run_one_trial(a, plan, area, cfg, residual_tol, workspace=ws))
         return [results[i] for i in range(len(tasks))]
 
     workers = min(workers, len(pending))
     if chunksize is None:
-        # a few chunks per worker: balances stragglers against IPC cost
-        chunksize = max(1, len(pending) // (workers * 4))
+        # ~2 chunks per worker: enough slack to absorb stragglers, few
+        # enough round-trips that small grids aren't dominated by IPC
+        chunksize = max(1, -(-len(pending) // (workers * 2)))
     chunks = [pending[i : i + chunksize] for i in range(0, len(pending), chunksize)]
 
-    todo = list(range(len(chunks)))
-    attempts = {ci: 0 for ci in todo}
+    payload_a: "np.ndarray | SharedMatrix" = a
+    registry = None
+    if use_shm_for(a.nbytes, transport, min_bytes=shm_min_bytes):
+        registry = SegmentRegistry()
+        payload_a = SharedMatrix.create(a, registry=registry)
+
+    queue = list(range(len(chunks)))
+    attempts = {ci: 0 for ci in queue}
     pool = ResilientProcessPool(
-        workers, initializer=_init_worker, initargs=(a, cfg, residual_tol)
+        workers,
+        initializer=_init_worker,
+        initargs=(payload_a, cfg, residual_tol),
+        registry=registry,
     )
     try:
-        while todo:
+        while queue:
+            # Retried chunks run one at a time: a poisoned chunk that
+            # breaks the pool again must not take the other survivors'
+            # retries down with it as collateral.
+            if attempts[queue[0]] > 0:
+                wave, queue = queue[:1], queue[1:]
+            else:
+                wave, queue = queue, []
             futures = [
                 (ci, pool.submit(_run_chunk, (chunks[ci], crash_index, crash_once_path)))
-                for ci in todo
+                for ci in wave
             ]
             lost: list[int] = []
             rebuild = False
@@ -334,13 +397,12 @@ def run_ft_trials(
                     rebuild = True
             if rebuild:
                 pool.rebuild()
-            todo = []
             for ci in lost:
                 if attempts[ci] < 1:
                     # one retry: a crash that follows the chunk around is
                     # the chunk's fault, not the environment's
                     attempts[ci] += 1
-                    todo.append(ci)
+                    queue.append(ci)
                 else:
                     for index, plan, area in chunks[ci]:
                         if index not in results:

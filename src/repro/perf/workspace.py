@@ -68,6 +68,19 @@ class Workspace:
         """A 1-D scratch vector of length *n*."""
         return self.buf(name, (int(n),), zero=zero)
 
+    def matrix_like(self, name: str, src: np.ndarray, *, order: str = "F") -> np.ndarray:
+        """A named pooled buffer holding a writable copy of *src*.
+
+        The zero-allocation landing pad for matrices arriving through
+        the shared-memory data plane: a worker's read-only attached view
+        is copied into a grown-once arena buffer instead of a fresh
+        ``ndarray`` per job, so a warm worker's steady state allocates
+        nothing even for drivers that mutate their input.
+        """
+        out = self.buf(name, tuple(src.shape), order=order)
+        out[...] = src
+        return out
+
     def presize(self, n: int, nb: int, k: int = 0) -> None:
         """Pre-allocate the panel-sized buffers for an (n, nb, k) run so
         the steady state performs no allocation at all."""

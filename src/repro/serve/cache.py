@@ -61,12 +61,24 @@ class CacheStats:
 
 @dataclass
 class _Entry:
+    """One cached payload plus its canonical JSON encoding.
+
+    The payload is serialized exactly once, on insert: the same blob
+    charges the byte budget *and* lands on disk verbatim if the entry is
+    ever spilled — the old double ``json.dumps`` (once for ``nbytes``,
+    again in the spill writer) did the expensive half of the work twice.
+    """
+
     payload: dict
-    nbytes: int = 0
+    blob: bytes = b""
 
     def __post_init__(self) -> None:
-        if not self.nbytes:
-            self.nbytes = len(json.dumps(self.payload, sort_keys=True).encode())
+        if not self.blob:
+            self.blob = json.dumps(self.payload, sort_keys=True).encode()
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.blob)
 
 
 def _spill_name(key: str) -> str:
@@ -131,7 +143,7 @@ class ResultCache:
             # an entry bigger than the whole budget can never be held in
             # memory — spill it straight to disk instead of churning the LRU
             if entry.nbytes > self.max_bytes:
-                self._write_spill(key, entry.payload)
+                self._write_spill(key, entry)
                 return
             self._insert(key, entry)
 
@@ -164,7 +176,7 @@ class ResultCache:
             victim, dropped = self._entries.popitem(last=False)
             self._bytes -= dropped.nbytes
             self.stats.evictions += 1
-            self._write_spill(victim, dropped.payload)
+            self._write_spill(victim, dropped)
         self._sync_gauges()
 
     def _remove(self, key: str) -> None:
@@ -179,12 +191,16 @@ class ResultCache:
 
     # -- spill ---------------------------------------------------------------
 
-    def _write_spill(self, key: str, payload: dict) -> None:
+    def _write_spill(self, key: str, entry: _Entry) -> None:
         if self._spill_dir is None:
             return
         path = self._spill_dir / _spill_name(key)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps({"key": key, "payload": payload}))
+        # splice the already-encoded payload blob into the wrapper —
+        # the payload is never re-serialized on the way to disk
+        tmp.write_bytes(
+            b'{"key": ' + json.dumps(key).encode() + b', "payload": ' + entry.blob + b"}"
+        )
         tmp.replace(path)  # atomic: a crashed spill never leaves a torn file
         self.stats.spill_writes += 1
 

@@ -36,6 +36,12 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.errors import ReproError
+from repro.utils.shm import (
+    DEFAULT_MIN_BYTES,
+    SharedMatrix,
+    hash_update_array,
+    shm_available,
+)
 
 #: Drivers a job may target.
 DRIVERS = ("gehrd", "hybrid_gehrd", "ft_gehrd", "ft_sytrd", "campaign")
@@ -76,6 +82,17 @@ class JobSpec:
     before doing any work — once only if a sentinel path is given. They
     exist for the broken-pool recovery tests and the CI smoke job and
     are excluded from the content key.
+
+    ``return_factors=True`` asks the driver to ship the H and Q factors
+    back with the payload (lazily materialized via
+    :meth:`JobResult.factor`); it *is* part of the content key, and
+    factor-bearing results bypass the result cache — their shared
+    segments have a lifecycle the JSON cache cannot own.
+
+    ``matrix`` may arrive as a :class:`~repro.utils.shm.SharedMatrix`
+    handle instead of an ndarray — that is how the scheduler ships
+    large inline matrices to pool workers without re-pickling them per
+    attempt (the zero-copy data plane; see ``docs/performance.md``).
     """
 
     driver: str = "ft_gehrd"
@@ -89,6 +106,7 @@ class JobSpec:
     faults: tuple = ()
     moments: int = 2
     adversarial: bool = False
+    return_factors: bool = False
     # scheduling metadata (not part of the content key)
     priority: str = "normal"
     submitter: str = "anon"
@@ -112,9 +130,22 @@ class JobSpec:
         if self.matrix is None and self.n < 2:
             raise JobSpecError(f"matrix order must be >= 2, got {self.n}")
         if self.matrix is not None:
-            m = np.asarray(self.matrix)
-            if m.ndim != 2 or m.shape[0] != m.shape[1] or m.shape[0] < 2:
-                raise JobSpecError(f"inline matrix must be square of order >= 2, got {m.shape}")
+            shape = (
+                self.matrix.shape
+                if isinstance(self.matrix, SharedMatrix)
+                else np.asarray(self.matrix).shape
+            )
+            if len(shape) != 2 or shape[0] != shape[1] or shape[0] < 2:
+                raise JobSpecError(
+                    f"inline matrix must be square of order >= 2, got {tuple(shape)}"
+                )
+        if self.return_factors:
+            if self.driver in ("ft_sytrd", "campaign"):
+                raise JobSpecError(
+                    f"return_factors is not available for driver {self.driver!r}"
+                )
+            if not self.functional:
+                raise JobSpecError("return_factors needs functional=True")
         if self.nb < 1:
             raise JobSpecError(f"nb must be >= 1, got {self.nb}")
         if self.channels not in (1, 2):
@@ -136,6 +167,8 @@ class JobSpec:
     @property
     def order(self) -> int:
         """The matrix order the job will actually run at."""
+        if isinstance(self.matrix, SharedMatrix):
+            return int(self.matrix.shape[0])
         if self.matrix is not None:
             return int(np.asarray(self.matrix).shape[0])
         return self.n
@@ -144,15 +177,16 @@ class JobSpec:
         """Deterministic identity of the input matrix.
 
         Generated matrices hash their recipe; inline matrices hash their
-        exact bytes (shape + dtype + data). ``ft_sytrd`` always
-        symmetrizes the recipe, so its fingerprint pins ``kind`` to
-        ``symmetric`` regardless of what the spec says.
+        exact bytes (shape + dtype + data) straight from the array's
+        buffer — a contiguous matrix is hashed with zero copies.
+        ``ft_sytrd`` always symmetrizes the recipe, so its fingerprint
+        pins ``kind`` to ``symmetric`` regardless of what the spec says.
         """
         if self.matrix is not None:
-            m = np.ascontiguousarray(np.asarray(self.matrix, dtype=np.float64))
+            m = np.asarray(self.matrix, dtype=np.float64)
             h = hashlib.sha256()
             h.update(repr((m.shape, str(m.dtype))).encode())
-            h.update(m.tobytes())
+            hash_update_array(h, m)
             return f"sha256:{h.hexdigest()[:16]}"
         kind = "symmetric" if self.driver == "ft_sytrd" else self.kind
         return f"rng:{kind}:n={self.n}:seed={self.seed}"
@@ -167,6 +201,7 @@ class JobSpec:
             "audit_every": self.audit_every,
             "functional": self.functional,
             "faults": [dict(sorted(f.items())) for f in self.faults],
+            "return_factors": self.return_factors,
             "moments": self.moments if self.driver == "campaign" else None,
             "adversarial": self.adversarial if self.driver == "campaign" else None,
             "seed": self.seed if self.driver == "campaign" else None,
@@ -186,7 +221,11 @@ class JobSpec:
         for f in fields(self):
             v = getattr(self, f.name)
             if f.name == "matrix":
-                if v is not None:
+                if isinstance(v, SharedMatrix):
+                    # a transport artifact, not a portable description;
+                    # serialize the identity, not unreachable segment bytes
+                    out["matrix"] = None
+                elif v is not None:
                     out["matrix"] = np.asarray(v, dtype=np.float64).tolist()
                 continue
             if f.name == "faults":
@@ -214,7 +253,12 @@ class JobResult:
 
     ``payload`` is the driver outcome (residuals, recovery counts, tier
     tally, ...) — always plain JSON types, which is what lets the result
-    cache spill it to disk and the CLI stream it as JSONL.
+    cache spill it to disk and the CLI stream it as JSONL. A
+    factor-returning job's payload carries a ``"factors"`` table of
+    references (inline nested lists for small factors, shared-memory
+    handles for large ones); the arrays themselves are reconstructed
+    lazily on first access through :meth:`factor` / :attr:`factors` —
+    a result nobody inspects never pays the copy.
     """
 
     job_id: int
@@ -231,10 +275,63 @@ class JobResult:
     submitted_at: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
+    # lazy-materialization plumbing (process-local, never serialized)
+    _registry: object = field(default=None, init=False, repr=False, compare=False)
+    _materialized: dict = field(default_factory=dict, init=False, repr=False,
+                                compare=False)
 
     @property
     def terminal(self) -> bool:
         return self.status in TERMINAL_STATES
+
+    # -- lazy factors --------------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Attach the owning scheduler's segment registry so shm-backed
+        factor references can be resolved (and their segments released)."""
+        self._registry = registry
+
+    @property
+    def has_factors(self) -> bool:
+        return bool(self.payload and self.payload.get("factors"))
+
+    def factor(self, name: str) -> np.ndarray:
+        """Materialize one returned factor (``"h"`` or ``"q"``).
+
+        Inline references decode from the payload; shared-memory
+        references attach the worker-written segment, copy it out once,
+        and drop this result's reference (the last reader's release
+        unlinks the segment). The copy is cached — repeated access is
+        free — and survives the service closing afterwards.
+        """
+        if name in self._materialized:
+            return self._materialized[name]
+        refs = (self.payload or {}).get("factors") or {}
+        if name not in refs:
+            raise KeyError(
+                f"no factor {name!r} on this result (have {sorted(refs)}); "
+                "submit with return_factors=True to get factors back"
+            )
+        ref = refs[name]
+        if "data" in ref:
+            arr = np.asarray(ref["data"], dtype=ref.get("dtype", "float64"))
+        else:
+            handle = SharedMatrix.from_json(ref["shm"])
+            if self._registry is not None:
+                arr = self._registry.materialize(handle)
+            else:
+                # a result rehydrated from JSON in another process: the
+                # segment may or may not still exist — attach_view gives
+                # the definitive answer either way
+                arr = np.array(handle.attach())
+        self._materialized[name] = arr
+        return arr
+
+    @property
+    def factors(self) -> dict:
+        """All returned factors, materialized (see :meth:`factor`)."""
+        refs = (self.payload or {}).get("factors") or {}
+        return {name: self.factor(name) for name in refs}
 
     @property
     def tier_tally(self) -> dict:
@@ -283,9 +380,17 @@ def _maybe_crash(spec: JobSpec) -> None:
     os._exit(23)
 
 
-def _build_matrix(spec: JobSpec) -> np.ndarray:
+def _build_matrix(spec: JobSpec, workspace=None) -> np.ndarray:
     from repro.utils.rng import random_matrix
 
+    if isinstance(spec.matrix, SharedMatrix):
+        # zero-deserialization: view the shared pages the scheduler
+        # wrote once, then land them in a pooled arena buffer (zero
+        # allocation on a warm worker) or a private copy without one
+        view = spec.matrix.attach()
+        if workspace is not None:
+            return workspace.matrix_like("jobs.inline_a", view)
+        return view.copy(order="F")
     if spec.matrix is not None:
         return np.asfortranarray(np.asarray(spec.matrix, dtype=np.float64))
     kind = "symmetric" if spec.driver == "ft_sytrd" else spec.kind
@@ -309,13 +414,35 @@ def _tier_tally(recoveries, restarts: int) -> dict:
     return tally
 
 
-def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
+def _pack_factor(arr: np.ndarray, *, shm_factors: bool, shm_min_bytes: int) -> dict:
+    """One factor's payload reference: a shared-memory handle when the
+    transport is on and the factor is big enough to beat a pickle,
+    inline nested lists otherwise. The segment created here is owned by
+    nobody yet — the scheduler adopts it when the payload arrives, and
+    the dead-pid sweep reclaims it if the worker dies in between."""
+    arr = np.asarray(arr, dtype=np.float64)
+    if shm_factors and arr.nbytes >= shm_min_bytes and shm_available():
+        return {"shm": SharedMatrix.create(arr).to_json()}
+    return {"data": arr.tolist(), "dtype": "float64"}
+
+
+def execute_job(
+    spec: JobSpec,
+    *,
+    workspace=None,
+    ladder=None,
+    shm_factors: bool = False,
+    shm_min_bytes: int = DEFAULT_MIN_BYTES,
+) -> dict:
     """Run the job's driver and return a JSON-safe outcome payload.
 
     ``workspace`` is the caller's long-lived scratch arena (one per pool
     worker / in-thread lane); ``ladder`` overrides the FT driver's
     escalation-ladder budgets — the retry policy passes a stricter one
     after an :class:`~repro.errors.EscalationExhausted` failure.
+    ``shm_factors`` lets a ``return_factors`` job ship its H/Q factors
+    back as shared-memory handles instead of inline lists (pool workers
+    only — an in-thread job has no process line to cross).
 
     Failures propagate as the driver's own exceptions; classification
     into retryable/permanent is the scheduler's job, not this one's.
@@ -323,22 +450,25 @@ def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
     _maybe_crash(spec)
     t0 = time.perf_counter()
     payload: dict = {"driver": spec.driver, "n": spec.order, "nb": spec.nb}
+    factors: "dict[str, np.ndarray] | None" = None
 
     if spec.driver == "gehrd":
         from repro.linalg import extract_hessenberg, factorization_residual, gehrd, orghr
 
-        a = _build_matrix(spec)
+        a = _build_matrix(spec, workspace)
         fact = gehrd(a.copy(order="F"), nb=spec.nb)
         q = orghr(fact.a, fact.taus)
         h = extract_hessenberg(fact.a)
         payload["residual"] = float(factorization_residual(a, q, h))
+        if spec.return_factors:
+            factors = {"h": h, "q": q}
 
     elif spec.driver == "hybrid_gehrd":
         from repro.core import HybridConfig, hybrid_gehrd
         from repro.linalg import extract_hessenberg, factorization_residual, orghr
 
         cfg = HybridConfig(nb=spec.nb, functional=spec.functional)
-        arg = _build_matrix(spec) if spec.functional else spec.order
+        arg = _build_matrix(spec, workspace) if spec.functional else spec.order
         res = hybrid_gehrd(arg, cfg, workspace=workspace)
         payload["seconds_simulated"] = float(res.seconds)
         payload["gflops"] = float(res.gflops)
@@ -346,6 +476,8 @@ def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
             q = orghr(res.a, res.taus)
             h = extract_hessenberg(res.a)
             payload["residual"] = float(factorization_residual(arg, q, h))
+            if spec.return_factors:
+                factors = {"h": h, "q": q}
 
     elif spec.driver == "ft_gehrd":
         from repro.core import FTConfig, ft_gehrd
@@ -359,7 +491,7 @@ def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
         )
         if ladder is not None:
             cfg.ladder = ladder
-        arg = _build_matrix(spec) if spec.functional else spec.order
+        arg = _build_matrix(spec, workspace) if spec.functional else spec.order
         res = ft_gehrd(arg, cfg, injector=_injector(spec), workspace=workspace)
         payload["seconds_simulated"] = float(res.seconds)
         payload["detections"] = int(res.detections)
@@ -371,12 +503,14 @@ def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
             q = orghr(res.a, res.taus)
             h = extract_hessenberg(res.a)
             payload["residual"] = float(factorization_residual(arg, q, h))
+            if spec.return_factors:
+                factors = {"h": h, "q": q}
 
     elif spec.driver == "ft_sytrd":
         from repro.core import ft_sytrd
         from repro.core.ft_tridiag import DEFAULT_AUDIT_EVERY
 
-        a = _build_matrix(spec)
+        a = _build_matrix(spec, workspace)
         # the tridiagonal driver's audit is mandatory (>= 1); 0 means
         # "driver default" here, unlike the gehrd family where it's "off"
         res = ft_sytrd(
@@ -393,7 +527,7 @@ def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
         from repro.core import FTConfig
         from repro.faults import run_campaign
 
-        a = _build_matrix(spec)
+        a = _build_matrix(spec, workspace)
         channels = max(spec.channels, 2) if spec.adversarial else spec.channels
         res = run_campaign(
             a,
@@ -412,6 +546,11 @@ def execute_job(spec: JobSpec, *, workspace=None, ladder=None) -> dict:
     else:  # pragma: no cover - validate() runs first
         raise JobSpecError(f"unknown driver {spec.driver!r}")
 
+    if factors is not None:
+        payload["factors"] = {
+            name: _pack_factor(arr, shm_factors=shm_factors, shm_min_bytes=shm_min_bytes)
+            for name, arr in factors.items()
+        }
     payload["elapsed_s"] = time.perf_counter() - t0
     return payload
 
@@ -428,8 +567,19 @@ def pool_worker_init() -> None:
     process_workspace()
 
 
-def execute_job_pooled(spec: JobSpec, ladder=None) -> dict:
+def execute_job_pooled(
+    spec: JobSpec,
+    ladder=None,
+    shm_factors: bool = False,
+    shm_min_bytes: int = DEFAULT_MIN_BYTES,
+) -> dict:
     """Worker-side wrapper binding the per-process Workspace arena."""
     from repro.perf.workspace import process_workspace
 
-    return execute_job(spec, workspace=process_workspace(), ladder=ladder)
+    return execute_job(
+        spec,
+        workspace=process_workspace(),
+        ladder=ladder,
+        shm_factors=shm_factors,
+        shm_min_bytes=shm_min_bytes,
+    )

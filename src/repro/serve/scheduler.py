@@ -38,20 +38,46 @@ job is ever lost to infrastructure.
 :mod:`repro.serve.retry`; ``EscalationExhausted`` re-runs with a
 stricter ladder, timeouts and lost workers get one fresh-worker retry,
 config errors fail permanently.
+
+**Zero-copy data plane.** Large inline matrices are written to a POSIX
+shared-memory segment once per work item and pool workers receive a
+~100-byte :class:`~repro.utils.shm.SharedMatrix` handle instead of an
+n×n pickle; retries reuse the same segment. ``return_factors`` results
+come back the same way and are materialized lazily on first access
+(:meth:`~repro.serve.jobs.JobResult.factor`). Every segment is owned by
+the scheduler's :class:`~repro.utils.shm.SegmentRegistry`, which the
+pool unlinks on rebuild/shutdown and sweeps for dead-creator orphans —
+no leaked ``/dev/shm`` entries even across worker crashes. Transport
+selection is automatic (``transport="auto"``): pickle below
+``shm_min_bytes`` or where ``/dev/shm`` is unavailable, shared memory
+otherwise; ``"shm"`` forces it (raising if unsupported), ``"pickle"``
+disables it.
 """
 
 from __future__ import annotations
 
 import asyncio
 import collections
+import dataclasses
 import queue as _queue
 import time
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.perf.workspace import Workspace
 from repro.resilience.ladder import LadderConfig
 from repro.utils.procpool import ResilientProcessPool
+from repro.utils.shm import (
+    DEFAULT_MIN_BYTES,
+    TRANSPORTS,
+    SegmentRegistry,
+    SharedMatrix,
+    TransportError,
+    shm_available,
+    use_shm_for,
+)
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import (
     CANCELLED,
@@ -111,6 +137,10 @@ class _Work:
     cancelled: bool = False
     ladder: LadderConfig | None = None
     class_failures: dict[str, int] = field(default_factory=dict)
+    # inline matrix encoded into shared memory once per work item —
+    # every retry of this item re-sends the ~100-byte handle, never the
+    # n*n pickle (released by the runner when the item resolves)
+    shm_matrix: SharedMatrix | None = None
 
     def live_jobs(self) -> list[_Job]:
         return [j for j in self.jobs if j.result.status != CANCELLED]
@@ -133,15 +163,32 @@ class AsyncScheduler:
         retry: RetryPolicy | None = None,
         small_n_threshold: int = 0,
         default_timeout: float | None = None,
+        transport: str = "auto",
+        shm_min_bytes: int | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r} (want one of {TRANSPORTS})")
+        if transport == "shm" and not shm_available():
+            raise TransportError(
+                "transport='shm' was forced but shared memory is unavailable "
+                "on this platform"
+            )
         self.workers = max(1, int(workers))
         self.max_queue = int(max_queue)
         self.cache = cache
         self.retry = retry or RetryPolicy()
         self.small_n_threshold = int(small_n_threshold)
         self.default_timeout = default_timeout
+        self.transport = transport
+        self.shm_min_bytes = (
+            DEFAULT_MIN_BYTES if shm_min_bytes is None else int(shm_min_bytes)
+        )
+        # forced shm means *everything* crosses in shared memory — the CI
+        # smoke job relies on this to exercise the segment lifecycle
+        self._factor_min_bytes = 0 if transport == "shm" else self.shm_min_bytes
+        self._shm_factors = transport != "pickle" and shm_available()
 
         # (lane, submitter) -> FIFO of work items; round-robin ring per lane
         self._lanes: dict[str, dict[str, collections.deque]] = {ln: {} for ln in LANES}
@@ -154,7 +201,10 @@ class AsyncScheduler:
         self._next_id = 0
 
         self._cond = asyncio.Condition()
-        self._pool = ResilientProcessPool(self.workers, initializer=pool_worker_init)
+        self._registry = SegmentRegistry()
+        self._pool = ResilientProcessPool(
+            self.workers, initializer=pool_worker_init, registry=self._registry
+        )
         self._thread_lane = asyncio.Lock()  # the in-thread lane is single-file
         self._thread_ws = Workspace()
         self._runners: list[asyncio.Task] = []
@@ -222,7 +272,10 @@ class AsyncScheduler:
 
         key = spec.key
 
-        cached = self.cache.get(key) if self.cache is not None else None
+        # factor-bearing results never enter the cache: their shared
+        # segments have a lifecycle the JSON cache cannot own
+        use_cache = self.cache is not None and not spec.return_factors
+        cached = self.cache.get(key) if use_cache else None
         if cached is not None:
             job = self._new_job(spec, key)
             job.result.cache_hit = True
@@ -348,6 +401,11 @@ class AsyncScheduler:
             try:
                 await self._run_work(work)
             finally:
+                if work.shm_matrix is not None:
+                    # last use of the input segment: drop the work item's
+                    # reference so the registry can unlink it
+                    self._registry.release(work.shm_matrix.name)
+                    work.shm_matrix = None
                 self._inflight.pop(work.key, None)
                 async with self._cond:
                     self._running -= 1
@@ -418,11 +476,13 @@ class AsyncScheduler:
                 await asyncio.sleep(decision.wait)
                 continue
             # success
-            if self.cache is not None:
+            if self.cache is not None and not work.spec.return_factors:
                 self.cache.put(work.key, payload)
             for tier, count in payload.get("tier_tally", {}).items():
                 self._tier_tally[tier] += count
-            for job in work.live_jobs():
+            live = work.live_jobs()
+            self._adopt_factors(payload, live)
+            for job in live:
                 self._finish_job(job, DONE, payload=payload)
             self._counts["completed"] += 1
             self._emit("done", job_id=work.jobs[0].result.job_id, key=work.key,
@@ -452,11 +512,26 @@ class AsyncScheduler:
                     raise JobTimeout(
                         f"job {work.key} exceeded {timeout}s (in-thread lane)"
                     ) from None
+        # large inline matrices cross the process line as a shared-memory
+        # handle, encoded once per work item (retries reuse the segment)
+        send_spec = spec
+        if isinstance(spec.matrix, np.ndarray):
+            matrix = np.asarray(spec.matrix, dtype=np.float64)
+            if work.shm_matrix is None and use_shm_for(
+                matrix.nbytes, self.transport, min_bytes=self.shm_min_bytes
+            ):
+                work.shm_matrix = SharedMatrix.create(matrix, registry=self._registry)
+                self._counts["shm_matrices"] += 1
+            if work.shm_matrix is not None:
+                send_spec = dataclasses.replace(spec, matrix=work.shm_matrix)
         # capture the pool instance this attempt runs on: concurrent
         # failures from one dead pool must rebuild it once, not tear
         # down each other's replacement (ResilientProcessPool.generation)
         gen = self._pool.generation
-        fut = self._pool.submit(execute_job_pooled, spec, work.ladder)
+        fut = self._pool.submit(
+            execute_job_pooled, send_spec, work.ladder,
+            self._shm_factors, self._factor_min_bytes,
+        )
         try:
             return await asyncio.wait_for(asyncio.wrap_future(fut), timeout)
         except asyncio.TimeoutError:
@@ -477,6 +552,31 @@ class AsyncScheduler:
         except BrokenExecutor:
             self._pool.rebuild(gen)
             raise WorkerLost(f"worker died while running {work.key}") from None
+
+    def _adopt_factors(self, payload: dict, live: list[_Job]) -> None:
+        """Take ownership of worker-written factor segments.
+
+        A pool worker creates result segments *unowned* (it may die any
+        moment); the scheduler adopts them on arrival, holds one
+        reference per live job, and binds the registry to each result so
+        :meth:`JobResult.factor` can materialize-and-release. If every
+        reader is already gone the segment is unlinked immediately.
+        """
+        refs = payload.get("factors") or {}
+        for ref in refs.values():
+            if "shm" not in ref:
+                continue
+            handle = SharedMatrix.from_json(ref["shm"])
+            if not self._registry.adopt_foreign(handle, refs=0):
+                continue  # segment vanished (worker host died post-send)
+            self._counts["shm_factors"] += 1
+            if not live:
+                self._registry.unlink(handle.name)
+                continue
+            for _ in live:
+                self._registry.acquire(handle.name)
+        for job in live:
+            job.result.bind_registry(self._registry)
 
     def _finish_job(
         self,
@@ -513,6 +613,12 @@ class AsyncScheduler:
             "running": self._running,
             "counts": counts,
             "pool_rebuilds": self._pool.rebuilds,
+            "data_plane": {
+                "transport": self.transport,
+                "shm_min_bytes": self.shm_min_bytes,
+                "shm_available": shm_available(),
+                **self._registry.stats(),
+            },
             "tier_tally": dict(self._tier_tally),
             "cache": self.cache.stats.to_json() if self.cache is not None else None,
             # share of lookups served without executing a driver: cache

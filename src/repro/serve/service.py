@@ -40,6 +40,10 @@ class HessService:
     disables caching), ``spill_dir`` optional on-disk spill,
     ``small_n_threshold`` routes jobs of order <= threshold to the
     in-thread lane, ``default_timeout`` bounds each attempt.
+    ``transport`` picks the cross-process data plane (``"auto"`` /
+    ``"shm"`` / ``"pickle"``; see ``docs/performance.md``) and
+    ``shm_min_bytes`` tunes the auto threshold below which a pickle is
+    cheaper than a segment.
     """
 
     def __init__(
@@ -52,6 +56,8 @@ class HessService:
         retry: RetryPolicy | None = None,
         small_n_threshold: int = 0,
         default_timeout: float | None = None,
+        transport: str = "auto",
+        shm_min_bytes: int | None = None,
     ) -> None:
         self.cache = (
             ResultCache(cache_bytes, spill_dir=spill_dir) if cache_bytes > 0 else None
@@ -63,6 +69,8 @@ class HessService:
             retry=retry,
             small_n_threshold=small_n_threshold,
             default_timeout=default_timeout,
+            transport=transport,
+            shm_min_bytes=shm_min_bytes,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(

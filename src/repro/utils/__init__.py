@@ -1,5 +1,5 @@
 """Shared utilities: argument validation, deterministic matrix generators,
-and plain-text report formatting."""
+plain-text report formatting, and the shared-memory data plane."""
 
 from repro.utils.validation import (
     as_fortran,
@@ -13,6 +13,14 @@ from repro.utils.rng import (
     make_rng,
 )
 from repro.utils.fmt import Table, format_float, format_si
+from repro.utils.shm import (
+    TRANSPORTS,
+    SegmentRegistry,
+    SharedMatrix,
+    TransportError,
+    shm_available,
+    use_shm_for,
+)
 
 __all__ = [
     "as_fortran",
@@ -25,4 +33,10 @@ __all__ = [
     "Table",
     "format_float",
     "format_si",
+    "TRANSPORTS",
+    "SegmentRegistry",
+    "SharedMatrix",
+    "TransportError",
+    "shm_available",
+    "use_shm_for",
 ]

@@ -16,12 +16,22 @@ What to *do* about the work that was in flight when the pool broke is
 policy, not lifecycle, and stays with the caller (the campaign retries
 the lost chunk once; the scheduler re-queues the job through its retry
 policy).
+
+The pool can also own a shared-memory
+:class:`~repro.utils.shm.SegmentRegistry` — the zero-copy data plane's
+segment ledger. Tying it to the pool puts segment hygiene on the same
+lifecycle as the processes that map the segments: ``rebuild()`` sweeps
+dead-worker orphans (a crashed worker's undelivered result segments),
+``shutdown()`` unlinks everything the owner still holds.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.shm import SegmentRegistry
 
 
 class ResilientProcessPool:
@@ -39,10 +49,12 @@ class ResilientProcessPool:
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        registry: "SegmentRegistry | None" = None,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
         self._initializer = initializer
         self._initargs = initargs
+        self.registry = registry
         self._pool: ProcessPoolExecutor | None = None
         self._generation = 0
         self.rebuilds = 0
@@ -87,11 +99,19 @@ class ResilientProcessPool:
             self._pool = None
             self._generation += 1
             self.rebuilds += 1
+            if self.registry is not None:
+                # dead workers may have created result segments whose
+                # handles never arrived; their pids are gone, so the
+                # sweep can tell those orphans from everything live
+                self.registry.sweep()
 
     def shutdown(self, *, wait: bool = False) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=wait, cancel_futures=True)
             self._pool = None
+        if self.registry is not None:
+            self.registry.unlink_all()
+            self.registry.sweep()
 
     # -- submission ---------------------------------------------------------
 

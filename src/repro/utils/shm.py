@@ -1,0 +1,577 @@
+"""Zero-copy shared-memory data plane for matrices crossing process lines.
+
+The campaign executor and the batch service both ship n×n float64
+matrices to pool workers (and, for factor-returning jobs, ship the
+Hessenberg/Q factors back).  Pickling those payloads through the pool's
+pipes costs a full serialize + copy + deserialize per hop — at n=256
+that is half a megabyte each way for a job whose *description* is a few
+hundred bytes.  This module replaces the matrix bytes with a
+:class:`SharedMatrix` handle over POSIX shared memory
+(:mod:`multiprocessing.shared_memory`): the creator copies the matrix
+into a ``/dev/shm`` segment once, a ~100-byte handle travels through the
+pool, and every worker attaches the same pages read-only — zero
+per-trial serialization, zero per-trial deserialization.
+
+Lifecycle discipline is the whole game (a leaked segment outlives the
+process that made it), so ownership is explicit:
+
+* the **creator** registers every segment in a :class:`SegmentRegistry`
+  which reference-counts handles and guarantees unlink on release, on
+  ``unlink_all()`` (pool shutdown / service stop), on garbage
+  collection of the registry, and at interpreter exit
+  (``weakref.finalize`` doubles as an atexit hook);
+* **attachers** (pool workers, the parent materializing a result
+  factor) only ever map and unmap — they never unlink;
+* our segments are never registered with the stdlib
+  ``resource_tracker`` in the first place (its per-name set semantics
+  cannot refcount multi-process attachments: it would unlink segments
+  still in use, and register/unregister pairs from different processes
+  collapse in its name set and produce spurious errors at exit).
+  Crash insurance comes from :func:`sweep_stale_segments` instead:
+  segment names embed the creator pid, so any ``repro-shm-*`` segment
+  whose creator is dead is garbage by construction and is reclaimed on
+  the next registry construction or pool rebuild.
+
+Transport selection is automatic (:func:`use_shm_for`): shared memory
+when the platform supports it and the payload is big enough to beat a
+pickle, the plain pickle path otherwise — callers can force either end
+with ``transport="shm"`` / ``transport="pickle"``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import glob
+import os
+import sys
+import threading
+import uuid
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker as _tracker
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    _shm = None
+    _tracker = None
+
+__all__ = [
+    "DEFAULT_MIN_BYTES",
+    "TRANSPORTS",
+    "SharedMatrix",
+    "SegmentRegistry",
+    "TransportError",
+    "shm_available",
+    "use_shm_for",
+    "attach_view",
+    "detach_all",
+    "sweep_stale_segments",
+    "hash_update_array",
+]
+
+#: Below this payload size a pickle round-trip is cheaper than a
+#: segment create + attach (two syscalls and a page fault per side).
+DEFAULT_MIN_BYTES = 64 * 1024
+
+#: Valid ``transport=`` arguments across the dispatch stack.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+_PREFIX = "repro-shm"
+
+
+class TransportError(ReproError, RuntimeError):
+    """A forced shared-memory transport is unavailable on this host."""
+
+
+def _new_name() -> str:
+    # creator pid baked into the name: sweep_stale_segments() can tell
+    # a live owner's segment from a dead one's without any side channel
+    return f"{_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+_AVAILABLE: bool | None = None
+
+
+def shm_available() -> bool:
+    """True when shared-memory transport can work on this host."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shm is None:
+            _AVAILABLE = False
+        elif sys.platform.startswith("linux"):
+            _AVAILABLE = os.path.isdir("/dev/shm") and os.access("/dev/shm", os.W_OK)
+        else:
+            # macOS/Windows back shared_memory differently; probe once
+            try:
+                with _untracked():
+                    seg = _shm.SharedMemory(name=_new_name(), create=True, size=16)
+                    seg.close()
+                    seg.unlink()
+                _AVAILABLE = True
+            except OSError:
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def use_shm_for(nbytes: int, transport: str = "auto", *, min_bytes: int | None = None) -> bool:
+    """Decide the transport for a payload of *nbytes*.
+
+    ``"pickle"`` always declines; ``"shm"`` demands shared memory (and
+    raises :class:`TransportError` where there is none — a forced
+    transport silently downgrading would make the CI smoke job
+    meaningless); ``"auto"`` takes shm only when it is available *and*
+    the payload clears the break-even threshold.
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r} (want one of {TRANSPORTS})")
+    if transport == "pickle":
+        return False
+    if transport == "shm":
+        if not shm_available():
+            raise TransportError(
+                "transport='shm' was forced but shared memory is unavailable on this host"
+            )
+        return True
+    floor = DEFAULT_MIN_BYTES if min_bytes is None else int(min_bytes)
+    return shm_available() and nbytes >= floor
+
+
+_TRACK_LOCK = threading.Lock()
+
+
+@contextlib.contextmanager
+def _untracked():
+    """Open/unlink a ``SharedMemory`` without the resource tracker seeing it.
+
+    The tracker keys segments by name in a plain *set* shared by the
+    whole process tree: on 3.8–3.12 every open (create *and* attach)
+    registers, so two processes' register/unregister pairs collapse to
+    one entry and the orphaned unregister raises in the tracker process
+    at exit — and worse, a tracked attacher exiting would unlink a
+    segment the owner still serves. Ownership lives in
+    :class:`SegmentRegistry` instead, so the tracker must never hear
+    about our segments at all: this patches ``register`` *and*
+    ``unregister`` (``SharedMemory.unlink`` unregisters unconditionally)
+    to no-ops for the duration of the call; a lock keeps the window
+    race-free within this process.
+    """
+    if _tracker is None:
+        yield
+        return
+    with _TRACK_LOCK:
+        orig_reg, orig_unreg = _tracker.register, _tracker.unregister
+        try:
+            _tracker.register = lambda name, rtype: None
+            _tracker.unregister = lambda name, rtype: None
+            yield
+        finally:
+            _tracker.register = orig_reg
+            _tracker.unregister = orig_unreg
+
+
+@dataclass(frozen=True)
+class SharedMatrix:
+    """A picklable ~100-byte handle to a matrix living in shared memory.
+
+    The handle carries everything needed to re-view the segment as the
+    original ndarray: segment name, shape, dtype and memory order. It is
+    what travels through pool pipes in place of the matrix bytes.
+    """
+
+    name: str
+    shape: tuple
+    dtype: str
+    order: str = "C"
+
+    @property
+    def nbytes(self) -> int:
+        size = np.dtype(self.dtype).itemsize
+        for dim in self.shape:
+            size *= int(dim)
+        return size
+
+    @classmethod
+    def create(
+        cls,
+        array: np.ndarray,
+        *,
+        registry: "SegmentRegistry | None" = None,
+    ) -> "SharedMatrix":
+        """Copy *array* into a fresh segment and return its handle.
+
+        With *registry* given the segment is owned (and will be
+        unlinked) by it; without one the creator's mapping is closed
+        immediately and the segment lives until someone calls
+        :meth:`unlink` — the worker→parent result path, where the
+        parent adopts the handle on arrival and the pid-sweep reclaims
+        it if the worker dies before the handle is delivered.
+        """
+        if _shm is None:  # pragma: no cover - guarded by shm_available()
+            raise TransportError("multiprocessing.shared_memory is unavailable")
+        src = np.asarray(array)
+        order = "F" if src.flags.f_contiguous and not src.flags.c_contiguous else "C"
+        if not (src.flags.c_contiguous or src.flags.f_contiguous):
+            src = np.ascontiguousarray(src)
+            order = "C"
+        with _untracked():
+            seg = _shm.SharedMemory(
+                name=_new_name(), create=True, size=max(src.nbytes, 1)
+            )
+        view = np.ndarray(src.shape, dtype=src.dtype, buffer=seg.buf, order=order)
+        view[...] = src
+        del view
+        handle = cls(seg.name, tuple(int(d) for d in src.shape), str(src.dtype), order)
+        if registry is not None:
+            registry.adopt(handle, seg)
+        else:
+            seg.close()
+        return handle
+
+    def attach(self, *, writable: bool = False) -> np.ndarray:
+        """A view of the live segment (cached per process, read-only by
+        default). The caller must not outlive the owner's unlink."""
+        return attach_view(self, writable=writable)
+
+    def unlink(self) -> bool:
+        """Best-effort unlink for registry-less handles; True if removed."""
+        if _shm is None:
+            return False
+        try:
+            with _untracked():
+                seg = _shm.SharedMemory(name=self.name)
+                seg.close()
+                seg.unlink()
+        except (OSError, ValueError):
+            return False
+        return True
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+            "order": self.order,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SharedMatrix":
+        return cls(
+            name=str(data["name"]),
+            shape=tuple(int(d) for d in data["shape"]),
+            dtype=str(data["dtype"]),
+            order=str(data.get("order", "C")),
+        )
+
+
+# -- attacher side -----------------------------------------------------------
+
+#: name -> SharedMemory, the per-process attachment cache. A campaign
+#: worker attaches its base matrix exactly once and re-views it for
+#: every trial of every chunk; serve workers keep the last few inline
+#: matrices warm across jobs.
+_ATTACHED: "dict[str, object]" = {}
+_ATTACH_LOCK = threading.Lock()
+_MAX_ATTACHED = 8
+
+
+def attach_view(handle: SharedMatrix, *, writable: bool = False) -> np.ndarray:
+    """Map *handle*'s segment (once per process) and view it as an array.
+
+    Views are read-only unless *writable* — pool workers share the pages
+    with each other, so an accidental in-place update in one trial
+    would silently corrupt every sibling's input.
+    """
+    if _shm is None:  # pragma: no cover - guarded by shm_available()
+        raise TransportError("multiprocessing.shared_memory is unavailable")
+    with _ATTACH_LOCK:
+        seg = _ATTACHED.get(handle.name)
+        if seg is None:
+            try:
+                with _untracked():
+                    seg = _shm.SharedMemory(name=handle.name)
+            except (OSError, ValueError) as exc:
+                raise TransportError(
+                    f"shared segment {handle.name!r} is gone (owner unlinked it "
+                    "or never delivered it); the matrix cannot be reattached"
+                ) from exc
+            while len(_ATTACHED) >= _MAX_ATTACHED:
+                old_name, old_seg = next(iter(_ATTACHED.items()))
+                del _ATTACHED[old_name]
+                try:
+                    old_seg.close()
+                except BufferError:  # a view is still out; let gc finish it
+                    pass
+            _ATTACHED[handle.name] = seg
+    view = np.ndarray(handle.shape, dtype=handle.dtype, buffer=seg.buf, order=handle.order)
+    view.flags.writeable = bool(writable)
+    return view
+
+
+def detach_all() -> int:
+    """Unmap every cached attachment (views already handed out keep
+    their pages alive until garbage collected). Returns the count."""
+    with _ATTACH_LOCK:
+        n = len(_ATTACHED)
+        for seg in _ATTACHED.values():
+            try:
+                seg.close()
+            except BufferError:
+                pass
+        _ATTACHED.clear()
+        return n
+
+
+# -- owner side --------------------------------------------------------------
+
+
+def _cleanup_segments(segments: dict, owner_pid: int) -> None:
+    """Finalizer body: unlink whatever the registry still owns.
+
+    Runs when the registry is garbage collected or at interpreter exit.
+    The pid guard matters under ``fork``: children inherit the parent's
+    registry object, and a child exiting must not unlink segments the
+    parent is still serving.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for seg in list(segments.values()):
+        try:
+            seg.close()
+        except BufferError:
+            pass
+        try:
+            with _untracked():
+                seg.unlink()
+        except OSError:
+            pass
+    segments.clear()
+
+
+def sweep_stale_segments(*, exclude: "set[str] | frozenset[str]" = frozenset()) -> list[str]:
+    """Reclaim ``repro-shm-*`` segments whose creator process is dead.
+
+    The crash backstop: a SIGKILLed campaign or a worker that died
+    between creating a result segment and delivering its handle leaves
+    a segment no finalizer can reach. Its name carries the creator pid,
+    and a dead creator means nobody will ever unlink it — so we do.
+    Linux-only (elsewhere there is no segment directory to enumerate);
+    returns the names removed.
+    """
+    if not sys.platform.startswith("linux") or not os.path.isdir("/dev/shm"):
+        return []
+    removed = []
+    for path in glob.glob(f"/dev/shm/{_PREFIX}-*"):
+        name = os.path.basename(path)
+        if name in exclude:
+            continue
+        try:
+            pid = int(name.split("-")[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(path)
+            removed.append(name)
+        except OSError:
+            continue
+    return removed
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+class SegmentRegistry:
+    """Owner-side ledger of shared segments: refcounts + guaranteed unlink.
+
+    One registry per pool owner (a campaign run, a scheduler). Every
+    segment the owner creates or adopts is tracked here; ``release``
+    decrements a handle's refcount and unlinks at zero, ``unlink_all``
+    sweeps everything (pool shutdown, service stop), and a
+    ``weakref.finalize`` hook replays ``unlink_all`` at garbage
+    collection or interpreter exit so no control-flow path — exception,
+    cancelled task, forgotten close — can leak a segment from a live
+    process. Dead-process segments are reclaimed by
+    :func:`sweep_stale_segments`, which every constructor and every
+    pool rebuild invokes.
+    """
+
+    def __init__(self, *, sweep: bool = True) -> None:
+        self._owner_pid = os.getpid()
+        self._lock = threading.Lock()
+        self._segments: dict[str, object] = {}
+        self._refs: dict[str, int] = {}
+        self.created = 0
+        self.adopted = 0
+        self.unlinked = 0
+        self.bytes_shared = 0
+        self.swept = len(sweep_stale_segments()) if sweep else 0
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segments, self._segments, self._owner_pid
+        )
+
+    # -- ownership ----------------------------------------------------------
+
+    def adopt(self, handle: SharedMatrix, seg, *, refs: int = 1) -> None:
+        """Take ownership of a segment this process created."""
+        with self._lock:
+            self._segments[handle.name] = seg
+            self._refs[handle.name] = refs
+            self.created += 1
+            self.bytes_shared += handle.nbytes
+
+    def adopt_foreign(self, handle: SharedMatrix, *, refs: int = 0) -> bool:
+        """Take ownership of a segment another process created (a worker's
+        result factors). Idempotent; False if the segment is already gone."""
+        if _shm is None:
+            return False
+        with self._lock:
+            if handle.name in self._segments:
+                return True
+            try:
+                with _untracked():
+                    seg = _shm.SharedMemory(name=handle.name)
+            except (OSError, ValueError):
+                return False
+            self._segments[handle.name] = seg
+            self._refs[handle.name] = refs
+            self.adopted += 1
+            self.bytes_shared += handle.nbytes
+            return True
+
+    # -- refcounting --------------------------------------------------------
+
+    def acquire(self, name: str) -> None:
+        with self._lock:
+            if name in self._segments:
+                self._refs[name] = self._refs.get(name, 0) + 1
+
+    def release(self, name: str) -> None:
+        """Drop one reference; the last one out unlinks the segment."""
+        unlink = False
+        with self._lock:
+            if name not in self._segments:
+                return
+            self._refs[name] = self._refs.get(name, 1) - 1
+            unlink = self._refs[name] <= 0
+        if unlink:
+            self.unlink(name)
+
+    def materialize(self, handle: SharedMatrix) -> np.ndarray:
+        """Copy the segment out into a private array and drop one ref.
+
+        The lazy-result path: the first access owns its private copy and
+        the segment disappears as soon as the last interested party has
+        materialized (or the registry is torn down)."""
+        with self._lock:
+            seg = self._segments.get(handle.name)
+        if seg is not None:
+            view = np.ndarray(handle.shape, dtype=handle.dtype, buffer=seg.buf,
+                              order=handle.order)
+            out = view.copy()
+            del view
+        else:  # not ours (or already released): fall back to a plain attach
+            out = np.array(attach_view(handle))
+        self.release(handle.name)
+        return out
+
+    # -- teardown -----------------------------------------------------------
+
+    def unlink(self, name: str) -> None:
+        """Unconditionally close + unlink one segment (idempotent)."""
+        with self._lock:
+            seg = self._segments.pop(name, None)
+            self._refs.pop(name, None)
+        if seg is None:
+            return
+        try:
+            seg.close()
+        except BufferError:  # a view still references the mapping
+            pass
+        try:
+            with _untracked():
+                seg.unlink()
+        except OSError:
+            pass
+        self.unlinked += 1
+
+    def unlink_all(self) -> int:
+        """Unlink every owned segment; returns how many were removed."""
+        if os.getpid() != self._owner_pid:
+            return 0  # forked child: these are the parent's segments
+        with self._lock:
+            names = list(self._segments)
+        for name in names:
+            self.unlink(name)
+        return len(names)
+
+    def sweep(self) -> int:
+        """Reclaim dead-owner segments, sparing everything tracked here."""
+        with self._lock:
+            keep = frozenset(self._segments)
+        removed = sweep_stale_segments(exclude=keep)
+        self.swept += len(removed)
+        return len(removed)
+
+    # -- introspection -------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._segments)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._segments
+
+    def stats(self) -> dict:
+        """JSON-safe counters for service stats / benchmark reports."""
+        with self._lock:
+            live = len(self._segments)
+        return {
+            "live_segments": live,
+            "created": self.created,
+            "adopted": self.adopted,
+            "unlinked": self.unlinked,
+            "swept": self.swept,
+            "bytes_shared": self.bytes_shared,
+        }
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink_all()
+
+
+# -- zero-copy hashing -------------------------------------------------------
+
+
+def hash_update_array(h, arr: np.ndarray) -> None:
+    """Feed *arr*'s C-order bytes into hash object *h* without the
+    ``tobytes()`` copy.
+
+    C-contiguous arrays hash straight from their buffer (zero copies);
+    anything else pays exactly one layout copy — still one fewer than
+    the ``ascontiguousarray(...).tobytes()`` idiom, and the digest is
+    byte-identical to it.
+    """
+    a = np.asarray(arr)
+    if not a.flags.c_contiguous:
+        a = np.ascontiguousarray(a)
+    h.update(a.data)

@@ -1,9 +1,33 @@
 """Shared fixtures for the test suite."""
 
+import glob
+import os
+
 import numpy as np
 import pytest
 
 from repro.utils.rng import MatrixKind, random_matrix
+
+
+@pytest.fixture(autouse=True)
+def _shm_leak_guard():
+    """Fail any test that leaks a shared-memory data-plane segment.
+
+    Segment hygiene is a hard acceptance criterion for the zero-copy
+    transport (see docs/performance.md): no test — crash-chaos,
+    cancellation, pool rebuild, none — may leave a ``repro-shm-*``
+    entry in /dev/shm behind. Pre-existing segments (a concurrent
+    pytest-xdist worker's live pool) are tolerated; only segments that
+    *appear* during the test and survive it are a failure.
+    """
+    if not os.path.isdir("/dev/shm"):
+        yield
+        return
+    before = set(glob.glob("/dev/shm/repro-shm-*"))
+    yield
+    leaked = [p for p in set(glob.glob("/dev/shm/repro-shm-*")) - before
+              if os.path.exists(p)]
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture
