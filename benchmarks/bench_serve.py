@@ -73,6 +73,78 @@ def bench_serve(jobs: int = 200, *, n: int = 32, workers: int = 2) -> dict:
     }
 
 
+def build_distinct_batch(jobs: int = 200, *, n: int = 32) -> list[JobSpec]:
+    """200 *distinct* batchable small-n jobs: the coalescing lane's prey.
+
+    All-unique seeds, so neither the result cache nor in-flight
+    coalescing can help — every job must execute. 90% clean ft_gehrd,
+    5% plain gehrd, 5% ft_gehrd with an injected fault (those eject to
+    the scalar ladder inside the batch).
+    """
+    batch: list[JobSpec] = []
+    for i in range(jobs):
+        if i % 20 == 9:
+            batch.append(JobSpec(driver="gehrd", n=n, seed=i))
+        elif i % 20 == 19:
+            batch.append(
+                JobSpec(
+                    driver="ft_gehrd", n=n, seed=i,
+                    faults=({"iteration": 0, "row": n // 2, "col": n - 2,
+                             "magnitude": 2.0},),
+                )
+            )
+        else:
+            batch.append(JobSpec(driver="ft_gehrd", n=n, seed=i))
+    return batch
+
+
+def bench_serve_batched(jobs: int = 200, *, n: int = 32,
+                        batch_max: int = 32) -> dict:
+    """The batch-coalescing lane vs the scalar in-thread lane.
+
+    Runs the same 200-distinct-job workload twice — once with batching
+    disabled (every job pays full per-job Python overhead on the scalar
+    in-thread lane) and once with the batch lane grouping compatible
+    jobs into stacked executions — and reports both throughputs. The
+    results are byte-identical either way (golden-tested in
+    ``tests/test_batch_golden.py``); only the per-job overhead moves.
+    """
+    batch = build_distinct_batch(jobs, n=n)
+
+    def run(bmax: int) -> tuple[float, dict]:
+        t0 = time.perf_counter()
+        with HessService(
+            workers=1, max_queue=max(256, jobs), small_n_threshold=n,
+            batch_max=bmax, batch_linger_ms=5.0,
+        ) as svc:
+            subs = svc.submit_batch(batch)
+            accepted = sum(s.accepted for s in subs)
+            svc.drain(timeout=600)
+            stats = svc.stats()
+        elapsed = time.perf_counter() - t0
+        assert accepted == jobs, f"only {accepted}/{jobs} jobs admitted"
+        assert stats["counts"].get("jobs_done", 0) == jobs
+        return elapsed, stats
+
+    scalar_s, _ = run(0)
+    batched_s, stats = run(batch_max)
+    lane = stats["batch_lane"]
+    return {
+        "jobs": jobs,
+        "n": n,
+        "batch_max": batch_max,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "jobs_per_sec_scalar": jobs / scalar_s,
+        "jobs_per_sec_batched": jobs / batched_s,
+        "speedup": scalar_s / batched_s,
+        "batches": lane["batches"],
+        "mean_occupancy": lane["mean_occupancy"],
+        "ejections": lane["ejections"],
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def bench_serve_dataplane(n: int = 256, *, workers: int = 2, jobs: int = 6) -> dict:
     """Inline-matrix jobs through the pool lane, pickle vs shared memory.
 
@@ -128,7 +200,11 @@ def bench_serve_dataplane(n: int = 256, *, workers: int = 2, jobs: int = 6) -> d
 
 
 def main() -> None:
-    payload = {"serve": bench_serve(), "serve_dataplane": bench_serve_dataplane()}
+    payload = {
+        "serve": bench_serve(),
+        "serve_batched": bench_serve_batched(),
+        "serve_dataplane": bench_serve_dataplane(),
+    }
     print(json.dumps(payload, indent=2))
 
 

@@ -19,6 +19,9 @@ at the repository root (plus a copy under ``benchmarks/results/``):
 * ``serve``           — a 200-job duplicate-heavy mixed batch through
                         ``HessService`` (jobs/sec and cache hit-rate;
                         see ``bench_serve.py``);
+* ``serve_batched``   — 200 *distinct* small-n jobs through the scalar
+                        in-thread lane vs the batch-coalescing lane
+                        (stacked execution; see ``bench_serve.py``);
 * ``serve_dataplane`` — inline n=256 matrices through the service under
                         ``transport="pickle"`` vs ``"auto"`` (bytes per
                         submitted job each way; see ``bench_serve.py``).
@@ -63,7 +66,11 @@ from repro.perf.reference import (                                # noqa: E402
 from repro.perf.workspace import Workspace                        # noqa: E402
 from repro.utils.rng import random_matrix                         # noqa: E402
 
-from bench_serve import bench_serve, bench_serve_dataplane        # noqa: E402
+from bench_serve import (                                         # noqa: E402
+    bench_serve,
+    bench_serve_batched,
+    bench_serve_dataplane,
+)
 
 N, NB = 512, 32
 
@@ -239,6 +246,7 @@ def main() -> None:
         "campaign": bench_campaign(96, 3),
         "campaign_n256": bench_campaign(256, 2, repeats=1),
         "serve": bench_serve(),
+        "serve_batched": bench_serve_batched(),
         "serve_dataplane": bench_serve_dataplane(),
     }
     text = json.dumps(payload, indent=2)

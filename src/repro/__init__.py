@@ -13,6 +13,8 @@ Public API highlights
                      reverse computation, Q protection
 ``repro.hybrid``   — discrete-event CPU+GPU machine simulator
 ``repro.faults``   — soft-error injection and campaigns
+``repro.batch``    — stacked small-n engine: batched fault-free fast
+                     path with ejection to the scalar resilience ladder
 ``repro.analysis`` — experiment harnesses regenerating the paper's
                      tables and figures
 """
@@ -40,6 +42,7 @@ from repro.core import (
     hybrid_gehrd,
     overhead_percent,
 )
+from repro.batch import ft_gehrd_batched, gehrd_batched
 from repro.faults import FaultInjector, FaultSpec
 from repro.utils import random_matrix
 
@@ -54,6 +57,8 @@ __all__ = [
     "ft_sytrd",
     "hybrid_gehrd",
     "overhead_percent",
+    "ft_gehrd_batched",
+    "gehrd_batched",
     "FaultInjector",
     "FaultSpec",
     "random_matrix",

@@ -1,0 +1,239 @@
+"""Batched panel factorization (stacked DLAHR2) and reflector generation.
+
+``lahr2_batched`` mirrors :func:`repro.linalg.lahr2.lahr2` **call for
+call**: every scalar GEMV/GEMM becomes one stacked ``np.matmul`` over
+``(B, ...)`` operands, every scalar assignment becomes the same
+assignment with a leading batch axis.  Because each item of every stack
+is F-contiguous (see :mod:`repro.batch.stack`) and a stacked matmul
+performs the identical per-item GEMM, the results agree with B scalar
+calls byte for byte.
+
+The only genuinely scalar piece of DLARFG — ``beta``/``tau`` from
+``math.hypot``/``math.copysign`` (Python's hypot is correctly rounded;
+``np.hypot`` may differ by 1 ulp) — runs as a tiny per-item Python
+loop; the O(n) work (norm, scaling) stays vectorized.  Zero-norm items
+take the LAPACK identity branch (``tau = 0``), enforced by masking the
+scaling so no ``0/0`` poisons the batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg import flops as F
+from repro.linalg.flops import FlopCounter
+from repro.linalg.lahr2 import PanelFactors
+from repro.perf.workspace import Workspace
+
+from repro.batch.stack import stack_buf
+
+
+@dataclass
+class PanelFactorsBatch:
+    """Stacked panel factors: item ``b`` of every array is exactly the
+    scalar :class:`~repro.linalg.lahr2.PanelFactors` field for matrix
+    ``b`` (see :meth:`item`)."""
+
+    p: int
+    ib: int
+    v: np.ndarray        # (B, n-p-1, ib)
+    t: np.ndarray        # (B, ib, ib)
+    y: np.ndarray        # (B, n, ib)
+    taus: np.ndarray     # (B, ib)
+    ei: np.ndarray       # (B,)
+    v_full: np.ndarray   # (B, rows, ib)
+
+    def item(self, b: int) -> PanelFactors:
+        """Scalar-shaped view of item *b*'s factors (shares storage)."""
+        return PanelFactors(
+            p=self.p, ib=self.ib, v=self.v[b], t=self.t[b], y=self.y[b],
+            taus=self.taus[b], ei=float(self.ei[b]), v_full=self.v_full[b],
+        )
+
+
+def larfg_batched(
+    alpha: np.ndarray,
+    x: np.ndarray,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "larfg",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate B reflectors at once (stacked DLARFG).
+
+    *alpha* is the (B,) pivot values, *x* the (B, m) below-pivot block,
+    scaled in place to the Householder vectors.  Returns ``(beta, tau)``
+    arrays; items with a zero norm get the LAPACK identity reflector
+    (``beta = alpha, tau = 0``) and their *x* row is left untouched.
+    """
+    if x.ndim != 2:
+        raise ShapeError(f"larfg_batched expects a (B, m) block, got {x.shape}")
+    b, m = x.shape
+    if counter is not None:
+        counter.add(category, F.batched_flops(b, F.larfg_flops(m + 1)))
+    beta = np.empty(b)
+    tau = np.zeros(b)
+    if m == 0:
+        beta[:] = alpha
+        return beta, tau
+    # per-item sqrt(x . x) — bitwise what np.linalg.norm computes on a
+    # 1-D vector
+    xnorm = np.sqrt(np.matmul(x[:, None, :], x[:, :, None])[:, 0, 0])
+    active = xnorm != 0.0
+    denom = np.ones(b)
+    for i in range(b):
+        al = float(alpha[i])
+        if active[i]:
+            bt = -math.copysign(math.hypot(al, float(xnorm[i])), al)
+            beta[i] = bt
+            tau[i] = (bt - al) / bt
+            denom[i] = al - bt
+        else:
+            beta[i] = al
+    if active.all():
+        x /= denom[:, None]
+    else:
+        np.divide(x, denom[:, None], out=x, where=active[:, None])
+    return beta, tau
+
+
+def lahr2_batched(
+    a: np.ndarray,
+    p: int,
+    ib: int,
+    n: int,
+    *,
+    counter: FlopCounter | None = None,
+    category: str = "panel",
+    workspace: Workspace | None = None,
+) -> PanelFactorsBatch:
+    """Factorize panel ``[:, p:p+ib]`` of every matrix in the (B, ...)
+    stack *a* — the stacked mirror of :func:`repro.linalg.lahr2.lahr2`.
+
+    *a* may be the stacked checksum-extended storage (rows/cols past
+    ``n`` are neither read nor written, exactly as in the scalar
+    kernel).  Mutates *a* in place; the returned factors are workspace
+    views with panel lifetime when a workspace is supplied.
+    """
+    if a.ndim != 3:
+        raise ShapeError(f"lahr2_batched needs a (B, r, c) stack, got {a.shape}")
+    if not (0 <= p and p + ib < n <= min(a.shape[1], a.shape[2])):
+        raise ShapeError(
+            f"invalid panel: p={p}, ib={ib}, n={n}, stack shape {a.shape}"
+        )
+    if ib < 1:
+        raise ShapeError(f"panel width must be >= 1, got {ib}")
+
+    b = a.shape[0]
+    rows = a.shape[1]
+    m1 = n - p - 1  # rows of the dense V block
+    v_full = stack_buf(workspace, "blahr2.v_full", b, rows, ib, zero=True)
+    y = stack_buf(workspace, "blahr2.y", b, n, ib)
+    t = stack_buf(workspace, "blahr2.t", b, ib, ib, zero=True)
+    taus = np.zeros((b, ib))
+    g = stack_buf(workspace, "blahr2.g", b, m1, 1)
+    wj = stack_buf(workspace, "blahr2.wj", b, ib, 1)
+    wj2 = stack_buf(workspace, "blahr2.wj2", b, ib, 1)
+    v = v_full[:, p + 1 : n, :]
+    ei = np.zeros(b)
+
+    for j in range(ib):
+        c = p + j  # global column of reflector j
+        if j > 0:
+            # (1) right-update contribution to column c
+            np.matmul(y[:, p + 1 : n, :j], v[:, j - 1, :j][:, :, None], out=g)
+            a[:, p + 1 : n, c] -= g[:, :, 0]
+            if counter is not None:
+                counter.add(category, F.batched_flops(b, F.gemv_flops(n - p - 1, j)))
+
+            # (2) left update: two stacked GEMVs against the dense V
+            bcol = a[:, p + 1 : n, c][:, :, None]
+            np.matmul(v[:, :, :j].transpose(0, 2, 1), bcol, out=wj[:, :j])
+            np.matmul(t[:, :j, :j].transpose(0, 2, 1), wj[:, :j], out=wj2[:, :j])
+            np.matmul(v[:, :, :j], wj2[:, :j], out=g)
+            bcol -= g
+            if counter is not None:
+                counter.add(
+                    category,
+                    F.batched_flops(
+                        b,
+                        2 * F.trmv_flops(j)
+                        + 2 * F.gemv_flops(n - p - j - 1, j)
+                        + F.trmv_flops(j),
+                    ),
+                )
+            # restore the subdiagonal entry overwritten by the unit of
+            # reflector j-1
+            a[:, p + j, p + j - 1] = ei
+
+        # Generate reflector j for every item
+        pivot_row = p + j + 1
+        beta, tau = larfg_batched(
+            a[:, pivot_row, c], a[:, pivot_row + 1 : n, c],
+            counter=counter, category=category,
+        )
+        np.copyto(ei, beta)
+        a[:, pivot_row, c] = 1.0
+
+        vj = a[:, pivot_row:n, c]  # (B, m) full reflector vectors
+        v[:, j:, j] = vj
+
+        # Y[:, p+1:n, j] = tau * (A[p+1:n, p+j+1:n] vj - Y[:, :j] (V2^T vj))
+        ycol = y[:, p + 1 : n, j][:, :, None]
+        np.matmul(a[:, p + 1 : n, pivot_row:n], vj[:, :, None], out=ycol)
+        if j > 0:
+            np.matmul(v[:, j:, :j].transpose(0, 2, 1), vj[:, :, None], out=wj[:, :j])
+            np.matmul(y[:, p + 1 : n, :j], wj[:, :j], out=g)
+            ycol -= g
+            # T[:j, j] = T[:j,:j] @ (-tau * tcol)
+            np.multiply(wj[:, :j], -tau[:, None, None], out=wj2[:, :j])
+            np.matmul(t[:, :j, :j], wj2[:, :j], out=t[:, :j, j][:, :, None])
+        ycol *= tau[:, None, None]
+        t[:, j, j] = tau
+        taus[:, j] = tau
+        if counter is not None:
+            counter.add(
+                category,
+                F.batched_flops(
+                    b,
+                    F.gemv_flops(n - p - 1, n - pivot_row)
+                    + (
+                        F.gemv_flops(n - pivot_row, j)
+                        + F.gemv_flops(n - p - 1, j)
+                        + F.trmv_flops(j)
+                        if j > 0
+                        else 0
+                    )
+                    + F.scal_flops(n - p - 1),
+                ),
+            )
+
+    # restore the subdiagonal entry below the last panel column
+    a[:, p + ib, p + ib - 1] = ei
+
+    # top rows of Y: Y_top = (A_top V) T, split exactly as the scalar code
+    kk = p + 1
+    yt = stack_buf(workspace, "blahr2.ytop", b, kk, ib)
+    yt2 = stack_buf(workspace, "blahr2.ytop2", b, kk, ib)
+    np.matmul(a[:, 0:kk, p + 1 : p + 1 + ib], v[:, :ib, :], out=yt)
+    if n > p + 1 + ib:
+        np.matmul(a[:, 0:kk, p + 1 + ib : n], v[:, ib:, :], out=yt2)
+        yt += yt2
+    np.matmul(yt, t, out=yt2)
+    y[:, 0:kk, :] = yt2
+    if counter is not None:
+        counter.add(
+            category,
+            F.batched_flops(
+                b,
+                F.trmm_flops(kk, ib, False)
+                + F.gemm_flops(kk, ib, max(0, n - p - 1 - ib))
+                + F.trmm_flops(kk, ib, False),
+            ),
+        )
+
+    return PanelFactorsBatch(p=p, ib=ib, v=v, t=t, y=y, taus=taus, ei=ei,
+                             v_full=v_full)

@@ -157,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto",
                        help="cross-process data plane for inline matrices "
                             "and returned factors (see docs/performance.md)")
+        s.add_argument("--batch-max", type=int, default=0,
+                       help="batch-coalescing lane: group up to this many "
+                            "compatible small-n jobs into one stacked "
+                            "execution (<= 1 disables; see docs/serving.md)")
+        s.add_argument("--batch-linger-ms", type=float, default=5.0,
+                       help="how long a partially filled batch waits for "
+                            "company before it runs anyway")
         s.add_argument("--stats", type=str, default=None, metavar="PATH",
                        help="write the service stats dump to this JSON file")
         s.add_argument("--results", type=str, default=None, metavar="PATH",
@@ -392,6 +399,8 @@ def _run_jobs(args, *, stream: bool) -> str:
         small_n_threshold=args.small_n,
         default_timeout=args.timeout,
         transport=args.transport,
+        batch_max=args.batch_max,
+        batch_linger_ms=args.batch_linger_ms,
     )
     pumper = None
     stop = threading.Event()
@@ -475,6 +484,13 @@ def _run_jobs(args, *, stream: bool) -> str:
         f"pool rebuilds: {stats['pool_rebuilds']}  "
         f"backpressure waits: {backpressured}"
     )
+    blane = stats.get("batch_lane", {})
+    if blane.get("enabled"):
+        tail += (
+            f"\nbatch lane: {blane['batches']} batches, "
+            f"mean occupancy {blane['mean_occupancy']:.1f}, "
+            f"ejections {blane['ejections']}"
+        )
     return t.render() + "\n" + tail
 
 

@@ -30,7 +30,12 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.faults.executor import OUTCOMES, TrialOutcome, run_ft_trials
+from repro.faults.executor import (
+    OUTCOMES,
+    TrialOutcome,
+    choose_execution_mode,
+    run_ft_trials,
+)
 from repro.faults.injector import SPACE_PHASES, SPACES, FaultSpec
 from repro.faults.journal import CampaignJournal, grid_fingerprint
 from repro.faults.regions import finished_cols_at, iteration_count, sample_in_area
@@ -59,6 +64,9 @@ class CampaignResult:
     trials: list[TrialOutcome] = field(default_factory=list)
     baseline_residual: float = 0.0
     resumed: int = 0  # trials replayed from a journal instead of re-run
+    # where the pending trials executed: "serial" (in-process sweep) or
+    # "pool" (process fan-out) — see executor.choose_execution_mode
+    execution_mode: str = "serial"
 
     @property
     def recovery_rate(self) -> float:
@@ -359,6 +367,9 @@ def run_campaign(
         nb=nb,
         baseline_residual=baseline_residual(a, cfg),
         resumed=len(precomputed or {}),
+        execution_mode=choose_execution_mode(
+            workers, len(tasks) - len(precomputed or {})
+        ),
     )
     result.trials = run_ft_trials(
         a,

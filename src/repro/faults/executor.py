@@ -278,6 +278,19 @@ def _run_chunk(payload) -> list:
     return out
 
 
+def choose_execution_mode(workers: int, pending: int) -> str:
+    """``"serial"`` or ``"pool"`` — where a trial grid should execute.
+
+    Pooled execution only pays for its process fan-out when the grid can
+    fill at least ~2 chunks per worker (the default chunking); below
+    that — including ``workers <= 1`` and the everything-resumed case —
+    the in-process sweep is both faster and byte-identical.
+    """
+    if workers <= 1 or pending < 2 * workers:
+        return "serial"
+    return "pool"
+
+
 def run_ft_trials(
     a: np.ndarray,
     tasks: list,
@@ -297,7 +310,10 @@ def run_ft_trials(
     """Run every (plan, area) task; order of results matches *tasks*.
 
     ``workers <= 1`` runs serially in-process (no pool overhead, easiest
-    to debug); anything larger fans the chunked task list out over a
+    to debug), and so does any grid too small to fill ~2 chunks per
+    worker (:func:`choose_execution_mode` — spinning up a pool for a
+    handful of trials costs more than it saves); anything larger fans
+    the chunked task list out over a
     :class:`~concurrent.futures.ProcessPoolExecutor`. ``trial_timeout``
     (seconds per trial, scaled per chunk) and the broken-pool retry make
     the pooled path crash-proof: every trial always ends in an outcome.
@@ -325,7 +341,7 @@ def run_ft_trials(
         if on_result is not None:
             on_result(index, outcome)
 
-    if workers <= 1 or not pending:
+    if choose_execution_mode(workers, len(pending)) == "serial":
         from repro.perf.workspace import Workspace
 
         ws = Workspace()  # one arena reused across the serial sweep

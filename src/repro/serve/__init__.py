@@ -24,7 +24,10 @@ from repro.serve.jobs import (
     JobResult,
     JobSpec,
     JobSpecError,
+    batch_compatible,
+    batch_group_key,
     execute_job,
+    execute_jobs_batched,
 )
 from repro.serve.retry import (
     FAILURE_CLASSES,
@@ -42,6 +45,9 @@ __all__ = [
     "JobResult",
     "JobSpecError",
     "execute_job",
+    "execute_jobs_batched",
+    "batch_compatible",
+    "batch_group_key",
     "DRIVERS",
     "LANES",
     "STATES",

@@ -555,6 +555,142 @@ def execute_job(
     return payload
 
 
+# -- batched execution (the serve coalescing lane's fast path) --------------
+
+#: Drivers the stacked engine can run (see :mod:`repro.batch`).
+BATCHABLE_DRIVERS = ("gehrd", "ft_gehrd")
+
+
+def batch_compatible(spec: JobSpec) -> bool:
+    """Can this spec ride the batched fast path at all?
+
+    Static surface only: functional gehrd/ft_gehrd without factors,
+    audits, chaos hooks, or shared-memory inputs. Fault plans *are*
+    allowed — the batched driver ejects faulty items to the scalar
+    resilience ladder, so recovery semantics are unchanged.
+    """
+    return (
+        spec.driver in BATCHABLE_DRIVERS
+        and spec.functional
+        and not spec.crash
+        and not spec.return_factors
+        and spec.audit_every == 0
+        and not isinstance(spec.matrix, SharedMatrix)
+    )
+
+
+def batch_group_key(spec: JobSpec) -> tuple:
+    """Jobs sharing this key may run in one stacked execution."""
+    return (spec.driver, spec.order, spec.nb, spec.channels)
+
+
+def execute_jobs_batched(specs: list[JobSpec], *, workspace=None) -> dict:
+    """Run a group of batch-compatible jobs through the stacked engine.
+
+    All *specs* must share one :func:`batch_group_key`. Returns::
+
+        {"outcomes": [...], "ejections": int, "batch_size": int}
+
+    where each outcome is ``{"ok": True, "payload": dict}`` — a payload
+    with exactly the keys :func:`execute_job` would produce for that
+    spec (byte-identical numerics; only the wall-clock ``elapsed_s``,
+    reported as the batch wall divided by the batch size, differs) — or
+    ``{"ok": False, "error": BaseException}`` for an item whose scalar
+    re-run failed. Item failures never poison siblings; a *batch-level*
+    failure (bad group, engine bug) raises instead, and the caller
+    re-routes the whole group to the scalar path.
+    """
+    if not specs:
+        return {"outcomes": [], "ejections": 0, "batch_size": 0}
+    bad = [s for s in specs if not batch_compatible(s)]
+    keys = {batch_group_key(s) for s in specs}
+    if bad or len(keys) != 1:
+        raise JobSpecError(
+            f"incompatible batch group: {len(bad)} unbatchable specs, "
+            f"{len(keys)} distinct group keys"
+        )
+    driver, n, nb, channels = keys.pop()
+
+    from repro.batch import as_item_f_stack, ft_gehrd_batched, gehrd_batched
+    from repro.batch.qform import (
+        extract_hessenberg_batched,
+        factorization_residuals_batched,
+        orghr_batched,
+    )
+
+    t0 = time.perf_counter()
+    mats = [_build_matrix(spec, workspace) for spec in specs]
+    stack = as_item_f_stack(mats)  # the drivers copy; this stays pristine
+    outcomes: list[dict] = []
+    ejections = 0
+
+    def _residuals(idx: list[int], packed: list, taus: list) -> np.ndarray:
+        """Batched Q formation + Table II residuals for items *idx*."""
+        a_pack = as_item_f_stack(packed)
+        t_stack = np.stack(taus)
+        qs = orghr_batched(a_pack, t_stack)
+        hs = extract_hessenberg_batched(a_pack)
+        return factorization_residuals_batched(stack[idx], qs, hs)
+
+    if driver == "gehrd":
+        facts = gehrd_batched(stack, nb=nb, workspace=workspace)
+        residuals = _residuals(
+            list(range(len(specs))),
+            [f.a for f in facts],
+            [f.taus for f in facts],
+        )
+        for spec, r in zip(specs, residuals):
+            payload = {
+                "driver": spec.driver,
+                "n": n,
+                "nb": nb,
+                "residual": float(r),
+            }
+            outcomes.append({"ok": True, "payload": payload})
+    else:
+        from repro.core import FTConfig
+
+        cfg = FTConfig(nb=nb, channels=channels, audit_every=0, functional=True)
+        injectors = [_injector(spec) for spec in specs]
+        br = ft_gehrd_batched(stack, cfg, injectors=injectors, workspace=workspace)
+        ejections = len(br.ejected)
+        ok_idx = [i for i in range(len(specs)) if i not in br.errors]
+        residuals = dict(
+            zip(
+                ok_idx,
+                _residuals(
+                    ok_idx,
+                    [br.results[i].a for i in ok_idx],
+                    [br.results[i].taus for i in ok_idx],
+                ),
+            )
+        ) if ok_idx else {}
+        for i, spec in enumerate(specs):
+            if i in br.errors:
+                outcomes.append({"ok": False, "error": br.errors[i]})
+                continue
+            res = br.results[i]
+            payload = {
+                "driver": spec.driver,
+                "n": n,
+                "nb": nb,
+                "seconds_simulated": float(res.seconds),
+                "detections": int(res.detections),
+                "recoveries": len(res.recoveries),
+                "restarts": int(res.restarts),
+                "tau_repairs": int(res.tau_repairs),
+                "tier_tally": _tier_tally(res.recoveries, res.restarts),
+                "residual": float(residuals[i]),
+            }
+            outcomes.append({"ok": True, "payload": payload})
+
+    per_item = (time.perf_counter() - t0) / len(specs)
+    for oc in outcomes:
+        if oc["ok"]:
+            oc["payload"]["elapsed_s"] = per_item
+    return {"outcomes": outcomes, "ejections": ejections, "batch_size": len(specs)}
+
+
 # -- pool-worker entry points (top-level, so they pickle) -------------------
 
 

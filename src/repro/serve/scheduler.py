@@ -34,6 +34,18 @@ to amortize a pickle round-trip. A worker crash (BrokenProcessPool)
 rebuilds the pool and re-queues the job through the retry policy: no
 job is ever lost to infrastructure.
 
+**Batch coalescing.** With ``batch_max > 1``, compatible small-n jobs
+(same driver/order/nb/channels, at or below ``small_n_threshold``, on
+the :func:`~repro.serve.jobs.batch_compatible` surface) stage in a
+bucket for up to ``batch_linger_ms`` and run as *one* stacked
+:mod:`repro.batch` execution — byte-identical per-item payloads at a
+fraction of the per-job Python overhead. Items the stacked engine
+ejects (detected faults) finish on the scalar resilience ladder inside
+the batch; an item whose scalar re-run fails is re-queued alone to the
+normal lanes, and a batch-level failure re-routes the whole group —
+retry isolation in both directions. Lone stragglers are re-routed
+immediately (a batch of one is pure overhead).
+
 **Resilience-aware retries.** Failures are classified by
 :mod:`repro.serve.retry`; ``EscalationExhausted`` re-runs with a
 stricter ladder, timeouts and lost workers get one fresh-worker retry,
@@ -89,8 +101,11 @@ from repro.serve.jobs import (
     JobResult,
     JobSpec,
     JobSpecError,
+    batch_compatible,
+    batch_group_key,
     execute_job,
     execute_job_pooled,
+    execute_jobs_batched,
     pool_worker_init,
 )
 from repro.serve.retry import (
@@ -165,9 +180,15 @@ class AsyncScheduler:
         default_timeout: float | None = None,
         transport: str = "auto",
         shm_min_bytes: int | None = None,
+        batch_max: int = 0,
+        batch_linger_ms: float = 5.0,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if batch_max < 0:
+            raise ValueError(f"batch_max must be >= 0, got {batch_max}")
+        if batch_linger_ms < 0:
+            raise ValueError(f"batch_linger_ms must be >= 0, got {batch_linger_ms}")
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r} (want one of {TRANSPORTS})")
         if transport == "shm" and not shm_available():
@@ -210,6 +231,17 @@ class AsyncScheduler:
         self._runners: list[asyncio.Task] = []
         self._stopped = False
 
+        # batch-coalescing lane: compatible small-n jobs stage here and
+        # run as one stacked execution (see docs/serving.md)
+        self.batch_max = int(batch_max)
+        self.batch_linger_ms = float(batch_linger_ms)
+        self._batch_buckets: dict[tuple, list[_Work]] = {}
+        self._batch_timers: dict[tuple, asyncio.TimerHandle] = {}
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._batch_lock = asyncio.Lock()  # batched execution is single-file
+        self._batch_ws = Workspace()
+        self._batch_counts = collections.Counter()
+
         self._subscribers: list[_queue.SimpleQueue] = []
         self._t0 = time.perf_counter()
         self._counts = collections.Counter()
@@ -229,6 +261,13 @@ class AsyncScheduler:
         async with self._cond:
             self._stopped = True
             self._cond.notify_all()
+        for timer in self._batch_timers.values():
+            timer.cancel()
+        self._batch_timers.clear()
+        for task in list(self._batch_tasks):
+            task.cancel()
+        await asyncio.gather(*self._batch_tasks, return_exceptions=True)
+        self._batch_tasks.clear()
         for task in self._runners:
             task.cancel()
         await asyncio.gather(*self._runners, return_exceptions=True)
@@ -308,18 +347,27 @@ class AsyncScheduler:
         work = _Work(key=key, spec=spec, lane=spec.priority, submitter=spec.submitter,
                      jobs=[job])
         self._inflight[key] = work
-        lane = self._lanes[work.lane]
-        if work.submitter not in lane:
-            lane[work.submitter] = collections.deque()
-            self._rr[work.lane].append(work.submitter)
-        lane[work.submitter].append(work)
         self._queued += 1
         self._counts["accepted"] += 1
+        if self._batch_eligible(spec):
+            self._stage_batch(work)
+            self._emit("submitted", job_id=job.result.job_id, key=key, lane="batch",
+                       submitter=work.submitter, queue_depth=self._queued)
+            return Submission(True, job.result.job_id, key, queue_depth=self._queued)
+        self._enqueue_lane(work)
         self._emit("submitted", job_id=job.result.job_id, key=key, lane=work.lane,
                    submitter=work.submitter, queue_depth=self._queued)
         async with self._cond:
             self._cond.notify()
         return Submission(True, job.result.job_id, key, queue_depth=self._queued)
+
+    def _enqueue_lane(self, work: _Work) -> None:
+        """Append a (counted, in-flight) work item to its priority lane."""
+        lane = self._lanes[work.lane]
+        if work.submitter not in lane:
+            lane[work.submitter] = collections.deque()
+            self._rr[work.lane].append(work.submitter)
+        lane[work.submitter].append(work)
 
     def _new_job(self, spec: JobSpec, key: str) -> _Job:
         self._next_id += 1
@@ -365,13 +413,20 @@ class AsyncScheduler:
         work = self._inflight.get(job.result.key)
         if work is None:  # already picked up and resolved concurrently
             return False
-        if work not in _queued_items(self._lanes, work.lane, work.submitter):
+        staged = next(
+            (b for b in self._batch_buckets.values() if work in b), None
+        )
+        if staged is None and work not in _queued_items(
+            self._lanes, work.lane, work.submitter
+        ):
             return False  # running: too late to cancel
         self._finish_job(job, CANCELLED, error="cancelled while queued")
         self._counts["cancelled"] += 1
         self._emit("cancelled", job_id=job_id, key=work.key)
         if not work.live_jobs():
             work.cancelled = True
+            if staged is not None:
+                staged.remove(work)
             self._inflight.pop(work.key, None)
             self._queued -= 1
             async with self._cond:
@@ -432,6 +487,146 @@ class AsyncScheduler:
                 if work is not None:
                     return work
         return None
+
+    # -- the batch-coalescing lane -------------------------------------------
+
+    def _batch_eligible(self, spec: JobSpec) -> bool:
+        """Should this spec stage in the batch lane instead of a queue?
+
+        The lane is on (``batch_max > 1``), the spec fits the stacked
+        engine's surface (:func:`batch_compatible`), and the job is
+        small enough that Python overhead — not arithmetic — dominates
+        (the same ``small_n_threshold`` gate as the in-thread lane).
+        """
+        return (
+            self.batch_max > 1
+            and spec.order <= self.small_n_threshold
+            and batch_compatible(spec)
+        )
+
+    def _stage_batch(self, work: _Work) -> None:
+        """Hold a work item in its compatibility bucket until the bucket
+        fills (``batch_max``) or the linger timer fires."""
+        ck = batch_group_key(work.spec)
+        bucket = self._batch_buckets.setdefault(ck, [])
+        bucket.append(work)
+        if len(bucket) >= self.batch_max:
+            self._flush_bucket(ck)
+        elif ck not in self._batch_timers:
+            self._batch_timers[ck] = asyncio.get_running_loop().call_later(
+                self.batch_linger_ms / 1000.0, self._flush_bucket, ck
+            )
+
+    def _flush_bucket(self, ck: tuple) -> None:
+        """Dispatch one staged bucket (timer callback or fill trigger)."""
+        timer = self._batch_timers.pop(ck, None)
+        if timer is not None:
+            timer.cancel()
+        works = [w for w in self._batch_buckets.pop(ck, []) if not w.cancelled]
+        if not works or self._stopped:
+            return
+        if len(works) == 1:
+            # a lone job gains nothing from the stacked engine: re-route
+            # to the normal lanes (still counted and in-flight)
+            self._batch_counts["singletons"] += 1
+            self._enqueue_lane(works[0])
+            task = asyncio.get_running_loop().create_task(self._notify())
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+            return
+        task = asyncio.get_running_loop().create_task(self._run_batch(works))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _notify(self) -> None:
+        async with self._cond:
+            self._cond.notify_all()
+
+    def _requeue_from_batch(self, work: _Work) -> None:
+        """Send a batch casualty through the normal scalar path (item
+        retry isolation: one bad item never blocks its siblings)."""
+        for job in work.live_jobs():
+            job.result.retries += 1
+            job.result.status = QUEUED
+        self._counts["retries"] += 1
+        self._batch_counts["requeued"] += 1
+        self._enqueue_lane(work)
+
+    async def _run_batch(self, works: list[_Work]) -> None:
+        """Execute one formed batch and fan results back out per item."""
+        async with self._cond:
+            self._queued -= len(works)
+            self._running += 1
+        try:
+            for w in works:
+                for job in w.live_jobs():
+                    job.result.status = RUNNING
+                    job.result.started_at = self._now()
+            self._emit("batch_started", size=len(works),
+                       keys=[w.key for w in works])
+            specs = [w.spec for w in works]
+            try:
+                async with self._batch_lock:
+                    self._counts["executed"] += 1
+                    out = await asyncio.to_thread(
+                        execute_jobs_batched, specs, workspace=self._batch_ws
+                    )
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - whole-batch fallback
+                # a batch-level failure says nothing about any single
+                # item: every member re-routes to the scalar path, where
+                # the normal retry policy owns it
+                self._batch_counts["batch_failures"] += 1
+                self._emit("batch_failed", size=len(works),
+                           reason=f"{type(exc).__name__}: {exc}")
+                requeued = 0
+                for w in works:
+                    if w.live_jobs():
+                        self._requeue_from_batch(w)
+                        requeued += 1
+                    else:
+                        w.cancelled = True
+                        self._inflight.pop(w.key, None)
+                async with self._cond:
+                    self._queued += requeued
+                    self._cond.notify_all()
+                return
+
+            self._batch_counts["batches"] += 1
+            self._batch_counts["batched_jobs"] += len(works)
+            self._batch_counts["ejections"] += out["ejections"]
+            requeued = 0
+            for w, oc in zip(works, out["outcomes"]):
+                live = w.live_jobs()
+                if not live:
+                    w.cancelled = True
+                    self._inflight.pop(w.key, None)
+                    continue
+                if not oc["ok"]:
+                    self._requeue_from_batch(w)
+                    requeued += 1
+                    continue
+                payload = oc["payload"]
+                if self.cache is not None:
+                    self.cache.put(w.key, payload)
+                for tier, count in payload.get("tier_tally", {}).items():
+                    self._tier_tally[tier] += count
+                for job in live:
+                    self._finish_job(job, DONE, payload=payload)
+                self._counts["completed"] += 1
+                self._inflight.pop(w.key, None)
+                self._emit("done", job_id=w.jobs[0].result.job_id, key=w.key,
+                           followers=len(w.jobs) - 1, batched=True,
+                           elapsed_s=round(payload.get("elapsed_s", 0.0), 6))
+            if requeued:
+                async with self._cond:
+                    self._queued += requeued
+                    self._cond.notify_all()
+        finally:
+            async with self._cond:
+                self._running -= 1
+                self._cond.notify_all()
 
     async def _run_work(self, work: _Work) -> None:
         for job in work.live_jobs():
@@ -620,6 +815,23 @@ class AsyncScheduler:
                 **self._registry.stats(),
             },
             "tier_tally": dict(self._tier_tally),
+            "batch_lane": {
+                "enabled": self.batch_max > 1,
+                "batch_max": self.batch_max,
+                "linger_ms": self.batch_linger_ms,
+                "batches": self._batch_counts.get("batches", 0),
+                "batched_jobs": self._batch_counts.get("batched_jobs", 0),
+                "mean_occupancy": (
+                    self._batch_counts["batched_jobs"] / self._batch_counts["batches"]
+                    if self._batch_counts.get("batches")
+                    else 0.0
+                ),
+                "ejections": self._batch_counts.get("ejections", 0),
+                "singletons": self._batch_counts.get("singletons", 0),
+                "requeued": self._batch_counts.get("requeued", 0),
+                "batch_failures": self._batch_counts.get("batch_failures", 0),
+                "staged": sum(len(b) for b in self._batch_buckets.values()),
+            },
             "cache": self.cache.stats.to_json() if self.cache is not None else None,
             # share of lookups served without executing a driver: cache
             # hits plus duplicates coalesced onto an in-flight run

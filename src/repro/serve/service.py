@@ -43,7 +43,10 @@ class HessService:
     ``transport`` picks the cross-process data plane (``"auto"`` /
     ``"shm"`` / ``"pickle"``; see ``docs/performance.md``) and
     ``shm_min_bytes`` tunes the auto threshold below which a pickle is
-    cheaper than a segment.
+    cheaper than a segment. ``batch_max > 1`` turns on the batch
+    coalescing lane: compatible small-n jobs staged within
+    ``batch_linger_ms`` of each other run as one stacked
+    :mod:`repro.batch` execution (see ``docs/serving.md``).
     """
 
     def __init__(
@@ -58,6 +61,8 @@ class HessService:
         default_timeout: float | None = None,
         transport: str = "auto",
         shm_min_bytes: int | None = None,
+        batch_max: int = 0,
+        batch_linger_ms: float = 5.0,
     ) -> None:
         self.cache = (
             ResultCache(cache_bytes, spill_dir=spill_dir) if cache_bytes > 0 else None
@@ -71,6 +76,8 @@ class HessService:
             default_timeout=default_timeout,
             transport=transport,
             shm_min_bytes=shm_min_bytes,
+            batch_max=batch_max,
+            batch_linger_ms=batch_linger_ms,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
