@@ -73,7 +73,8 @@ def bench_serve(jobs: int = 200, *, n: int = 32, workers: int = 2) -> dict:
     }
 
 
-def build_distinct_batch(jobs: int = 200, *, n: int = 32) -> list[JobSpec]:
+def build_distinct_batch(jobs: int = 200, *, n: int = 32,
+                         dtype: str = "float64") -> list[JobSpec]:
     """200 *distinct* batchable small-n jobs: the coalescing lane's prey.
 
     All-unique seeds, so neither the result cache nor in-flight
@@ -84,22 +85,22 @@ def build_distinct_batch(jobs: int = 200, *, n: int = 32) -> list[JobSpec]:
     batch: list[JobSpec] = []
     for i in range(jobs):
         if i % 20 == 9:
-            batch.append(JobSpec(driver="gehrd", n=n, seed=i))
+            batch.append(JobSpec(driver="gehrd", n=n, seed=i, dtype=dtype))
         elif i % 20 == 19:
             batch.append(
                 JobSpec(
-                    driver="ft_gehrd", n=n, seed=i,
+                    driver="ft_gehrd", n=n, seed=i, dtype=dtype,
                     faults=({"iteration": 0, "row": n // 2, "col": n - 2,
                              "magnitude": 2.0},),
                 )
             )
         else:
-            batch.append(JobSpec(driver="ft_gehrd", n=n, seed=i))
+            batch.append(JobSpec(driver="ft_gehrd", n=n, seed=i, dtype=dtype))
     return batch
 
 
 def bench_serve_batched(jobs: int = 200, *, n: int = 32,
-                        batch_max: int = 32) -> dict:
+                        batch_max: int = 32, dtype: str = "float64") -> dict:
     """The batch-coalescing lane vs the scalar in-thread lane.
 
     Runs the same 200-distinct-job workload twice — once with batching
@@ -109,7 +110,7 @@ def bench_serve_batched(jobs: int = 200, *, n: int = 32,
     results are byte-identical either way (golden-tested in
     ``tests/test_batch_golden.py``); only the per-job overhead moves.
     """
-    batch = build_distinct_batch(jobs, n=n)
+    batch = build_distinct_batch(jobs, n=n, dtype=dtype)
 
     def run(bmax: int) -> tuple[float, dict]:
         t0 = time.perf_counter()
@@ -133,6 +134,7 @@ def bench_serve_batched(jobs: int = 200, *, n: int = 32,
         "jobs": jobs,
         "n": n,
         "batch_max": batch_max,
+        "dtype": dtype,
         "scalar_s": scalar_s,
         "batched_s": batched_s,
         "jobs_per_sec_scalar": jobs / scalar_s,
@@ -141,6 +143,31 @@ def bench_serve_batched(jobs: int = 200, *, n: int = 32,
         "batches": lane["batches"],
         "mean_occupancy": lane["mean_occupancy"],
         "ejections": lane["ejections"],
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_serve_batched_lanes(jobs: int = 96, *, n: int = 96,
+                              batch_max: int = 32) -> dict:
+    """The batch-coalescing lane's two precision lanes, head to head.
+
+    Identical batch settings (same n, job count, batch_max, linger) on
+    both dtypes; only the lane differs. At this n the stacked BLAS work
+    dominates per-job service overhead, so the fp32 row shows the
+    memory-bandwidth win instead of constant Python costs.
+    """
+    r64 = bench_serve_batched(jobs, n=n, batch_max=batch_max)
+    r32 = bench_serve_batched(jobs, n=n, batch_max=batch_max, dtype="float32")
+    return {
+        "jobs": jobs,
+        "n": n,
+        "batch_max": batch_max,
+        "fp64_batched_s": r64["batched_s"],
+        "fp32_batched_s": r32["batched_s"],
+        "jobs_per_sec_fp64": r64["jobs_per_sec_batched"],
+        "jobs_per_sec_fp32": r32["jobs_per_sec_batched"],
+        "fp32_vs_fp64": r32["jobs_per_sec_batched"] / r64["jobs_per_sec_batched"],
+        "ejections": r64["ejections"] + r32["ejections"],
         "cpu_count": os.cpu_count(),
     }
 

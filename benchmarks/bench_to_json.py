@@ -9,6 +9,9 @@ at the repository root (plus a copy under ``benchmarks/results/``):
 * ``encoded_updates`` — one checksum-extended right+left update pair:
                         reference vs the fused in-place BLAS path
                         (n=512, nb=32);
+* ``encoded_updates_fp32`` — the same fused update pair on the float32
+                        lane vs float64 (SGEMM vs DGEMM, half the
+                        memory traffic);
 * ``campaign``        — a small fault campaign (n=96), serial vs
                         ``--workers 4``, with serialized-bytes-per-trial
                         for the pickle vs shared-memory data planes and
@@ -19,9 +22,15 @@ at the repository root (plus a copy under ``benchmarks/results/``):
 * ``serve``           — a 200-job duplicate-heavy mixed batch through
                         ``HessService`` (jobs/sec and cache hit-rate;
                         see ``bench_serve.py``);
+* ``campaign_fp32``   — the n=96 campaign on the float32 lane (same
+                        grid; ~2x smaller ``bytes_per_trial`` and
+                        segment copies);
 * ``serve_batched``   — 200 *distinct* small-n jobs through the scalar
                         in-thread lane vs the batch-coalescing lane
                         (stacked execution; see ``bench_serve.py``);
+* ``serve_batched_fp32`` — the batch lane's two precision lanes head to
+                        head at identical settings (n=96, where stacked
+                        BLAS work dominates per-job overhead);
 * ``serve_dataplane`` — inline n=256 matrices through the service under
                         ``transport="pickle"`` vs ``"auto"`` (bytes per
                         submitted job each way; see ``bench_serve.py``).
@@ -69,6 +78,7 @@ from repro.utils.rng import random_matrix                         # noqa: E402
 from bench_serve import (                                         # noqa: E402
     bench_serve,
     bench_serve_batched,
+    bench_serve_batched_lanes,
     bench_serve_dataplane,
 )
 
@@ -149,6 +159,46 @@ def bench_encoded_updates() -> dict:
     }
 
 
+def _time_fused_updates(dtype) -> float:
+    """Best wall-clock of one fused encoded right+left update pair at
+    *dtype* (the same kernel pair ``bench_encoded_updates`` times on its
+    "after" side, here on a chosen precision lane)."""
+    a0 = random_matrix(N, seed=1, dtype=dtype)
+    p = NB
+    em0 = EncodedMatrix(a0.copy())
+    ws = Workspace()
+    ws.presize(N, NB, em0.k, dtype=em0.ext.dtype)
+    pf = lahr2(em0.ext, p, NB, N, workspace=ws)
+    vce = v_col_checksums(pf, em0)
+    ychk = y_col_checksums(em0, pf)
+    ext0 = em0.ext.copy(order="F")
+    best = float("inf")
+    for _ in range(9):
+        em0.ext[...] = ext0
+        t0 = time.perf_counter()
+        right_update_encoded(em0, pf, vce, ychk, workspace=ws)
+        left_update_encoded(em0, pf, vce, workspace=ws)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_encoded_updates_fp32() -> dict:
+    """The float32 lane of the fused encoded-update pair vs float64.
+
+    Both sides run the *fused* kernel (SGEMM vs DGEMM on the same
+    checksum-extended storage); the win is pure memory bandwidth and
+    SIMD width, which is the mixed-precision lane's whole pitch.
+    """
+    t64 = _time_fused_updates(np.float64)
+    t32 = _time_fused_updates(np.float32)
+    return {
+        "n": N, "nb": NB,
+        "fp64_fused_ms": t64 * 1e3,
+        "fp32_fused_ms": t32 * 1e3,
+        "speedup_vs_fp64": t64 / t32,
+    }
+
+
 def _noop() -> None:
     """Top-level (hence picklable) no-op for the pool-startup probe."""
 
@@ -178,25 +228,27 @@ def _pool_startup_cost(workers: int, initargs: tuple) -> float:
 
 
 def bench_campaign(n: int = 96, moments: int = 3, *, workers: int = 4,
-                   repeats: int = 3) -> dict:
+                   repeats: int = 3, dtype=np.float64) -> dict:
     import pickle
 
+    from repro.utils.precision import lane_scale
     from repro.utils.shm import SharedMatrix, shm_available
 
     nb = 32
-    a = random_matrix(n, seed=2)
+    a = random_matrix(n, seed=2, dtype=dtype)
     cfg = FTConfig(nb=nb)
     tasks = build_fault_grid(n, nb, moments=moments, seed=0)
+    tol = 1e-13 * lane_scale(a.dtype)
 
     def serial():
-        run_ft_trials(a, tasks, cfg, residual_tol=1e-13, workers=1)
+        run_ft_trials(a, tasks, cfg, residual_tol=tol, workers=1)
 
     def pooled_shm():
-        run_ft_trials(a, tasks, cfg, residual_tol=1e-13, workers=workers,
+        run_ft_trials(a, tasks, cfg, residual_tol=tol, workers=workers,
                       transport="shm" if shm_available() else "pickle")
 
     def pooled_pickle():
-        run_ft_trials(a, tasks, cfg, residual_tol=1e-13, workers=workers,
+        run_ft_trials(a, tasks, cfg, residual_tol=tol, workers=workers,
                       transport="pickle")
 
     serial()  # warm the lru caches / BLAS threads out of both timings
@@ -210,15 +262,16 @@ def bench_campaign(n: int = 96, moments: int = 3, *, workers: int = 4,
     # matrix bytes are written to the segment once, as a memcpy, not a
     # serialization; reported separately as bytes_copied_shm)
     eff_workers = min(workers, len(tasks))
-    init_pickle = len(pickle.dumps((a, cfg, 1e-13)))
+    init_pickle = len(pickle.dumps((a, cfg, tol)))
     handle = SharedMatrix(name="repro-shm-0-00000000", shape=tuple(a.shape),
                           dtype=str(a.dtype))
-    init_shm = len(pickle.dumps((handle, cfg, 1e-13)))
+    init_shm = len(pickle.dumps((handle, cfg, tol)))
     bytes_per_trial_pickle = eff_workers * init_pickle / len(tasks)
     bytes_per_trial_shm = eff_workers * init_shm / len(tasks)
-    startup = _pool_startup_cost(eff_workers, (a, cfg, 1e-13))
+    startup = _pool_startup_cost(eff_workers, (a, cfg, tol))
     return {
         "n": n, "nb": nb, "trials": len(tasks), "workers": workers,
+        "dtype": str(a.dtype),
         "serial_s": t_serial,
         "parallel_s": t_shm,
         "parallel_pickle_s": t_pickle,
@@ -243,12 +296,19 @@ def main() -> None:
         },
         "panel": bench_panel(),
         "encoded_updates": bench_encoded_updates(),
+        "encoded_updates_fp32": bench_encoded_updates_fp32(),
         "campaign": bench_campaign(96, 3),
+        "campaign_fp32": bench_campaign(96, 3, dtype=np.float32),
         "campaign_n256": bench_campaign(256, 2, repeats=1),
         "serve": bench_serve(),
         "serve_batched": bench_serve_batched(),
+        "serve_batched_fp32": bench_serve_batched_lanes(),
         "serve_dataplane": bench_serve_dataplane(),
     }
+    payload["campaign_fp32"]["bytes_copied_vs_fp64"] = (
+        payload["campaign"]["bytes_copied_shm"]
+        / payload["campaign_fp32"]["bytes_copied_shm"]
+    )
     text = json.dumps(payload, indent=2)
     (ROOT / "BENCH_kernels.json").write_text(text + "\n")
     results = ROOT / "benchmarks" / "results"

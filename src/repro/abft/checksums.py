@@ -62,7 +62,7 @@ def v_col_checksums(
     if em is None or em.k == 1:
         if counter is not None:
             counter.add("abft_maintain", F.gemv_flops(pf.ib, m))
-        return (np.ones(m) @ pf.v)[None, :]
+        return (np.ones(m, dtype=pf.v.dtype) @ pf.v)[None, :]
     w = em.weights[:, pf.p + 1 : pf.p + 1 + m]
     if counter is not None:
         counter.add("abft_maintain", em.k * F.gemv_flops(pf.ib, m))
@@ -144,15 +144,15 @@ def right_update_encoded(
         # the trailing data columns, the row-checksum columns AND the
         # column-checksum rows together (the k x k corner absorbs
         # Ychk·Vceᵀ — scratch by contract).
-        yce = workspace.buf("upd.yce", (n + k, ib))
+        yce = workspace.buf("upd.yce", (n + k, ib), dtype=em.ext.dtype)
         yce[:n, :] = pf.y
         yce[n:, :] = ychk
-        v2ce = workspace.buf("upd.v2ce", (nt + k, ib))
+        v2ce = workspace.buf("upd.v2ce", (nt + k, ib), dtype=em.ext.dtype)
         v2ce[:nt, :] = pf.v[ib - 1 :, :]
         v2ce[nt:, :] = vce
         gemm_inplace(-1.0, yce, v2ce, em.ext[:, p + ib : n + k], trans_b=True)
         if ib > 1:
-            w = workspace.buf("upd.panel_top", (p + 1, ib - 1))
+            w = workspace.buf("upd.panel_top", (p + 1, ib - 1), dtype=em.ext.dtype)
             np.matmul(pf.y[0 : p + 1, : ib - 1], pf.v[: ib - 1, : ib - 1].T, out=w)
             em.ext[0 : p + 1, p + 1 : p + ib] -= w
         return
@@ -202,12 +202,12 @@ def left_update_encoded(
         # rows contribute nothing and are left untouched by the apply.
         cfull = em.ext[:, p + ib : n + k]
         ncf = n + k - (p + ib)
-        w1 = workspace.buf("upd.w1", (ib, ncf))
-        w2 = workspace.buf("upd.w2", (ib, ncf))
+        w1 = workspace.buf("upd.w1", (ib, ncf), dtype=em.ext.dtype)
+        w2 = workspace.buf("upd.w2", (ib, ncf), dtype=em.ext.dtype)
         gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
         gemm_inplace(1.0, pf.t, w1, w2, trans_a=True, beta=0.0)
         gemm_inplace(-1.0, pf.v_full, w2, cfull)
-        wrow = workspace.buf("upd.wrow", (k, n - p - ib))
+        wrow = workspace.buf("upd.wrow", (k, n - p - ib), dtype=em.ext.dtype)
         np.matmul(vce, w2[:, : n - p - ib], out=wrow)
         em.ext[n:, p + ib : n] -= wrow
         return
@@ -245,8 +245,8 @@ def reverse_left_update_encoded(
     if _can_fuse(em, pf, workspace):
         cfull = em.ext[:, p + ib : n + k]
         ncf = n + k - (p + ib)
-        w1 = workspace.buf("upd.w1", (ib, ncf))
-        w2 = workspace.buf("upd.w2", (ib, ncf))
+        w1 = workspace.buf("upd.w1", (ib, ncf), dtype=em.ext.dtype)
+        w2 = workspace.buf("upd.w2", (ib, ncf), dtype=em.ext.dtype)
         gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
         gemm_inplace(1.0, pf.t, w1, w2, beta=0.0)
         gemm_inplace(-1.0, pf.v_full, w2, cfull)
@@ -254,7 +254,7 @@ def reverse_left_update_encoded(
         # correction that was applied to the checksum rows and add it back.
         gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
         gemm_inplace(1.0, pf.t, w1, w2, trans_a=True, beta=0.0)
-        wrow = workspace.buf("upd.wrow", (k, n - p - ib))
+        wrow = workspace.buf("upd.wrow", (k, n - p - ib), dtype=em.ext.dtype)
         np.matmul(vce, w2[:, : n - p - ib], out=wrow)
         em.ext[n:, p + ib : n] += wrow
         return
@@ -291,15 +291,15 @@ def reverse_right_update_encoded(
 
     if _can_fuse(em, pf, workspace):
         nt = n - p - ib
-        yce = workspace.buf("upd.yce", (n + k, ib))
+        yce = workspace.buf("upd.yce", (n + k, ib), dtype=em.ext.dtype)
         yce[:n, :] = pf.y
         yce[n:, :] = ychk
-        v2ce = workspace.buf("upd.v2ce", (nt + k, ib))
+        v2ce = workspace.buf("upd.v2ce", (nt + k, ib), dtype=em.ext.dtype)
         v2ce[:nt, :] = pf.v[ib - 1 :, :]
         v2ce[nt:, :] = vce
         gemm_inplace(1.0, yce, v2ce, em.ext[:, p + ib : n + k], trans_b=True)
         if ib > 1:
-            w = workspace.buf("upd.panel_top", (p + 1, ib - 1))
+            w = workspace.buf("upd.panel_top", (p + 1, ib - 1), dtype=em.ext.dtype)
             np.matmul(pf.y[0 : p + 1, : ib - 1], pf.v[: ib - 1, : ib - 1].T, out=w)
             em.ext[0 : p + 1, p + 1 : p + ib] += w
         return

@@ -32,21 +32,28 @@ from repro.linalg.flops import FlopCounter
 from repro.linalg import flops as F
 
 
-def linear_weights(n: int) -> np.ndarray:
+def linear_weights(n: int, dtype: np.dtype | type = np.float64) -> np.ndarray:
     """The default second channel: ``w(i) = (i+1)/n`` — strictly
     increasing (so the ratio test inverts uniquely) and O(1)-bounded."""
-    return (np.arange(n, dtype=np.float64) + 1.0) / n
+    return ((np.arange(n, dtype=np.float64) + 1.0) / n).astype(dtype, copy=False)
 
 
-def make_weight_block(n: int, channels: int) -> np.ndarray:
+def make_weight_block(
+    n: int, channels: int, dtype: np.dtype | type = np.float64
+) -> np.ndarray:
     """The (k, n) weight matrix: unit row first, then the linear channel,
-    then (rarely needed) quadratic and higher polynomial channels."""
+    then (rarely needed) quadratic and higher polynomial channels.
+
+    Weights are generated in float64 and cast to *dtype*, so the fp32
+    lane uses the correctly-rounded singles of the same mathematical
+    weights."""
     if channels < 1:
         raise ShapeError(f"need at least one checksum channel, got {channels}")
-    rows = [np.ones(n)]
+    dt = np.dtype(dtype)
+    rows = [np.ones(n, dtype=dt)]
     base = linear_weights(n)
     for q in range(1, channels):
-        rows.append(base**q)
+        rows.append((base**q).astype(dt, copy=False))
     return np.vstack(rows)
 
 
@@ -79,17 +86,18 @@ class EncodedMatrix:
             raise ShapeError(f"EncodedMatrix needs a square matrix, got {a.shape}")
         n = a.shape[0]
         self.n = n
+        dt = a.dtype if a.dtype == np.float32 else np.dtype(np.float64)
         if weights is not None:
-            weights = np.asarray(weights, dtype=np.float64)
+            weights = np.asarray(weights, dtype=dt)
             if weights.ndim != 2 or weights.shape[1] != n:
                 raise ShapeError(f"weights must be (k, {n}), got {weights.shape}")
             if not np.allclose(weights[0], 1.0):
                 raise ShapeError("channel 0 must be the unit weights (the paper's scheme)")
             self.weights = weights
         else:
-            self.weights = make_weight_block(n, channels)
+            self.weights = make_weight_block(n, channels, dt)
         self.k = self.weights.shape[0]
-        self.ext = np.zeros((n + self.k, n + self.k), order="F")
+        self.ext = np.zeros((n + self.k, n + self.k), order="F", dtype=dt)
         self.ext[:n, :n] = a
         self.encode(counter=counter)
 
@@ -151,7 +159,7 @@ class EncodedMatrix:
         n = self.n
         if counter is not None:
             counter.add("abft_locate", n * F.dot_flops(n))
-        return self._masked(finished_cols) @ np.ones(n)
+        return self._masked(finished_cols) @ np.ones(n, dtype=self.ext.dtype)
 
     def fresh_col_sums(
         self, finished_cols: int, *, counter: FlopCounter | None = None
@@ -160,7 +168,7 @@ class EncodedMatrix:
         n = self.n
         if counter is not None:
             counter.add("abft_locate", n * F.dot_flops(n))
-        return np.ones(n) @ self._masked(finished_cols)
+        return np.ones(n, dtype=self.ext.dtype) @ self._masked(finished_cols)
 
     def fresh_row_block(
         self, finished_cols: int, *, counter: FlopCounter | None = None

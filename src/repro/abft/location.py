@@ -69,9 +69,32 @@ class LocationReport:
 
 
 def residual_threshold(em: EncodedMatrix, norm_a: float, eps_factor: float = 1.0e3) -> float:
-    """Per-line residual threshold for candidate selection."""
-    eps = float(np.finfo(np.float64).eps)
-    return eps_factor * eps * max(1.0, norm_a) * em.n
+    """Per-line residual threshold for candidate selection.
+
+    At float64 this is the norm-scaled bound the paper implies
+    (``eps_factor · eps · max(1, ‖A‖₁) · N``). Below double precision
+    that bound sits orders of magnitude *above* the variance-adaptive
+    detection threshold — corruption the detector flags would be
+    unlocatable, forcing a restart — so the fp32 lane scales with the
+    observed checksum energy instead: ``sigma_factor · eps · sqrt(m2)``,
+    the per-line analogue of the V-ABFT grand-sum rule (one sqrt(N)
+    fewer, since a line residual accumulates N terms, not N²). The
+    caller's *eps_factor* still acts as a relative tighten/loosen knob.
+    """
+    eps = float(np.finfo(em.ext.dtype).eps)
+    if em.ext.dtype.itemsize >= 8:
+        return eps_factor * eps * max(1.0, norm_a) * em.n
+    from repro.abft.detection import (
+        DEFAULT_EPS_FACTOR,
+        DEFAULT_SIGMA_FACTOR,
+        checksum_second_moment,
+    )
+
+    m2 = checksum_second_moment(em)
+    if not np.isfinite(m2) or m2 <= 0.0:
+        return eps_factor * eps * max(1.0, norm_a) * em.n
+    rel = eps_factor / DEFAULT_EPS_FACTOR
+    return rel * DEFAULT_SIGMA_FACTOR * eps * float(np.sqrt(max(m2, 1.0)))
 
 
 def decode_residuals(dr: np.ndarray, dc: np.ndarray, tol: float) -> list[LocatedError]:

@@ -136,8 +136,11 @@ class QProtector:
             fr[rows] += col
         return fr, fc
 
-    def threshold(self) -> float:
-        eps = float(np.finfo(np.float64).eps)
+    def threshold(self, dtype: np.dtype | type = np.float64) -> float:
+        # eps of the *storage* dtype: corrections write float64 checksum
+        # arithmetic back into the stored Q region, so at fp32 the
+        # re-verification residual carries single-precision cast noise.
+        eps = float(np.finfo(np.dtype(dtype)).eps)
         return self.eps_factor * eps * max(1.0, self.norm_a) * self.n
 
     def verify(self, a: np.ndarray, *, counter: FlopCounter | None = None) -> LocationReport:
@@ -148,7 +151,7 @@ class QProtector:
         dr = fr - self.qr_chk
         dc = fc - self.qc_chk
         report = LocationReport(row_residuals=dr.copy(), col_residuals=dc.copy())
-        report.errors = decode_residuals(dr, dc, self.threshold())
+        report.errors = decode_residuals(dr, dc, self.threshold(a.dtype))
         return report
 
     def correct(

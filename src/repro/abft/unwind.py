@@ -48,7 +48,7 @@ def extract_panel_reflectors(
     n = em.n
     if not (0 <= p and p + ib < n):
         raise ShapeError(f"invalid completed panel: p={p}, ib={ib}, n={n}")
-    v = np.zeros((n - p - 1, ib), order="F")
+    v = np.zeros((n - p - 1, ib), order="F", dtype=em.ext.dtype)
     for j in range(ib):
         v[j, j] = 1.0
         v[j + 1 :, j] = em.data[p + j + 2 : n, p + j]
@@ -135,9 +135,10 @@ def locate_errors_rowonly(
     from repro.abft.location import LocatedError
     from repro.errors import UncorrectableError
 
+    from repro.abft.location import residual_threshold
+
     n, k = em.n, em.k
-    eps = float(np.finfo(np.float64).eps)
-    tol = eps_factor * eps * max(1.0, norm_a) * n
+    tol = residual_threshold(em, norm_a, eps_factor)
 
     fresh = em.fresh_row_block(finished_cols, counter=counter)  # (n, k)
     drb = np.asarray(fresh - em.row_checksum_block, dtype=np.float64)

@@ -46,6 +46,7 @@ from repro.linalg import flops as F
 from repro.linalg.gehrd import DEFAULT_NB, DEFAULT_NX, HessenbergFactorization
 from repro.linalg.verify import one_norm
 from repro.perf.workspace import Workspace
+from repro.utils.precision import as_lane_matrix
 
 from repro.batch.panel import lahr2_batched
 from repro.batch.stack import EncodedMatrixBatch, as_item_f_stack
@@ -137,15 +138,15 @@ def gehrd_batched(
     factorizations are views into one shared stack.
     """
     a = as_item_f_stack(
-        np.asarray(a_stack, dtype=np.float64)
+        as_lane_matrix(a_stack)
         if isinstance(a_stack, np.ndarray)
-        else [np.asarray(m, dtype=np.float64) for m in a_stack]
+        else [as_lane_matrix(m) for m in a_stack]
     )
     if a.shape[1] != a.shape[2]:
         raise ShapeError(f"gehrd_batched needs square items, got {a.shape}")
     b, n = a.shape[0], a.shape[1]
     nx = max(nb, nx if nx is not None else DEFAULT_NX)
-    taus = np.zeros((b, max(n - 1, 0)))
+    taus = np.zeros((b, max(n - 1, 0)), dtype=a.dtype)
 
     p = 0
     while n - 1 - p > nx:
@@ -177,8 +178,19 @@ def _detect_batched(
 ) -> np.ndarray:
     """Vectorized end-of-iteration detection: the per-item mirror of
     :meth:`repro.abft.detection.Detector.check` over the active lanes."""
+    nn = emb.n
+    dtype = emb.ext.dtype
     sre, sce = emb.sum_pairs()
     gaps = emb.cross_gaps() if emb.k > 1 else None
+    if config.threshold.needs_m2(dtype):
+        # per-item checksum second moment for the variance kind, float64
+        # accumulation over the maintained unit banks (see
+        # repro.abft.detection.checksum_second_moment)
+        rc = np.asarray(emb.ext[:, :nn, nn], dtype=np.float64)
+        cc = np.asarray(emb.ext[:, nn, :nn], dtype=np.float64)
+        m2s = np.sum(rc * rc, axis=1) + np.sum(cc * cc, axis=1)
+    else:
+        m2s = None
     if counter is not None:
         counter.add(
             "abft_detect",
@@ -198,7 +210,11 @@ def _detect_batched(
             gap = float(np.max(g))
         else:
             gap = abs(s_r - s_c)
-        if gap > config.threshold.threshold(emb.n, float(norms[j]), s_r, s_c):
+        tol = config.threshold.threshold(
+            emb.n, float(norms[j]), s_r, s_c, dtype=dtype,
+            m2=None if m2s is None else float(m2s[j]),
+        )
+        if gap > tol:
             tripped[j] = True
     return tripped
 
@@ -229,9 +245,9 @@ def ft_gehrd_batched(
             "pricing has nothing to batch — call ft_gehrd(n, config) instead"
         )
     stack = as_item_f_stack(
-        np.asarray(a_stack, dtype=np.float64)
+        as_lane_matrix(a_stack)
         if isinstance(a_stack, np.ndarray)
-        else [np.asarray(m, dtype=np.float64) for m in a_stack]
+        else [as_lane_matrix(m) for m in a_stack]
     )
     if stack.shape[1] != stack.shape[2]:
         raise ShapeError(f"ft_gehrd_batched needs square items, got {stack.shape}")
@@ -262,11 +278,13 @@ def ft_gehrd_batched(
         # functional run schedules exactly the ops metadata mode prices
         priced = ft_gehrd(n, dataclasses.replace(config, functional=False))
         seconds = priced.seconds
-        norms = np.array([one_norm(stack[i]) for i in batch_idx])
+        norms = np.array(
+            [one_norm(np.asarray(stack[i], dtype=np.float64)) for i in batch_idx]
+        )
         emb = EncodedMatrixBatch(
             stack[batch_idx], channels=config.channels, counter=counter
         )
-        taus_b = np.zeros((len(batch_idx), max(n - 1, 0)))
+        taus_b = np.zeros((len(batch_idx), max(n - 1, 0)), dtype=emb.ext.dtype)
         clones = [_clone(injs[i]) for i in batch_idx]
         active = np.ones(len(batch_idx), dtype=bool)
         checks_done = 0

@@ -74,8 +74,13 @@ def larfg_batched(
     b, m = x.shape
     if counter is not None:
         counter.add(category, F.batched_flops(b, F.larfg_flops(m + 1)))
-    beta = np.empty(b)
-    tau = np.zeros(b)
+    # beta/tau/denom live in the stack dtype so the per-item arithmetic
+    # reproduces the scalar larfg exactly in both lanes: the scalar code
+    # computes tau and the scaling denominator with a *weak* Python-float
+    # beta against the strong element dtype (NEP 50), i.e. in x.dtype —
+    # which is what computing from the cast ``bt_c = beta[i]`` does here.
+    beta = np.empty(b, dtype=x.dtype)
+    tau = np.zeros(b, dtype=x.dtype)
     if m == 0:
         beta[:] = alpha
         return beta, tau
@@ -83,14 +88,15 @@ def larfg_batched(
     # 1-D vector
     xnorm = np.sqrt(np.matmul(x[:, None, :], x[:, :, None])[:, 0, 0])
     active = xnorm != 0.0
-    denom = np.ones(b)
+    denom = np.ones(b, dtype=x.dtype)
     for i in range(b):
-        al = float(alpha[i])
+        al = alpha[i]
         if active[i]:
-            bt = -math.copysign(math.hypot(al, float(xnorm[i])), al)
+            bt = -math.copysign(math.hypot(float(al), float(xnorm[i])), float(al))
             beta[i] = bt
-            tau[i] = (bt - al) / bt
-            denom[i] = al - bt
+            bt_c = beta[i]
+            tau[i] = (bt_c - al) / bt_c
+            denom[i] = al - bt_c
         else:
             beta[i] = al
     if active.all():
@@ -130,15 +136,16 @@ def lahr2_batched(
     b = a.shape[0]
     rows = a.shape[1]
     m1 = n - p - 1  # rows of the dense V block
-    v_full = stack_buf(workspace, "blahr2.v_full", b, rows, ib, zero=True)
-    y = stack_buf(workspace, "blahr2.y", b, n, ib)
-    t = stack_buf(workspace, "blahr2.t", b, ib, ib, zero=True)
-    taus = np.zeros((b, ib))
-    g = stack_buf(workspace, "blahr2.g", b, m1, 1)
-    wj = stack_buf(workspace, "blahr2.wj", b, ib, 1)
-    wj2 = stack_buf(workspace, "blahr2.wj2", b, ib, 1)
+    dt = a.dtype
+    v_full = stack_buf(workspace, "blahr2.v_full", b, rows, ib, zero=True, dtype=dt)
+    y = stack_buf(workspace, "blahr2.y", b, n, ib, dtype=dt)
+    t = stack_buf(workspace, "blahr2.t", b, ib, ib, zero=True, dtype=dt)
+    taus = np.zeros((b, ib), dtype=dt)
+    g = stack_buf(workspace, "blahr2.g", b, m1, 1, dtype=dt)
+    wj = stack_buf(workspace, "blahr2.wj", b, ib, 1, dtype=dt)
+    wj2 = stack_buf(workspace, "blahr2.wj2", b, ib, 1, dtype=dt)
     v = v_full[:, p + 1 : n, :]
-    ei = np.zeros(b)
+    ei = np.zeros(b, dtype=dt)
 
     for j in range(ib):
         c = p + j  # global column of reflector j
@@ -216,8 +223,8 @@ def lahr2_batched(
 
     # top rows of Y: Y_top = (A_top V) T, split exactly as the scalar code
     kk = p + 1
-    yt = stack_buf(workspace, "blahr2.ytop", b, kk, ib)
-    yt2 = stack_buf(workspace, "blahr2.ytop2", b, kk, ib)
+    yt = stack_buf(workspace, "blahr2.ytop", b, kk, ib, dtype=dt)
+    yt2 = stack_buf(workspace, "blahr2.ytop2", b, kk, ib, dtype=dt)
     np.matmul(a[:, 0:kk, p + 1 : p + 1 + ib], v[:, :ib, :], out=yt)
     if n > p + 1 + ib:
         np.matmul(a[:, 0:kk, p + 1 + ib : n], v[:, ib:, :], out=yt2)

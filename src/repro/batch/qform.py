@@ -43,7 +43,7 @@ def orghr_batched(
         raise ShapeError(
             f"orghr_batched: taus must be ({b}, {max(n - 1, 0)}), got {taus.shape}"
         )
-    q = fstack(b, n, n)
+    q = fstack(b, n, n, a_packed.dtype)
     q[:, range(n), range(n)] = 1.0
     for i in range(n - 2, -1, -1):
         tau = taus[:, i]
@@ -51,7 +51,7 @@ def orghr_batched(
         if not active.any():
             continue
         m = n - i - 1
-        u = np.empty((b, m))
+        u = np.empty((b, m), dtype=a_packed.dtype)
         u[:, 0] = 1.0
         u[:, 1:] = a_packed[:, i + 2 : n, i]
         block = q[:, i + 1 : n, i + 1 : n]

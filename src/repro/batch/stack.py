@@ -36,14 +36,16 @@ from repro.linalg.flops import FlopCounter
 from repro.perf.workspace import Workspace
 
 
-def fstack(b: int, rows: int, cols: int) -> np.ndarray:
+def fstack(
+    b: int, rows: int, cols: int, dtype: np.dtype | type = np.float64
+) -> np.ndarray:
     """A zeroed ``(b, rows, cols)`` stack whose every item is F-contiguous.
 
     Allocated as an ``(rows, cols, b)`` Fortran block and viewed with the
     batch axis first, so ``out[k]`` has exactly the memory layout of a
     fresh ``np.zeros((rows, cols), order="F")``.
     """
-    return np.zeros((rows, cols, b), order="F").transpose(2, 0, 1)
+    return np.zeros((rows, cols, b), order="F", dtype=dtype).transpose(2, 0, 1)
 
 
 def stack_buf(
@@ -54,6 +56,7 @@ def stack_buf(
     cols: int,
     *,
     zero: bool = False,
+    dtype: np.dtype | type = np.float64,
 ) -> np.ndarray:
     """A pooled ``(b, rows, cols)`` per-item-F scratch stack.
 
@@ -62,11 +65,11 @@ def stack_buf(
     ``Workspace.buf``); otherwise freshly allocated.
     """
     if workspace is not None:
-        flat = workspace.buf(name, (rows, cols, b), order="F", zero=zero)
+        flat = workspace.buf(name, (rows, cols, b), order="F", zero=zero, dtype=dtype)
         return flat.transpose(2, 0, 1)
     if zero:
-        return fstack(b, rows, cols)
-    return np.empty((rows, cols, b), order="F").transpose(2, 0, 1)
+        return fstack(b, rows, cols, dtype)
+    return np.empty((rows, cols, b), order="F", dtype=dtype).transpose(2, 0, 1)
 
 
 def as_item_f_stack(mats: list[np.ndarray] | np.ndarray) -> np.ndarray:
@@ -84,7 +87,9 @@ def as_item_f_stack(mats: list[np.ndarray] | np.ndarray) -> np.ndarray:
     for m in seq:
         if m.shape != (r, c):
             raise ShapeError(f"batch items disagree on shape: {m.shape} vs {(r, c)}")
-    out = fstack(len(seq), r, c)
+    dt = np.result_type(*(m.dtype for m in seq))
+    dt = dt if dt == np.float32 else np.dtype(np.float64)
+    out = fstack(len(seq), r, c, dt)
     for i, m in enumerate(seq):
         out[i] = m
     return out
@@ -114,9 +119,10 @@ class EncodedMatrixBatch:
         self.b = a_stack.shape[0]
         n = a_stack.shape[1]
         self.n = n
-        self.weights = make_weight_block(n, channels)
+        dt = a_stack.dtype if a_stack.dtype == np.float32 else np.dtype(np.float64)
+        self.weights = make_weight_block(n, channels, dt)
         self.k = self.weights.shape[0]
-        self.ext = fstack(self.b, n + self.k, n + self.k)
+        self.ext = fstack(self.b, n + self.k, n + self.k, dt)
         self.ext[:, :n, :n] = a_stack
         self.encode(counter=counter)
 

@@ -50,7 +50,7 @@ def v_col_checksums_batched(
     if emb.k == 1:
         if counter is not None:
             counter.add("abft_maintain", F.batched_flops(b, F.gemv_flops(pf.ib, m)))
-        return np.matmul(np.ones(m)[None, None, :], pf.v)
+        return np.matmul(np.ones(m, dtype=pf.v.dtype)[None, None, :], pf.v)
     w = emb.weights[:, pf.p + 1 : pf.p + 1 + m]
     if counter is not None:
         counter.add("abft_maintain", F.batched_flops(b, emb.k * F.gemv_flops(pf.ib, m)))
@@ -118,17 +118,18 @@ def right_update_encoded_batched(
         counter.add("abft_maintain", F.batched_flops(b, k * F.gemv_flops(n - p - ib, ib)))
 
     nt = n - p - ib
-    yce = stack_buf(workspace, "bupd.yce", b, n + k, ib)
+    dt = emb.ext.dtype
+    yce = stack_buf(workspace, "bupd.yce", b, n + k, ib, dtype=dt)
     yce[:, :n, :] = pf.y
     yce[:, n:, :] = ychk
-    v2ce = stack_buf(workspace, "bupd.v2ce", b, nt + k, ib)
+    v2ce = stack_buf(workspace, "bupd.v2ce", b, nt + k, ib, dtype=dt)
     v2ce[:, :nt, :] = pf.v[:, ib - 1 :, :]
     v2ce[:, nt:, :] = vce
-    prod = stack_buf(workspace, "bupd.right_prod", b, n + k, nt + k)
+    prod = stack_buf(workspace, "bupd.right_prod", b, n + k, nt + k, dtype=dt)
     np.matmul(yce, v2ce.transpose(0, 2, 1), out=prod)
     emb.ext[:, :, p + ib : n + k] -= prod
     if ib > 1:
-        w = stack_buf(workspace, "bupd.panel_top", b, p + 1, ib - 1)
+        w = stack_buf(workspace, "bupd.panel_top", b, p + 1, ib - 1, dtype=dt)
         np.matmul(
             pf.y[:, 0 : p + 1, : ib - 1],
             pf.v[:, : ib - 1, : ib - 1].transpose(0, 2, 1),
@@ -167,14 +168,15 @@ def left_update_encoded_batched(
     cfull = emb.ext[:, :, p + ib : n + k]
     ncf = n + k - (p + ib)
     rows = emb.ext.shape[1]
-    w1 = stack_buf(workspace, "bupd.w1", b, ib, ncf)
-    w2 = stack_buf(workspace, "bupd.w2", b, ib, ncf)
+    dt = emb.ext.dtype
+    w1 = stack_buf(workspace, "bupd.w1", b, ib, ncf, dtype=dt)
+    w2 = stack_buf(workspace, "bupd.w2", b, ib, ncf, dtype=dt)
     np.matmul(pf.v_full.transpose(0, 2, 1), cfull, out=w1)
     np.matmul(pf.t.transpose(0, 2, 1), w1, out=w2)
-    prod = stack_buf(workspace, "bupd.left_prod", b, rows, ncf)
+    prod = stack_buf(workspace, "bupd.left_prod", b, rows, ncf, dtype=dt)
     np.matmul(pf.v_full, w2, out=prod)
     cfull -= prod
-    wrow = stack_buf(workspace, "bupd.wrow", b, k, n - p - ib)
+    wrow = stack_buf(workspace, "bupd.wrow", b, k, n - p - ib, dtype=dt)
     np.matmul(vce, w2[:, :, : n - p - ib], out=wrow)
     emb.ext[:, n:, p + ib : n] -= wrow
 
@@ -198,14 +200,14 @@ def apply_right_updates_batched(
     p, ib, b = pf.p, pf.ib, a.shape[0]
     if p + ib < n:
         v2 = pf.v[:, ib - 1 :, :]
-        prod = stack_buf(workspace, "bupd.right_prod", b, n, n - p - ib)
+        prod = stack_buf(workspace, "bupd.right_prod", b, n, n - p - ib, dtype=a.dtype)
         np.matmul(pf.y, v2.transpose(0, 2, 1), out=prod)
         a[:, 0:n, p + ib : n] -= prod
         if counter is not None:
             counter.add(category, F.batched_flops(b, F.gemm_flops(n, n - p - ib, ib)))
     if ib > 1 and p + 1 > 0:
         v1 = pf.v[:, : ib - 1, : ib - 1]
-        w = stack_buf(workspace, "bupd.panel_top", b, p + 1, ib - 1)
+        w = stack_buf(workspace, "bupd.panel_top", b, p + 1, ib - 1, dtype=a.dtype)
         np.matmul(pf.y[:, 0 : p + 1, : ib - 1], v1.transpose(0, 2, 1), out=w)
         a[:, 0 : p + 1, p + 1 : p + ib] -= w
         if counter is not None:
@@ -234,11 +236,11 @@ def apply_left_update_batched(
         return
     cfull = a[:, :, p + ib : ncols]
     ncf = ncols - (p + ib)
-    w1 = stack_buf(workspace, "bupd.w1", b, ib, ncf)
-    w2 = stack_buf(workspace, "bupd.w2", b, ib, ncf)
+    w1 = stack_buf(workspace, "bupd.w1", b, ib, ncf, dtype=a.dtype)
+    w2 = stack_buf(workspace, "bupd.w2", b, ib, ncf, dtype=a.dtype)
     np.matmul(pf.v_full.transpose(0, 2, 1), cfull, out=w1)
     np.matmul(pf.t.transpose(0, 2, 1), w1, out=w2)
-    prod = stack_buf(workspace, "bupd.left_prod", b, a.shape[1], ncf)
+    prod = stack_buf(workspace, "bupd.left_prod", b, a.shape[1], ncf, dtype=a.dtype)
     np.matmul(pf.v_full, w2, out=prod)
     cfull -= prod
     if counter is not None:
@@ -292,7 +294,11 @@ def gehd2_batched(
         raise ShapeError(f"invalid range ilo={ilo}, ihi={n} for stack {a.shape}")
 
     ncols = a.shape[2]
-    taus = taus_out if taus_out is not None else np.zeros((b, max(ncols - 1, 0)))
+    taus = (
+        taus_out
+        if taus_out is not None
+        else np.zeros((b, max(ncols - 1, 0)), dtype=a.dtype)
+    )
     for i in range(ilo, n - 1):
         beta, tau = larfg_batched(
             a[:, i + 1, i], a[:, i + 2 : n, i], counter=counter, category=category

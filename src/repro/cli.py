@@ -84,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--channels", type=int, default=1,
                    help="checksum channels (2 enables weighted decode)")
+    c.add_argument("--dtype", choices=("float64", "float32"), default="float64",
+                   help="precision lane for the campaign matrix (float32 "
+                        "uses the variance-adaptive V-ABFT threshold)")
     c.add_argument("--workers", type=int, default=1,
                    help="trial-runner processes (1 = serial in-process)")
     c.add_argument("--adversarial", action="store_true",
@@ -230,7 +233,7 @@ def _cmd_campaign(args) -> str:
     from repro.utils.rng import random_matrix
 
     channels = max(args.channels, 2) if args.adversarial else args.channels
-    a = random_matrix(args.n, seed=args.seed)
+    a = random_matrix(args.n, seed=args.seed, dtype=args.dtype)
     res = run_campaign(
         a,
         nb=args.nb,
@@ -251,7 +254,7 @@ def _cmd_campaign(args) -> str:
             ["space", "trials", "corrected", "restarted", "masked", "aborted",
              "worst residual"],
             title=f"adversarial campaign on N={args.n} "
-                  f"(nb={args.nb}, channels={channels})",
+                  f"(nb={args.nb}, channels={channels}, dtype={args.dtype})",
         )
         spaces = sorted({x.spec.space for x in res.trials})
         for space in spaces:
@@ -274,7 +277,8 @@ def _cmd_campaign(args) -> str:
         return t.render() + "\n" + tail
     t = Table(
         ["area", "trials", "detected", "recovered", "worst residual"],
-        title=f"campaign on N={args.n} (nb={args.nb}, channels={channels})",
+        title=f"campaign on N={args.n} (nb={args.nb}, channels={channels}, "
+              f"dtype={args.dtype})",
     )
     for area in (1, 2, 3):
         trials = res.by_area(area)

@@ -64,8 +64,9 @@ from repro.linalg.flops import FlopCounter
 from repro.linalg.lahr2 import lahr2
 from repro.linalg.verify import one_norm
 from repro.perf.workspace import Workspace
+from repro.utils.precision import as_lane_matrix
 
-_B = 8  # float64 bytes
+_B = 8  # default element bytes (float64); fp32 runs price half per element
 
 
 def _planned_detections(
@@ -150,9 +151,13 @@ def ft_gehrd(
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ShapeError(f"ft_gehrd needs a square matrix, got {a.shape}")
         n = a.shape[0]
+        a = as_lane_matrix(a)
         norm_a = one_norm(np.asarray(a, dtype=np.float64))
         em = None
     config.validate(n)
+    # transfer pricing follows the lane itemsize: the fp32 lane moves
+    # half the bytes of the float64 default over the same PCIe model
+    _B = 8 if isinstance(a, (int, np.integer)) else int(a.dtype.itemsize)
 
     counter = FlopCounter()
     rt = HybridRuntime(config.machine, functional=config.functional)
@@ -162,20 +167,18 @@ def ft_gehrd(
     # ---- functional state -------------------------------------------------
     functional = config.functional
     if functional:
-        em = EncodedMatrix(
-            np.asarray(a, dtype=np.float64), channels=config.channels, counter=counter
-        )
+        em = EncodedMatrix(a, channels=config.channels, counter=counter)
         detector = Detector(config.threshold, norm_a)
         qprot = QProtector(n, norm_a=norm_a, eps_factor=config.eps_factor_locate)
         store = DisklessCheckpointStore()
         store.save_initial(em)  # the restart tier's substrate
-        taus = np.zeros(max(n - 1, 0))
+        taus = np.zeros(max(n - 1, 0), dtype=em.ext.dtype)
         tau_guard = TauGuard(taus.size)
         # callers that run many reductions back to back (the serve
         # worker pool) pass a long-lived arena; presize is grow-only,
         # so reuse across differently sized jobs is safe
         ws = workspace if workspace is not None else Workspace()
-        ws.presize(n, config.nb, config.channels)
+        ws.presize(n, config.nb, config.channels, dtype=em.ext.dtype)
     else:
         detector = None
         qprot = None

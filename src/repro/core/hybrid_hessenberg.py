@@ -28,6 +28,7 @@ from repro.linalg.flops import FlopCounter
 from repro.linalg.gehrd import apply_left_update, apply_right_updates
 from repro.linalg.lahr2 import lahr2
 from repro.perf.workspace import Workspace
+from repro.utils.precision import as_lane_matrix
 
 
 @lru_cache(maxsize=512)
@@ -64,6 +65,7 @@ def schedule_iteration(
     right_fn=None,
     left_fn=None,
     tag: str = "",
+    elem_bytes: int = 8,
 ) -> tuple[list[SimOp], SimOp]:
     """Submit one Algorithm-2 iteration's ops; returns (frontier, panel op).
 
@@ -74,7 +76,7 @@ def schedule_iteration(
     highlights (lines 6 and 7 in red).
     """
     m = n - p
-    B = 8  # float64 bytes
+    B = elem_bytes  # bytes per element (8 for the float64 lane, 4 for fp32)
 
     # line 3: lower part of the next panel, device -> host
     op_down = rt.copy_d2h(B * (m - 1) * ib, deps, name=f"panel_down{tag}", category="transfer")
@@ -129,15 +131,16 @@ def hybrid_gehrd(
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ShapeError(f"hybrid_gehrd needs a square matrix, got {a.shape}")
         n = a.shape[0]
-        work = np.asfortranarray(a, dtype=np.float64).copy(order="F")
+        work = as_lane_matrix(a).copy(order="F")
     config.validate(n)
 
     counter = FlopCounter()
     rt = HybridRuntime(config.machine, functional=config.functional)
-    taus = np.zeros(max(n - 1, 0)) if work is not None else None
+    taus = np.zeros(max(n - 1, 0), dtype=work.dtype) if work is not None else None
     ws = (workspace if workspace is not None else Workspace()) if work is not None else None
 
-    B = 8
+    # transfer pricing follows the lane itemsize (fp32 moves half the bytes)
+    B = 8 if work is None else int(work.dtype.itemsize)
     # line 1: ship A to the device
     frontier: list[SimOp] = [rt.copy_h2d(B * n * n, name="upload_A", category="transfer")]
 
@@ -168,6 +171,7 @@ def hybrid_gehrd(
             right_fn=right_fn if work is not None else None,
             left_fn=left_fn if work is not None else None,
             tag=f"@{it}",
+            elem_bytes=B,
         )
 
     # final drain of whatever of the result still lives on the device

@@ -289,7 +289,7 @@ def run_campaign(
     moments: int = 4,
     seed: int = 0,
     magnitude: float = 1.0,
-    residual_tol: float = 1e-13,
+    residual_tol: float | None = None,
     config: "FTConfig | None" = None,
     workers: int = 1,
     chunksize: int | None = None,
@@ -306,9 +306,12 @@ def run_campaign(
     """Run a fault campaign over *a* and verify recovery of every trial.
 
     ``residual_tol`` is the pass bar on the Table II residual after
-    recovery — recovered runs must be as good as fault-free ones.
-    ``workers > 1`` distributes the trials over a process pool; results
-    are identical to the serial sweep (same grid, same seeds).
+    recovery — recovered runs must be as good as fault-free ones. The
+    default (``None``) resolves to ``1e-13`` scaled by the lane-eps
+    ratio of ``a.dtype`` (so the float64 bar is unchanged and the
+    float32 bar widens by ``eps32/eps64 = 2^29``). ``workers > 1``
+    distributes the trials over a process pool; results are identical
+    to the serial sweep (same grid, same seeds).
 
     ``adversarial=True`` swaps the paper's area×moment matrix grid for
     :func:`build_adversarial_grid` (all fault spaces × phases) and
@@ -328,8 +331,11 @@ def run_campaign(
     worker as a ~100-byte handle instead of an n×n pickle.
     """
     from repro.core.config import FTConfig
+    from repro.utils.precision import lane_scale
 
     n = a.shape[0]
+    if residual_tol is None:
+        residual_tol = 1e-13 * lane_scale(a.dtype)
     if isinstance(resume, (str, bytes)) or hasattr(resume, "__fspath__"):
         if journal is None:
             journal = resume

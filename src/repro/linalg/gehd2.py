@@ -51,7 +51,7 @@ def gehd2(
         raise ShapeError(f"invalid range ilo={ilo}, ihi={n} for shape {a.shape}")
 
     ncols = a.shape[1]
-    taus = taus_out if taus_out is not None else np.zeros(max(ncols - 1, 0))
+    taus = taus_out if taus_out is not None else np.zeros(max(ncols - 1, 0), dtype=a.dtype)
     for i in range(ilo, n - 1):
         # Annihilate a[i+2 : n, i]
         refl = larfg(a[i + 1, i], a[i + 2 : n, i], counter=counter, category=category)

@@ -106,7 +106,7 @@ def apply_right_updates(
     if ib > 1 and p + 1 > 0:
         v1 = pf.v[: ib - 1, : ib - 1]
         if workspace is not None:
-            w = workspace.buf("upd.panel_top", (p + 1, ib - 1))
+            w = workspace.buf("upd.panel_top", (p + 1, ib - 1), dtype=a.dtype)
             np.matmul(pf.y[0 : p + 1, : ib - 1], v1.T, out=w)
         else:
             w = pf.y[0 : p + 1, : ib - 1] @ v1.T
@@ -138,8 +138,8 @@ def apply_left_update(
         # are zero, so they contribute nothing and stay untouched.
         cfull = a[:, p + ib : ncols]
         ncf = ncols - (p + ib)
-        w1 = workspace.buf("upd.w1", (ib, ncf))
-        w2 = workspace.buf("upd.w2", (ib, ncf))
+        w1 = workspace.buf("upd.w1", (ib, ncf), dtype=a.dtype)
+        w2 = workspace.buf("upd.w2", (ib, ncf), dtype=a.dtype)
         gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
         gemm_inplace(1.0, pf.t, w1, w2, trans_a=True, beta=0.0)
         gemm_inplace(-1.0, pf.v_full, w2, cfull)
@@ -192,7 +192,7 @@ def gehrd(
         raise ShapeError(f"gehrd needs a square matrix, got {a.shape}")
     n = a.shape[0]
     nx = max(nb, nx if nx is not None else DEFAULT_NX)
-    taus = np.zeros(max(n - 1, 0))
+    taus = np.zeros(max(n - 1, 0), dtype=a.dtype)
     panels: list[PanelFactors] = []
     ws = None if keep_panels else Workspace()
 

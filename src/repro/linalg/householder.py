@@ -69,7 +69,8 @@ def larfg(
 
 def full_vector(refl: Reflector) -> np.ndarray:
     """Return the explicit Householder vector ``u = [1; v]``."""
-    return np.concatenate(([1.0], refl.v))
+    v = np.asarray(refl.v)
+    return np.concatenate((np.ones(1, dtype=v.dtype), v))
 
 
 def larf_left(

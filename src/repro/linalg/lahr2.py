@@ -122,22 +122,23 @@ def lahr2(
 
     rows = a.shape[0]
     m1 = n - p - 1  # rows of the dense V block
+    dt = a.dtype
     if workspace is not None:
-        v_full = workspace.buf("lahr2.v_full", (rows, ib), zero=True)
-        y = workspace.buf("lahr2.y", (n, ib))
-        t = workspace.buf("lahr2.t", (ib, ib), zero=True)
-        taus = workspace.vec("lahr2.taus", ib, zero=True)
-        g = workspace.vec("lahr2.g", m1)
-        wj = workspace.vec("lahr2.wj", ib)
-        wj2 = workspace.vec("lahr2.wj2", ib)
+        v_full = workspace.buf("lahr2.v_full", (rows, ib), zero=True, dtype=dt)
+        y = workspace.buf("lahr2.y", (n, ib), dtype=dt)
+        t = workspace.buf("lahr2.t", (ib, ib), zero=True, dtype=dt)
+        taus = workspace.vec("lahr2.taus", ib, zero=True, dtype=dt)
+        g = workspace.vec("lahr2.g", m1, dtype=dt)
+        wj = workspace.vec("lahr2.wj", ib, dtype=dt)
+        wj2 = workspace.vec("lahr2.wj2", ib, dtype=dt)
     else:
-        v_full = np.zeros((rows, ib), order="F")
-        y = np.empty((n, ib), order="F")
-        t = np.zeros((ib, ib), order="F")
-        taus = np.zeros(ib)
-        g = np.empty(m1)
-        wj = np.empty(ib)
-        wj2 = np.empty(ib)
+        v_full = np.zeros((rows, ib), order="F", dtype=dt)
+        y = np.empty((n, ib), order="F", dtype=dt)
+        t = np.zeros((ib, ib), order="F", dtype=dt)
+        taus = np.zeros(ib, dtype=dt)
+        g = np.empty(m1, dtype=dt)
+        wj = np.empty(ib, dtype=dt)
+        wj2 = np.empty(ib, dtype=dt)
     v = v_full[p + 1 : n, :]
     ei = 0.0
 
@@ -207,11 +208,11 @@ def lahr2(
     # the unit-lower-trapezoid part and the rectangular remainder), then @ T.
     k = p + 1
     if workspace is not None:
-        yt = workspace.buf("lahr2.ytop", (k, ib))
-        yt2 = workspace.buf("lahr2.ytop2", (k, ib))
+        yt = workspace.buf("lahr2.ytop", (k, ib), dtype=dt)
+        yt2 = workspace.buf("lahr2.ytop2", (k, ib), dtype=dt)
     else:
-        yt = np.empty((k, ib), order="F")
-        yt2 = np.empty((k, ib), order="F")
+        yt = np.empty((k, ib), order="F", dtype=dt)
+        yt2 = np.empty((k, ib), order="F", dtype=dt)
     np.matmul(a[0:k, p + 1 : p + 1 + ib], v[:ib, :], out=yt)
     if n > p + 1 + ib:
         np.matmul(a[0:k, p + 1 + ib : n], v[ib:, :], out=yt2)

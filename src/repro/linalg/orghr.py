@@ -34,7 +34,7 @@ def orghr(
     n = a_packed.shape[0]
     if a_packed.shape[1] < n or taus.shape[0] < max(n - 1, 0):
         raise ShapeError(f"orghr: inconsistent shapes A {a_packed.shape}, taus {taus.shape}")
-    q = np.eye(n, order="F")
+    q = np.eye(n, order="F", dtype=a_packed.dtype)
     # Accumulate Q = H_0 H_1 ... H_{n-2} by applying reflectors backwards;
     # H_i only touches rows i+1.., whose columns <= i stay canonical, so the
     # update can be confined to the trailing principal block.
@@ -42,7 +42,7 @@ def orghr(
         tau = taus[i]
         if tau == 0.0:
             continue
-        u = np.empty(n - i - 1)
+        u = np.empty(n - i - 1, dtype=a_packed.dtype)
         u[0] = 1.0
         u[1:] = a_packed[i + 2 : n, i]
         block = q[i + 1 : n, i + 1 : n]
@@ -76,7 +76,7 @@ def apply_q(
         tau = taus[i]
         if tau == 0.0:
             continue
-        u = np.empty(n - i - 1)
+        u = np.empty(n - i - 1, dtype=a_packed.dtype)
         u[0] = 1.0
         u[1:] = a_packed[i + 2 : n, i]
         rows = c[i + 1 : n, :]

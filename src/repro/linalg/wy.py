@@ -43,7 +43,7 @@ def larft(
     m, k = v.shape
     if taus.shape != (k,):
         raise ShapeError(f"larft: taus {taus.shape} does not match V {v.shape}")
-    t = np.zeros((k, k), order="F")
+    t = np.zeros((k, k), order="F", dtype=v.dtype)
     for i in range(k):
         tau = taus[i]
         if tau == 0.0:

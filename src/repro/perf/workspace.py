@@ -26,18 +26,22 @@ import numpy as np
 
 try:  # pragma: no cover - exercised indirectly everywhere scipy exists
     from scipy.linalg.blas import dgemm as DGEMM
+    from scipy.linalg.blas import sgemm as SGEMM
 except ImportError:  # pragma: no cover - scipy is a hard dependency, but
     DGEMM = None  # the kernels degrade gracefully to the NumPy path
+    SGEMM = None
 
 
 class Workspace:
     """Named scratch buffers, allocated once and reused across iterations.
 
-    ``buf(name, shape)`` returns a view of a flat float64 pool reshaped to
+    ``buf(name, shape)`` returns a view of a flat pool reshaped to
     exactly *shape* — contiguous in the requested order, grown (never
     shrunk) on demand. Contents persist between calls only while the
     requested shape stays the same; callers that need a zeroed buffer pass
-    ``zero=True``.
+    ``zero=True``. Pools are float64 by default; other lane dtypes get
+    their own pools keyed ``"<name>@<dtype>"`` so a mixed-precision worker
+    never reinterprets bytes across lanes.
     """
 
     def __init__(self) -> None:
@@ -50,23 +54,33 @@ class Workspace:
         *,
         order: str = "F",
         zero: bool = False,
+        dtype: np.dtype | type = np.float64,
     ) -> np.ndarray:
-        """An exact-shape view of the named pool (float64)."""
+        """An exact-shape view of the named pool at *dtype*."""
+        dt = np.dtype(dtype)
+        key = name if dt == np.float64 else f"{name}@{dt.name}"
         size = 1
         for dim in shape:
             size *= int(dim)
-        pool = self._pools.get(name)
+        pool = self._pools.get(key)
         if pool is None or pool.size < size:
-            pool = np.empty(max(size, 1), dtype=np.float64)
-            self._pools[name] = pool
+            pool = np.empty(max(size, 1), dtype=dt)
+            self._pools[key] = pool
         view = pool[:size].reshape(shape, order=order)
         if zero:
             view[...] = 0.0
         return view
 
-    def vec(self, name: str, n: int, *, zero: bool = False) -> np.ndarray:
+    def vec(
+        self,
+        name: str,
+        n: int,
+        *,
+        zero: bool = False,
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
         """A 1-D scratch vector of length *n*."""
-        return self.buf(name, (int(n),), zero=zero)
+        return self.buf(name, (int(n),), zero=zero, dtype=dtype)
 
     def matrix_like(self, name: str, src: np.ndarray, *, order: str = "F") -> np.ndarray:
         """A named pooled buffer holding a writable copy of *src*.
@@ -77,29 +91,36 @@ class Workspace:
         ``ndarray`` per job, so a warm worker's steady state allocates
         nothing even for drivers that mutate their input.
         """
-        out = self.buf(name, tuple(src.shape), order=order)
+        out = self.buf(name, tuple(src.shape), order=order, dtype=src.dtype)
         out[...] = src
         return out
 
-    def presize(self, n: int, nb: int, k: int = 0) -> None:
+    def presize(
+        self,
+        n: int,
+        nb: int,
+        k: int = 0,
+        *,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
         """Pre-allocate the panel-sized buffers for an (n, nb, k) run so
         the steady state performs no allocation at all."""
         rows = n + k
-        self.buf("lahr2.v_full", (rows, nb))
-        self.buf("lahr2.y", (n, nb))
-        self.buf("lahr2.t", (nb, nb))
-        self.buf("lahr2.taus", (nb,))
-        self.vec("lahr2.g", n)
-        self.vec("lahr2.wj", nb)
-        self.vec("lahr2.wj2", nb)
-        self.buf("lahr2.ytop", (n, nb))
-        self.buf("lahr2.ytop2", (n, nb))
-        self.buf("upd.yce", (rows, nb))
-        self.buf("upd.v2ce", (rows, nb))
-        self.buf("upd.w1", (nb, rows))
-        self.buf("upd.w2", (nb, rows))
-        self.buf("upd.wrow", (max(k, 1), n))
-        self.buf("upd.panel_top", (n, nb))
+        self.buf("lahr2.v_full", (rows, nb), dtype=dtype)
+        self.buf("lahr2.y", (n, nb), dtype=dtype)
+        self.buf("lahr2.t", (nb, nb), dtype=dtype)
+        self.buf("lahr2.taus", (nb,), dtype=dtype)
+        self.vec("lahr2.g", n, dtype=dtype)
+        self.vec("lahr2.wj", nb, dtype=dtype)
+        self.vec("lahr2.wj2", nb, dtype=dtype)
+        self.buf("lahr2.ytop", (n, nb), dtype=dtype)
+        self.buf("lahr2.ytop2", (n, nb), dtype=dtype)
+        self.buf("upd.yce", (rows, nb), dtype=dtype)
+        self.buf("upd.v2ce", (rows, nb), dtype=dtype)
+        self.buf("upd.w1", (nb, rows), dtype=dtype)
+        self.buf("upd.w2", (nb, rows), dtype=dtype)
+        self.buf("upd.wrow", (max(k, 1), n), dtype=dtype)
+        self.buf("upd.panel_top", (n, nb), dtype=dtype)
 
     @property
     def nbytes(self) -> int:
@@ -152,9 +173,12 @@ def gemm_inplace(
 
     Requires *c* F-contiguous (full-column slices of the Fortran-ordered
     extended storage qualify); raises if the BLAS wrapper would have had
-    to copy, because a silent copy would discard the update.
+    to copy, because a silent copy would discard the update. The BLAS
+    routine follows ``c.dtype`` — DGEMM for float64 operands, SGEMM for
+    the float32 lane.
     """
-    if DGEMM is None:  # pragma: no cover - scipy missing
+    gemm = SGEMM if c.dtype == np.float32 else DGEMM
+    if gemm is None:  # pragma: no cover - scipy missing
         prod = (a.T if trans_a else a) @ (b.T if trans_b else b)
         if beta == 0.0:
             c[...] = alpha * prod
@@ -163,7 +187,7 @@ def gemm_inplace(
                 c *= beta
             c += alpha * prod
         return
-    out = DGEMM(
+    out = gemm(
         alpha, a, b, beta=beta, c=c, trans_a=trans_a, trans_b=trans_b, overwrite_c=1
     )
     if out is not c and not np.shares_memory(out, c):

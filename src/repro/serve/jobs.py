@@ -35,7 +35,8 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ShapeError
+from repro.utils.precision import lane_dtype
 from repro.utils.shm import (
     DEFAULT_MIN_BYTES,
     SharedMatrix,
@@ -93,12 +94,19 @@ class JobSpec:
     handle instead of an ndarray — that is how the scheduler ships
     large inline matrices to pool workers without re-pickling them per
     attempt (the zero-copy data plane; see ``docs/performance.md``).
+
+    ``dtype`` names the precision lane (``"float64"`` / ``"float32"``)
+    the job runs at; it is part of the content key. An inline float32
+    matrix keeps its lane even under the default ``dtype="float64"`` —
+    see :attr:`lane` — so a submitted fp32 matrix is never silently
+    promoted.
     """
 
     driver: str = "ft_gehrd"
     n: int = 128
     seed: int = 0
     kind: str = "uniform"
+    dtype: str = "float64"
     nb: int = 32
     channels: int = 1
     audit_every: int = 0
@@ -125,6 +133,15 @@ class JobSpec:
 
         if self.driver not in DRIVERS:
             raise JobSpecError(f"unknown driver {self.driver!r} (want one of {DRIVERS})")
+        try:
+            lane_dtype(self.dtype)
+        except ShapeError as exc:
+            raise JobSpecError(str(exc)) from exc
+        if self.driver == "ft_sytrd" and self.lane != np.float64:
+            raise JobSpecError(
+                "ft_sytrd runs in the float64 lane only "
+                f"(got dtype {self.lane.name!r})"
+            )
         if self.priority not in LANES:
             raise JobSpecError(f"unknown priority {self.priority!r} (want one of {LANES})")
         if self.matrix is None and self.n < 2:
@@ -173,6 +190,24 @@ class JobSpec:
             return int(np.asarray(self.matrix).shape[0])
         return self.n
 
+    @property
+    def lane(self) -> np.dtype:
+        """The precision lane the job actually runs at.
+
+        ``dtype`` rules unless it is the default float64 *and* an inline
+        float32 matrix was supplied — then the matrix's own lane wins, so
+        fp32 submissions survive end-to-end without an explicit flag.
+        """
+        if self.dtype == "float64" and self.matrix is not None:
+            dt = (
+                np.dtype(self.matrix.dtype)
+                if isinstance(self.matrix, SharedMatrix)
+                else np.asarray(self.matrix).dtype
+            )
+            if dt == np.float32:
+                return np.dtype(np.float32)
+        return lane_dtype(self.dtype)
+
     def matrix_fingerprint(self) -> str:
         """Deterministic identity of the input matrix.
 
@@ -183,19 +218,20 @@ class JobSpec:
         pins ``kind`` to ``symmetric`` regardless of what the spec says.
         """
         if self.matrix is not None:
-            m = np.asarray(self.matrix, dtype=np.float64)
+            m = np.asarray(self.matrix, dtype=self.lane)
             h = hashlib.sha256()
             h.update(repr((m.shape, str(m.dtype))).encode())
             hash_update_array(h, m)
             return f"sha256:{h.hexdigest()[:16]}"
         kind = "symmetric" if self.driver == "ft_sytrd" else self.kind
-        return f"rng:{kind}:n={self.n}:seed={self.seed}"
+        return f"rng:{kind}:n={self.n}:seed={self.seed}:dtype={self.lane.name}"
 
     def content_dict(self) -> dict:
         """Everything that determines the result, canonically ordered."""
         return {
             "driver": self.driver,
             "matrix": self.matrix_fingerprint(),
+            "dtype": self.lane.name,
             "nb": self.nb,
             "channels": self.channels,
             "audit_every": self.audit_every,
@@ -226,7 +262,12 @@ class JobSpec:
                     # serialize the identity, not unreachable segment bytes
                     out["matrix"] = None
                 elif v is not None:
-                    out["matrix"] = np.asarray(v, dtype=np.float64).tolist()
+                    out["matrix"] = np.asarray(v, dtype=self.lane).tolist()
+                continue
+            if f.name == "dtype":
+                # round-trip the *effective* lane, so an inline fp32
+                # matrix re-materializes as fp32 from nested JSON lists
+                out["dtype"] = self.lane.name
                 continue
             if f.name == "faults":
                 v = [dict(x) for x in v]
@@ -241,7 +282,11 @@ class JobSpec:
             raise JobSpecError(f"unknown JobSpec fields: {sorted(unknown)}")
         kw = dict(data)
         if kw.get("matrix") is not None:
-            kw["matrix"] = np.asarray(kw["matrix"], dtype=np.float64)
+            try:
+                dt = lane_dtype(kw.get("dtype", "float64"))
+            except ShapeError as exc:
+                raise JobSpecError(str(exc)) from exc
+            kw["matrix"] = np.asarray(kw["matrix"], dtype=dt)
         if "faults" in kw:
             kw["faults"] = tuple(dict(x) for x in kw["faults"])
         return cls(**kw)
@@ -392,9 +437,9 @@ def _build_matrix(spec: JobSpec, workspace=None) -> np.ndarray:
             return workspace.matrix_like("jobs.inline_a", view)
         return view.copy(order="F")
     if spec.matrix is not None:
-        return np.asfortranarray(np.asarray(spec.matrix, dtype=np.float64))
+        return np.asfortranarray(np.asarray(spec.matrix, dtype=spec.lane))
     kind = "symmetric" if spec.driver == "ft_sytrd" else spec.kind
-    return random_matrix(spec.n, kind=kind, seed=spec.seed)
+    return random_matrix(spec.n, kind=kind, seed=spec.seed, dtype=spec.lane)
 
 
 def _injector(spec: JobSpec):
@@ -420,10 +465,12 @@ def _pack_factor(arr: np.ndarray, *, shm_factors: bool, shm_min_bytes: int) -> d
     inline nested lists otherwise. The segment created here is owned by
     nobody yet — the scheduler adopts it when the payload arrives, and
     the dead-pid sweep reclaims it if the worker dies in between."""
-    arr = np.asarray(arr, dtype=np.float64)
+    arr = np.asarray(arr)
+    if arr.dtype != np.float32:
+        arr = np.asarray(arr, dtype=np.float64)
     if shm_factors and arr.nbytes >= shm_min_bytes and shm_available():
         return {"shm": SharedMatrix.create(arr).to_json()}
-    return {"data": arr.tolist(), "dtype": "float64"}
+    return {"data": arr.tolist(), "dtype": str(arr.dtype)}
 
 
 def execute_job(
@@ -449,7 +496,12 @@ def execute_job(
     """
     _maybe_crash(spec)
     t0 = time.perf_counter()
-    payload: dict = {"driver": spec.driver, "n": spec.order, "nb": spec.nb}
+    payload: dict = {
+        "driver": spec.driver,
+        "n": spec.order,
+        "nb": spec.nb,
+        "dtype": spec.lane.name,
+    }
     factors: "dict[str, np.ndarray] | None" = None
 
     if spec.driver == "gehrd":
@@ -580,8 +632,13 @@ def batch_compatible(spec: JobSpec) -> bool:
 
 
 def batch_group_key(spec: JobSpec) -> tuple:
-    """Jobs sharing this key may run in one stacked execution."""
-    return (spec.driver, spec.order, spec.nb, spec.channels)
+    """Jobs sharing this key may run in one stacked execution.
+
+    The precision lane is part of the key: the stacked engine runs one
+    dtype per `(B, n, n)` stack, so fp32 and fp64 jobs at identical
+    shapes still bucket into separate batch lanes.
+    """
+    return (spec.driver, spec.order, spec.nb, spec.channels, spec.lane.name)
 
 
 def execute_jobs_batched(specs: list[JobSpec], *, workspace=None) -> dict:
@@ -609,7 +666,7 @@ def execute_jobs_batched(specs: list[JobSpec], *, workspace=None) -> dict:
             f"incompatible batch group: {len(bad)} unbatchable specs, "
             f"{len(keys)} distinct group keys"
         )
-    driver, n, nb, channels = keys.pop()
+    driver, n, nb, channels, _lane = keys.pop()
 
     from repro.batch import as_item_f_stack, ft_gehrd_batched, gehrd_batched
     from repro.batch.qform import (
@@ -644,6 +701,7 @@ def execute_jobs_batched(specs: list[JobSpec], *, workspace=None) -> dict:
                 "driver": spec.driver,
                 "n": n,
                 "nb": nb,
+                "dtype": spec.lane.name,
                 "residual": float(r),
             }
             outcomes.append({"ok": True, "payload": payload})
@@ -674,6 +732,7 @@ def execute_jobs_batched(specs: list[JobSpec], *, workspace=None) -> dict:
                 "driver": spec.driver,
                 "n": n,
                 "nb": nb,
+                "dtype": spec.lane.name,
                 "seconds_simulated": float(res.seconds),
                 "detections": int(res.detections),
                 "recoveries": len(res.recoveries),

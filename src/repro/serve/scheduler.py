@@ -711,7 +711,9 @@ class AsyncScheduler:
         # handle, encoded once per work item (retries reuse the segment)
         send_spec = spec
         if isinstance(spec.matrix, np.ndarray):
-            matrix = np.asarray(spec.matrix, dtype=np.float64)
+            # ship the job's effective lane: fp32 inline matrices cross in
+            # half the segment bytes instead of being promoted to float64
+            matrix = np.asarray(spec.matrix, dtype=spec.lane)
             if work.shm_matrix is None and use_shm_for(
                 matrix.nbytes, self.transport, min_bytes=self.shm_min_bytes
             ):

@@ -1,0 +1,79 @@
+"""Precision lanes: the dtypes the kernel core runs in.
+
+The driver stack is dtype-generic over two IEEE lanes — ``float64`` (the
+paper's precision, byte-frozen by the golden tests) and ``float32`` (the
+bandwidth lane: half the memory traffic, half the shm data-plane bytes).
+Everything dtype-specific funnels through here so kernels never hard-code
+an eps or an itemsize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "LANE_DTYPES",
+    "lane_dtype",
+    "lane_eps",
+    "lane_scale",
+    "as_lane_matrix",
+]
+
+#: The dtypes the kernel core supports, keyed by canonical name.
+LANE_DTYPES: dict[str, np.dtype] = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+}
+
+
+def lane_dtype(dtype: object = np.float64) -> np.dtype:
+    """Canonicalize *dtype* to a supported lane dtype.
+
+    Accepts anything ``np.dtype`` does (``"float32"``, ``np.float64``, an
+    existing dtype, ``None`` → float64) and rejects everything that is not
+    one of the two lanes — the kernels' rounding analysis and the ABFT
+    thresholds are only calibrated for real IEEE single/double.
+    """
+    if dtype is None:
+        return LANE_DTYPES["float64"]
+    dt = np.dtype(dtype)
+    if dt.name not in LANE_DTYPES:
+        raise ShapeError(
+            f"unsupported lane dtype {dt.name!r}; expected one of "
+            f"{sorted(LANE_DTYPES)}"
+        )
+    return dt
+
+
+def lane_eps(dtype: object = np.float64) -> float:
+    """Machine epsilon of the lane *dtype* (2^-52 or 2^-23)."""
+    return float(np.finfo(lane_dtype(dtype)).eps)
+
+
+def lane_scale(dtype: object = np.float64) -> float:
+    """``eps(dtype) / eps(float64)`` — the factor a float64-calibrated
+    tolerance widens by on another lane (1.0 at float64, 2^29 at float32).
+    Non-lane dtypes scale like float64, matching the coercion rule of
+    :func:`as_lane_matrix`."""
+    dt = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+    if dt.name not in LANE_DTYPES:
+        dt = np.dtype(np.float64)
+    return lane_eps(dt) / lane_eps(np.float64)
+
+
+def as_lane_matrix(a: np.ndarray, dtype: object = None) -> np.ndarray:
+    """Return *a* as a Fortran-ordered lane array, preserving its dtype.
+
+    With ``dtype=None`` a float32 input stays float32 and anything else
+    (float64, ints, …) lands in float64 — the historical coercion, now
+    dtype-preserving for the fp32 lane. An explicit *dtype* forces that
+    lane. No copy is made when *a* already complies.
+    """
+    a = np.asarray(a)
+    if dtype is None:
+        dt = a.dtype if a.dtype.name in LANE_DTYPES else np.dtype(np.float64)
+    else:
+        dt = lane_dtype(dtype)
+    return np.asfortranarray(a, dtype=dt)

@@ -12,6 +12,7 @@ import enum
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.utils.precision import lane_dtype
 
 
 class MatrixKind(enum.Enum):
@@ -53,8 +54,9 @@ def random_matrix(
     kind: MatrixKind | str = MatrixKind.UNIFORM,
     *,
     seed: int | np.random.Generator | None = 0,
+    dtype: np.dtype | type | str = np.float64,
 ) -> np.ndarray:
-    """Generate an ``n x n`` Fortran-ordered float64 test matrix.
+    """Generate an ``n x n`` Fortran-ordered test matrix.
 
     Parameters
     ----------
@@ -64,6 +66,11 @@ def random_matrix(
         Matrix family; see :class:`MatrixKind`.
     seed:
         Integer seed or an existing generator.
+    dtype:
+        Lane dtype of the returned array. Recipes always draw in float64
+        and cast at the end, so the float32 matrix for ``(kind, n, seed)``
+        is exactly the rounded float64 one — cross-lane comparisons see
+        the same mathematical matrix.
     """
     if n <= 0:
         raise ShapeError(f"matrix order must be positive, got {n}")
@@ -92,4 +99,4 @@ def random_matrix(
     else:  # pragma: no cover - exhaustive enum
         raise ShapeError(f"unknown matrix kind {kind!r}")
 
-    return np.asfortranarray(a, dtype=np.float64)
+    return np.asfortranarray(a, dtype=lane_dtype(dtype))

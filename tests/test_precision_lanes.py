@@ -1,0 +1,314 @@
+"""The float32 precision lane: V-ABFT false-positive immunity, lane
+plumbing, scalar/batched parity, and the serve tier's dtype handling.
+
+The float64 byte-parity guarantees live in ``test_kernel_golden.py`` and
+``test_batch_golden.py`` (unchanged); this module covers everything the
+fp32 lane adds on top.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.abft.detection import (
+    DEFAULT_SIGMA_FACTOR,
+    Detector,
+    ThresholdPolicy,
+    checksum_second_moment,
+)
+from repro.abft.encoding import EncodedMatrix
+from repro.batch import ft_gehrd_batched, gehrd_batched
+from repro.core import FTConfig, ft_gehrd
+from repro.errors import DetectionError, ShapeError
+from repro.faults import FaultInjector, FaultSpec, run_campaign
+from repro.linalg import extract_hessenberg, factorization_residual, gehrd, orghr
+from repro.perf.workspace import Workspace
+from repro.serve.jobs import (
+    JobSpec,
+    JobSpecError,
+    batch_group_key,
+    execute_job,
+)
+from repro.utils.precision import as_lane_matrix, lane_dtype, lane_eps, lane_scale
+from repro.utils.rng import MatrixKind, random_matrix
+
+SLOW = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------------
+# lane helpers
+# ---------------------------------------------------------------------------
+
+
+class TestLaneHelpers:
+    def test_lane_dtype_canonicalizes(self):
+        assert lane_dtype("float32") == np.float32
+        assert lane_dtype(np.float64) == np.float64
+        assert lane_dtype(None) == np.float64
+
+    def test_non_lane_dtype_rejected(self):
+        with pytest.raises(ShapeError):
+            lane_dtype(np.int32)
+        with pytest.raises(ShapeError):
+            lane_dtype("float16")
+
+    def test_lane_eps_and_scale(self):
+        assert lane_eps(np.float64) == 2.0**-52
+        assert lane_eps("float32") == 2.0**-23
+        assert lane_scale(np.float64) == 1.0
+        assert lane_scale(np.float32) == 2.0**29
+        # non-lane dtypes scale like float64 (the coercion target)
+        assert lane_scale(np.int64) == 1.0
+
+    def test_as_lane_matrix_preserves_fp32(self):
+        a32 = random_matrix(8, seed=0, dtype=np.float32)
+        out = as_lane_matrix(a32)
+        assert out.dtype == np.float32 and out.flags.f_contiguous
+        assert as_lane_matrix(np.ones((3, 3), dtype=np.int64)).dtype == np.float64
+
+    def test_random_matrix_fp32_is_rounded_fp64(self):
+        # recipes draw in float64 and cast: same mathematical matrix
+        for kind in MatrixKind:
+            a64 = random_matrix(16, kind, seed=5)
+            a32 = random_matrix(16, kind, seed=5, dtype=np.float32)
+            assert a32.dtype == np.float32
+            assert np.array_equal(a32, a64.astype(np.float32))
+
+
+# ---------------------------------------------------------------------------
+# threshold policy: auto dispatch and the variance kind
+# ---------------------------------------------------------------------------
+
+
+class TestVarianceThreshold:
+    def test_auto_resolves_per_dtype(self):
+        pol = ThresholdPolicy()
+        assert pol.resolve(np.float64) == "norm"
+        assert pol.resolve(np.float32) == "variance"
+        assert not pol.needs_m2(np.float64)
+        assert pol.needs_m2(np.float32)
+
+    def test_auto_is_byte_identical_to_norm_at_fp64(self):
+        pol = ThresholdPolicy()
+        norm = ThresholdPolicy(kind="norm")
+        assert pol.threshold(64, 10.0, 1.0, 1.0) == norm.threshold(64, 10.0, 1.0, 1.0)
+
+    def test_variance_threshold_formula(self):
+        pol = ThresholdPolicy(kind="variance")
+        n, m2 = 64, 123.5
+        want = DEFAULT_SIGMA_FACTOR * lane_eps(np.float32) * np.sqrt(n * m2)
+        got = pol.threshold(n, 1.0, 0.0, 0.0, dtype=np.float32, m2=m2)
+        assert got == pytest.approx(want, rel=1e-12)
+
+    def test_variance_without_m2_degrades_to_norm(self):
+        pol = ThresholdPolicy(kind="variance")
+        norm = ThresholdPolicy(kind="norm")
+        got = pol.threshold(64, 10.0, 0.0, 0.0, dtype=np.float32)
+        assert got == norm.threshold(64, 10.0, 0.0, 0.0, dtype=np.float32)
+
+    def test_unknown_kind_still_raises(self):
+        with pytest.raises(DetectionError):
+            ThresholdPolicy(kind="bogus").threshold(8, 1.0, 0.0, 0.0)
+
+    def test_second_moment_matches_banks(self):
+        a = random_matrix(24, seed=1, dtype=np.float32)
+        em = EncodedMatrix(a.copy())
+        rc = np.asarray(em.row_checksums, dtype=np.float64)
+        cc = np.asarray(em.col_checksums, dtype=np.float64)
+        assert checksum_second_moment(em) == pytest.approx(
+            float(rc @ rc + cc @ cc), rel=1e-12
+        )
+
+    def test_fp32_threshold_far_below_norm_bound(self):
+        # the whole point of V-ABFT: the adaptive bar sits well under the
+        # fp32 norm bound, keeping detection useful at single precision
+        a = random_matrix(64, seed=2, dtype=np.float32)
+        em = EncodedMatrix(a.copy())
+        pol = ThresholdPolicy()
+        adaptive = pol.threshold(
+            em.n, 40.0, 0.0, 0.0, dtype=np.float32, m2=checksum_second_moment(em)
+        )
+        norm_bound = ThresholdPolicy(kind="norm").threshold(
+            em.n, 40.0, 0.0, 0.0, dtype=np.float32
+        )
+        assert adaptive < norm_bound / 10
+
+
+# ---------------------------------------------------------------------------
+# zero false positives on fault-free fp32 reductions (Hypothesis grid)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultFreeFp32NoFalsePositives:
+    @SLOW
+    @given(
+        seed=st.integers(0, 2**10),
+        shape=st.sampled_from([(32, 8), (48, 16), (64, 16), (96, 32)]),
+        kind=st.sampled_from(list(MatrixKind)),
+        channels=st.sampled_from([1, 2]),
+    )
+    def test_clean_run_never_detects(self, seed, shape, kind, channels):
+        n, nb = shape
+        a = random_matrix(n, kind, seed=seed, dtype=np.float32)
+        res = ft_gehrd(a, FTConfig(nb=nb, channels=channels))
+        assert res.detections == 0
+        assert res.restarts == 0
+        assert not res.recoveries
+
+    def test_clean_detector_gap_under_threshold_midrun(self):
+        # the detector's own statistic stays under the adaptive bar on
+        # every clean check, not just the final one
+        a = random_matrix(96, seed=7, dtype=np.float32)
+        res = ft_gehrd(a, FTConfig(nb=32, audit_every=1))
+        assert res.detections == 0
+
+
+# ---------------------------------------------------------------------------
+# fp32 fault recovery parity with fp64
+# ---------------------------------------------------------------------------
+
+
+class TestFp32Recovery:
+    @SLOW
+    @given(
+        seed=st.integers(0, 2**10),
+        it=st.integers(0, 2),
+        mag=st.floats(0.05, 1e3),
+    )
+    def test_random_single_fault_recovers(self, seed, it, mag):
+        n, nb = 48, 16
+        a = random_matrix(n, seed=seed, dtype=np.float32)
+        inj = FaultInjector().add(
+            FaultSpec(iteration=it, row=n // 2, col=n - 2, magnitude=mag)
+        )
+        res = ft_gehrd(a, FTConfig(nb=nb), injector=inj)
+        q = orghr(res.a, res.taus)
+        h = extract_hessenberg(res.a)
+        tol = 1e-13 * lane_scale(np.float32) * max(1.0, mag)
+        assert factorization_residual(a, q, h) < tol
+
+    def test_campaign_outcomes_match_fp64(self):
+        outcomes = {}
+        for dt in (np.float64, np.float32):
+            a = random_matrix(48, seed=1, dtype=dt)
+            res = run_campaign(a, nb=16, moments=2, seed=0)
+            outcomes[dt] = (res.recovery_rate, dict(res.outcome_counts))
+        assert outcomes[np.float64][0] == outcomes[np.float32][0] == 1.0
+        assert outcomes[np.float64][1] == outcomes[np.float32][1]
+
+    def test_campaign_residual_tol_scales_with_lane(self):
+        # an explicit fp64-calibrated bar would misgrade every fp32
+        # trial as uncorrected; the default bar follows the lane eps
+        a = random_matrix(32, seed=0, dtype=np.float32)
+        res = run_campaign(a, nb=16, moments=2, seed=0)
+        assert res.recovery_rate == 1.0
+        assert res.outcome_counts.get("corrected", 0) == len(res.trials)
+
+
+# ---------------------------------------------------------------------------
+# scalar vs batched fp32 byte parity
+# ---------------------------------------------------------------------------
+
+
+class TestFp32BatchedParity:
+    def test_gehrd_batched_matches_scalar_bytes(self):
+        n, nb, b = 48, 16, 5
+        mats = [random_matrix(n, seed=i, dtype=np.float32) for i in range(b)]
+        facts = gehrd_batched(mats, nb=nb)
+        for m, f in zip(mats, facts):
+            ref = gehrd(m.copy(order="F"), nb=nb)
+            assert f.a.dtype == np.float32
+            assert np.array_equal(f.a, ref.a)
+            assert np.array_equal(f.taus, ref.taus)
+
+    def test_ft_gehrd_batched_matches_scalar_bytes(self):
+        n, nb, b = 48, 16, 4
+        mats = [random_matrix(n, seed=i, dtype=np.float32) for i in range(b)]
+        cfg = FTConfig(nb=nb)
+        br = ft_gehrd_batched(mats, cfg)
+        assert not br.ejected and not br.errors
+        for m, r in zip(mats, br.results):
+            ref = ft_gehrd(m.copy(order="F"), cfg)
+            assert ref.detections == 0
+            assert np.array_equal(r.a, ref.a)
+            assert np.array_equal(r.taus, ref.taus)
+
+
+# ---------------------------------------------------------------------------
+# workspace pools are dtype-keyed
+# ---------------------------------------------------------------------------
+
+
+class TestWorkspaceLanes:
+    def test_pools_are_per_dtype(self):
+        ws = Workspace()
+        b64 = ws.buf("x", (4, 4))
+        b32 = ws.buf("x", (4, 4), dtype=np.float32)
+        assert b64.dtype == np.float64 and b32.dtype == np.float32
+        assert not np.shares_memory(b64, b32)
+        assert ws.buffers == 2
+
+    def test_presize_fp32_allocates_fp32_pools(self):
+        ws = Workspace()
+        ws.presize(32, 8, 1, dtype=np.float32)
+        before = ws.nbytes
+        v = ws.buf("lahr2.y", (32, 8), dtype=np.float32)
+        assert v.dtype == np.float32
+        assert ws.nbytes == before  # served from the presized pool
+
+
+# ---------------------------------------------------------------------------
+# serve tier: dtype in the content key, payloads, and batch buckets
+# ---------------------------------------------------------------------------
+
+
+class TestServeDtype:
+    def test_dtype_in_content_key(self):
+        s64 = JobSpec(driver="ft_gehrd", n=32, nb=16)
+        s32 = JobSpec(driver="ft_gehrd", n=32, nb=16, dtype="float32")
+        assert s64.key != s32.key
+        assert s64.content_dict()["dtype"] == "float64"
+        assert s32.content_dict()["dtype"] == "float32"
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(JobSpecError):
+            JobSpec(driver="ft_gehrd", n=32, dtype="float16").validate()
+
+    def test_ft_sytrd_is_fp64_only(self):
+        with pytest.raises(JobSpecError):
+            JobSpec(driver="ft_sytrd", n=32, dtype="float32").validate()
+
+    def test_inline_fp32_matrix_keeps_lane(self):
+        a32 = random_matrix(24, seed=3, dtype=np.float32)
+        spec = JobSpec(driver="ft_gehrd", n=24, matrix=a32)
+        spec.validate()
+        assert spec.lane == np.float32
+        assert "float32" not in spec.matrix_fingerprint()  # hashed, not named
+        rt = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert rt.matrix.dtype == np.float32
+        assert np.array_equal(rt.matrix, a32)
+        assert rt.key == spec.key
+
+    def test_batch_lane_buckets_by_dtype(self):
+        s64 = JobSpec(driver="ft_gehrd", n=32, nb=16)
+        s32 = JobSpec(driver="ft_gehrd", n=32, nb=16, dtype="float32")
+        assert batch_group_key(s64) != batch_group_key(s32)
+
+    def test_execute_job_fp32_clean(self):
+        payload = execute_job(JobSpec(driver="ft_gehrd", n=32, nb=16, dtype="float32"))
+        assert payload["detections"] == 0
+        assert payload["residual"] < 1e-5
+
+    def test_factors_round_trip_fp32(self):
+        payload = execute_job(
+            JobSpec(driver="gehrd", n=24, nb=8, dtype="float32", return_factors=True)
+        )
+        ref = payload["factors"]["h"]
+        assert ref["dtype"] == "float32"
+        h = np.asarray(ref["data"], dtype=ref["dtype"])
+        assert h.dtype == np.float32
