@@ -33,7 +33,12 @@ at the repository root (plus a copy under ``benchmarks/results/``):
                         BLAS work dominates per-job overhead);
 * ``serve_dataplane`` — inline n=256 matrices through the service under
                         ``transport="pickle"`` vs ``"auto"`` (bytes per
-                        submitted job each way; see ``bench_serve.py``).
+                        submitted job each way; see ``bench_serve.py``);
+* ``ft_eig``          — the full protected eigensolver pipeline
+                        (FT reduction + checkpointed Francis QR) vs the
+                        unprotected ``hybrid_gehrd`` +
+                        ``hessenberg_eigvals`` path (fault-free
+                        overhead %, n=192).
 
 Honest wall-clock numbers: speedups are whatever this host produces —
 on a single-core box the campaign rows will show pool overhead, not
@@ -286,6 +291,52 @@ def bench_campaign(n: int = 96, moments: int = 3, *, workers: int = 4,
     }
 
 
+def bench_ft_eig(n: int = 192, nb: int = 32, *, repeats: int = 3) -> dict:
+    """Fault-free overhead of the protected eigensolver pipeline.
+
+    Unprotected side: ``hybrid_gehrd`` + ``hessenberg_eigvals`` (plain
+    Francis QR). Protected side: ``ft_gehrd(functional=True)`` +
+    ``ft_hqr`` — ABFT-encoded reduction, then the checkpointed QR with
+    similarity-invariant verification every ``verify_every`` sweeps.
+    The overhead percentage is the number the paper's Fig. 6 reports
+    for the reduction alone, extended to the full spectrum pipeline.
+    """
+    from repro.core import FTConfig, HybridConfig, ft_gehrd, hybrid_gehrd
+    from repro.eigen import QRProtectConfig, ft_hqr, hessenberg_eigvals
+    from repro.linalg.verify import extract_hessenberg
+
+    a = random_matrix(n, seed=3)
+    qcfg = QRProtectConfig(want_z=False)
+
+    def unprotected():
+        res = hybrid_gehrd(a, HybridConfig(nb=nb))
+        return hessenberg_eigvals(extract_hessenberg(res.a), check_input=False)
+
+    def protected():
+        res = ft_gehrd(a, FTConfig(nb=nb, functional=True))
+        return ft_hqr(extract_hessenberg(res.a), qcfg, check_input=False).eigvals
+
+    ref = np.sort_complex(unprotected())
+    got = np.sort_complex(protected())
+    spectrum_err = float(np.max(np.abs(got - ref)) / max(np.max(np.abs(ref)), 1.0))
+    t_plain = _best_of(unprotected, repeats=repeats)
+    t_ft = _best_of(protected, repeats=repeats)
+    fr = ft_hqr(extract_hessenberg(
+        ft_gehrd(a, FTConfig(nb=nb, functional=True)).a), qcfg, check_input=False)
+    return {
+        "n": n, "nb": nb,
+        "verify_every": qcfg.verify_every,
+        "unprotected_ms": t_plain * 1e3,
+        "ft_eig_ms": t_ft * 1e3,
+        "overhead_pct": (t_ft / t_plain - 1.0) * 100.0,
+        "spectrum_err_vs_unprotected": spectrum_err,
+        "qr_sweeps": fr.sweeps,
+        "qr_verifications": fr.verifications,
+        "checkpoint_saves": fr.checkpoint_saves,
+        "checkpoint_peak_bytes": fr.checkpoint_peak_bytes,
+    }
+
+
 def main() -> None:
     payload = {
         "host": {
@@ -304,6 +355,7 @@ def main() -> None:
         "serve_batched": bench_serve_batched(),
         "serve_batched_fp32": bench_serve_batched_lanes(),
         "serve_dataplane": bench_serve_dataplane(),
+        "ft_eig": bench_ft_eig(),
     }
     payload["campaign_fp32"]["bytes_copied_vs_fp64"] = (
         payload["campaign"]["bytes_copied_shm"]

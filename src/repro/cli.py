@@ -9,6 +9,7 @@ Usage::
     python -m repro table3 --sizes 128,256
     python -m repro section5 --sizes 1022,4030,10110
     python -m repro campaign --n 128 --moments 4
+    python -m repro eig-campaign --n 24 --workers 4
     python -m repro demo
     python -m repro submit --jobs jobs.jsonl --workers 2
     python -m repro serve --jobs jobs.jsonl --stats stats.json
@@ -106,6 +107,35 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="how the matrix reaches pooled trial runners: "
                         "shared memory, pickle, or pick automatically")
+
+    ec = sub.add_parser("eig-campaign",
+                        help="adversarial fault campaign over the full "
+                             "eigensolver pipeline (FT reduction + protected "
+                             "Francis QR), graded against the clean spectrum")
+    ec.add_argument("--n", type=int, default=24)
+    ec.add_argument("--nb", type=int, default=8)
+    ec.add_argument("--moments", type=int, default=3)
+    ec.add_argument("--seed", type=int, default=0)
+    ec.add_argument("--magnitude", type=float, default=1.0)
+    ec.add_argument("--verify-every", type=int, default=5,
+                    help="QR sweeps between invariant checkpoints")
+    ec.add_argument("--dtype", choices=("float64", "float32"), default="float64",
+                    help="precision lane (float32 widens the invariant "
+                         "thresholds by the lane-eps ratio)")
+    ec.add_argument("--workers", type=int, default=1,
+                    help="trial-runner processes (1 = serial in-process)")
+    ec.add_argument("--journal", type=str, default=None,
+                    help="append each trial to this JSONL journal as it "
+                         "completes (crash-proof campaigns)")
+    ec.add_argument("--resume", action="store_true",
+                    help="replay completed trials from --journal and run "
+                         "only the remainder")
+    ec.add_argument("--trial-timeout", type=float, default=None,
+                    help="per-trial wall-clock budget in seconds (pooled "
+                         "runs; a wedged worker aborts its chunk)")
+    ec.add_argument("--transport", choices=("auto", "shm", "pickle"),
+                    default="auto",
+                    help="how the matrix reaches pooled trial runners")
 
     d = sub.add_parser("demo", help="one FT run with an injected error")
     d.add_argument("--n", type=int, default=158)
@@ -292,6 +322,64 @@ def _cmd_campaign(args) -> str:
             ]
         )
     tail = f"overall recovery rate: {res.recovery_rate:.0%}"
+    if res.resumed:
+        tail += f"\nreplayed from journal: {res.resumed}/{len(res.trials)}"
+    return t.render() + "\n" + tail
+
+
+def _cmd_eig_campaign(args) -> str:
+    from repro.core.config import FTConfig
+    from repro.eigen import QRProtectConfig
+    from repro.faults import OUTCOMES, run_eig_campaign
+    from repro.utils import Table
+    from repro.utils.rng import random_matrix
+
+    a = random_matrix(args.n, seed=args.seed, dtype=args.dtype)
+    res = run_eig_campaign(
+        a,
+        nb=args.nb,
+        moments=args.moments,
+        seed=args.seed,
+        magnitude=args.magnitude,
+        config=FTConfig(nb=args.nb),
+        qr_config=QRProtectConfig(verify_every=args.verify_every),
+        workers=args.workers,
+        journal=args.journal,
+        resume=args.resume,
+        trial_timeout=args.trial_timeout,
+        transport=args.transport,
+    )
+    t = Table(
+        ["space", "trials", "corrected", "escalated", "masked", "aborted",
+         "worst residual"],
+        title=f"eigensolver fault campaign on N={args.n} "
+              f"(nb={args.nb}, verify_every={args.verify_every}, "
+              f"dtype={args.dtype})",
+    )
+    for space in sorted({x.spec.space for x in res.trials}):
+        trials = [x for x in res.trials if x.spec.space == space]
+        t.add_row(
+            [
+                space,
+                len(trials),
+                sum(x.outcome == "corrected" for x in trials),
+                sum(x.outcome == "escalated" for x in trials),
+                sum(x.outcome == "masked" for x in trials),
+                sum(x.outcome == "aborted" for x in trials),
+                max(x.residual for x in trials),
+            ]
+        )
+    counts = res.outcome_counts
+    # "detected" here = a fault perturbed the spectrum past tolerance and
+    # no guard fired: silent corruption, the one outcome the protected
+    # solver must never produce.
+    silent = counts.get("detected", 0)
+    tail = "outcomes: " + ", ".join(f"{o}={counts[o]}" for o in OUTCOMES)
+    tail += (
+        f"\nclean-pipeline parity vs numpy eigvals: "
+        f"{res.baseline_residual:.3e}"
+    )
+    tail += f"\nsilent corruptions: {silent}"
     if res.resumed:
         tail += f"\nreplayed from journal: {res.resumed}/{len(res.trials)}"
     return t.render() + "\n" + tail
@@ -516,6 +604,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table3": lambda: _cmd_table3(args),
         "section5": lambda: _cmd_section5(args),
         "campaign": lambda: _cmd_campaign(args),
+        "eig-campaign": lambda: _cmd_eig_campaign(args),
         "demo": lambda: _cmd_demo(args),
         "trace": lambda: _cmd_trace(args),
         "coverage": lambda: _cmd_coverage(args),

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import ConvergenceError, ShapeError
 from repro.linalg.verify import hessenberg_defect
+from repro.utils.precision import lane_scale
 
 
 def hessenberg_solve(h: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -72,12 +73,15 @@ def hessenberg_eigvecs(
     n = h.shape[0]
     if h.shape != (n, n):
         raise ShapeError(f"hessenberg_eigvecs needs a square matrix, got {h.shape}")
+    from repro.eigen.hqr import _work_dtype
+
+    dt = _work_dtype(h)
     scale = float(np.max(np.abs(h))) if h.size else 0.0
-    if check_input and hessenberg_defect(h) > 1e-12 * max(scale, 1.0):
+    if check_input and hessenberg_defect(h) > 1e-12 * lane_scale(dt) * max(scale, 1.0):
         raise ShapeError("input is not upper Hessenberg")
     eigvals = np.asarray(eigvals, dtype=complex)
     rng = np.random.default_rng(seed)
-    nudge = 64.0 * np.finfo(np.float64).eps * max(scale, 1.0)
+    nudge = 64.0 * float(np.finfo(dt).eps) * max(scale, 1.0)
 
     out = np.zeros((n, eigvals.size), dtype=complex, order="F")
     for q, lam in enumerate(eigvals):
@@ -103,12 +107,12 @@ def eig_via_hessenberg(a: np.ndarray, *, nb: int = 32, seed: int = 0):
     back-transformation. Returns ``(eigvals, eigvecs)`` with
     ``A v_q ≈ λ_q v_q``.
     """
-    from repro.eigen.hqr import hessenberg_eigvals
+    from repro.eigen.hqr import _work_dtype, hessenberg_eigvals
     from repro.linalg.gehrd import gehrd
     from repro.linalg.orghr import orghr
     from repro.linalg.verify import extract_hessenberg
 
-    work = np.array(a, dtype=np.float64, order="F", copy=True)
+    work = np.array(a, dtype=_work_dtype(a), order="F", copy=True)
     fac = gehrd(work, nb=nb)
     h = extract_hessenberg(work)
     q = orghr(work, fac.taus)

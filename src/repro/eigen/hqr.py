@@ -17,6 +17,15 @@ import numpy as np
 from repro.errors import ConvergenceError, ShapeError
 from repro.linalg.householder import larfg
 from repro.linalg.verify import hessenberg_defect
+from repro.utils.precision import LANE_DTYPES, lane_scale
+
+
+def _work_dtype(a: np.ndarray) -> np.dtype:
+    """Working dtype of the Francis iteration for input *a*: float32
+    stays on the float32 lane, everything else runs in float64 (the
+    same coercion rule as :func:`repro.utils.precision.as_lane_matrix`)."""
+    a = np.asarray(a)
+    return a.dtype if a.dtype.name in LANE_DTYPES else np.dtype(np.float64)
 
 
 def _eig2x2(a: float, b: float, c: float, d: float) -> tuple[complex, complex]:
@@ -78,12 +87,13 @@ def hessenberg_eigvals(
     n = h.shape[0]
     if n == 0:
         return np.zeros(0, dtype=complex)
+    dt = _work_dtype(h)
     scale = float(np.max(np.abs(h))) if h.size else 0.0
-    if check_input and hessenberg_defect(h) > 1e-12 * max(scale, 1.0):
+    if check_input and hessenberg_defect(h) > 1e-12 * lane_scale(dt) * max(scale, 1.0):
         raise ShapeError("input is not upper Hessenberg")
-    hh = np.array(h, dtype=np.float64, order="F", copy=True)
+    hh = np.array(h, dtype=dt, order="F", copy=True)
     eigs: list[complex] = []
-    eps = np.finfo(np.float64).eps
+    eps = float(np.finfo(dt).eps)
 
     hi = n - 1  # active block is hh[lo:hi+1, lo:hi+1]
     budget = max_sweeps_per_eig * n + 10
@@ -175,11 +185,12 @@ def hessenberg_eigvals(
 
 def eigvals_via_hessenberg(a: np.ndarray, *, nb: int = 32) -> np.ndarray:
     """Eigenvalues of a general real matrix through our full pipeline:
-    blocked Hessenberg reduction then Francis QR."""
+    blocked Hessenberg reduction then Francis QR. Runs on the input's
+    precision lane."""
     from repro.linalg.gehrd import gehrd
     from repro.linalg.verify import extract_hessenberg
 
-    work = np.array(a, dtype=np.float64, order="F", copy=True)
+    work = np.array(a, dtype=_work_dtype(a), order="F", copy=True)
     gehrd(work, nb=nb)
     h = extract_hessenberg(work)
     return hessenberg_eigvals(h, check_input=False)

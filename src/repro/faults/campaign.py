@@ -32,11 +32,14 @@ from typing import TYPE_CHECKING
 
 from repro.faults.executor import (
     OUTCOMES,
+    EigTrialConfig,
     TrialOutcome,
     choose_execution_mode,
     run_ft_trials,
+    run_one_eig_trial,
+    spectrum_distance,
 )
-from repro.faults.injector import SPACE_PHASES, SPACES, FaultSpec
+from repro.faults.injector import QR_SPACES, SPACE_PHASES, SPACES, FaultSpec
 from repro.faults.journal import CampaignJournal, grid_fingerprint
 from repro.faults.regions import finished_cols_at, iteration_count, sample_in_area
 from repro.utils.rng import make_rng
@@ -50,9 +53,17 @@ __all__ = [
     "CampaignResult",
     "build_fault_grid",
     "build_adversarial_grid",
+    "build_eig_adversarial_grid",
     "baseline_residual",
+    "baseline_spectrum",
     "run_campaign",
+    "run_eig_campaign",
 ]
+
+#: The spaces the blocked reduction owns — the adversarial reduction
+#: grid defaults to these; the ``qr_*`` spaces belong to the eigensolver
+#: campaign (:func:`build_eig_adversarial_grid`).
+REDUCTION_SPACES = tuple(s for s in SPACES if s not in QR_SPACES)
 
 
 @dataclass
@@ -206,7 +217,7 @@ def build_adversarial_grid(
     full-propagation region); FT-machinery spaces carry area 0 — they
     live outside the paper's Fig. 2 partition of the matrix itself.
     """
-    spaces = tuple(spaces) if spaces is not None else SPACES
+    spaces = tuple(spaces) if spaces is not None else REDUCTION_SPACES
     total = iteration_count(n, nb)
     rng = make_rng(seed)
     tasks: list[tuple[tuple[FaultSpec, ...], int]] = []
@@ -254,6 +265,101 @@ def build_adversarial_grid(
     return tasks
 
 
+def _eig_adversarial_target(
+    space: str, rng: np.random.Generator, *, n: int
+) -> dict:
+    """Draw a target inside the live part of a QR-stage *space*.
+
+    ``qr_matrix``/``qr_checkpoint`` strikes land in the Hessenberg
+    envelope (``col >= row - 1``) — the entries the iteration actually
+    carries; an off-envelope strike would test the structural guard
+    rather than the invariant drift. ``qr_z`` is dense. ``qr_shift``
+    indexes the live ``[trace, det]`` pair, ``qr_deflation`` the
+    subdiagonal entry the deflation test reads."""
+    if space in ("qr_matrix", "qr_checkpoint"):
+        i = int(rng.integers(0, n))
+        return {"row": i, "col": int(rng.integers(max(i - 1, 0), n))}
+    if space == "qr_z":
+        return {"row": int(rng.integers(0, n)), "col": int(rng.integers(0, n))}
+    if space == "qr_shift":
+        return {"row": int(rng.integers(0, 2)), "col": 0}
+    if space == "qr_deflation":
+        return {"row": int(rng.integers(1, n)), "col": 0}
+    raise ValueError(f"unknown QR space {space!r}")  # pragma: no cover
+
+
+def build_eig_adversarial_grid(
+    n: int,
+    *,
+    spaces: tuple[str, ...] | None = None,
+    phases: tuple[str, ...] | None = None,
+    moments: int = 3,
+    seed: int = 0,
+    magnitude: float = 1.0,
+) -> list[tuple[tuple[FaultSpec, ...], int]]:
+    """Task grid over the QR stage's fault surface: spaces × phases × moments.
+
+    The eigensolver analogue of :func:`build_adversarial_grid`: every
+    ``qr_*`` space × every phase it supports, struck at ``moments`` ticks
+    spread over the early outer steps (the iteration runs ~1.5·n steps;
+    ticks stay within ``[1, n-2]`` so each planned phase genuinely
+    occurs — a fault planned past convergence would strike the finished
+    state instead of the phase under study). Two plan classes ride along
+    with a **trigger** — a detectable ``qr_matrix`` fault at the same
+    tick — exactly as in the reduction grid:
+
+    * ``during_recovery`` faults: no detection, no recovery to strike;
+    * ``qr_checkpoint`` faults (any phase): the parked buffer is only
+      read by a rollback's restore — an unread corruption is vacuously
+      masked.
+
+    ``qr_matrix`` trials carry area 2 (they corrupt the operand the
+    paper's Fig. 2 partition would call full-propagation); the QR
+    machinery spaces carry area 0.
+    """
+    spaces = tuple(spaces) if spaces is not None else QR_SPACES
+    rng = make_rng(seed)
+    tasks: list[tuple[tuple[FaultSpec, ...], int]] = []
+    last_tick = max(n - 2, 1)
+    for space in spaces:
+        space_phases = SPACE_PHASES[space]
+        use_phases = (
+            space_phases
+            if phases is None
+            else tuple(ph for ph in phases if ph in space_phases)
+        )
+        for phase in use_phases:
+            for k in range(moments):
+                frac = k / max(moments - 1, 1)
+                it = min(max(int(round(frac * last_tick)), 1), last_tick)
+                target = _eig_adversarial_target(space, rng, n=n)
+                spec = FaultSpec(
+                    iteration=it,
+                    kind="add",
+                    magnitude=magnitude,
+                    space=space,
+                    phase=phase,
+                    **target,
+                )
+                plan = [spec]
+                if phase == "during_recovery" or space == "qr_checkpoint":
+                    ti = int(rng.integers(0, n))
+                    tj = int(rng.integers(max(ti - 1, 0), n))
+                    plan.append(
+                        FaultSpec(
+                            iteration=it,
+                            row=ti,
+                            col=tj,
+                            magnitude=magnitude,
+                            space="qr_matrix",
+                            phase="pre_sweep",
+                        )
+                    )
+                area = 2 if space == "qr_matrix" else 0
+                tasks.append((tuple(plan), area))
+    return tasks
+
+
 # Fault-free reference residuals, keyed by (n, nb, channels, sha1(A)).
 # Campaigns over the same input share one clean run instead of paying
 # an extra factorization each.
@@ -279,6 +385,44 @@ def baseline_residual(a: np.ndarray, cfg: "FTConfig") -> float:
     residual = factorization_residual(a, q, h)
     _BASELINE_CACHE[key] = residual
     return residual
+
+
+#: Fault-free reference spectra, keyed like the residual cache plus the
+#: QR knobs that change the sweep sequence.
+_SPECTRUM_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def baseline_spectrum(a: np.ndarray, cfg: "FTConfig", qr_cfg) -> np.ndarray:
+    """Eigenvalues of the fault-free protected pipeline on *a* (memoized).
+
+    This is the reference a corrected trial must reproduce: the clean
+    run of the *same* pipeline, not an external solver — a rollback
+    replay is bit-identical, so equality against this reference is the
+    sharpest possible grade.
+    """
+    from repro.core.ft_hessenberg import ft_gehrd
+    from repro.eigen.ft_hqr import ft_hqr
+    from repro.linalg.verify import extract_hessenberg
+
+    h = hashlib.sha1()
+    hash_update_array(h, a)
+    key = (
+        a.shape[0],
+        cfg.nb,
+        cfg.channels,
+        h.hexdigest(),
+        qr_cfg.verify_every,
+        qr_cfg.max_sweeps_per_eig,
+        qr_cfg.want_z,
+    )
+    cached = _SPECTRUM_CACHE.get(key)
+    if cached is not None:
+        return cached
+    ft = ft_gehrd(a, cfg)
+    hess = extract_hessenberg(ft.a)
+    fr = ft_hqr(hess, qr_cfg, check_input=False)
+    _SPECTRUM_CACHE[key] = fr.eigvals
+    return fr.eigvals
 
 
 def run_campaign(
@@ -390,5 +534,110 @@ def run_campaign(
         crash_index=crash_index,
         crash_once_path=crash_once_path,
         transport=transport,
+    )
+    return result
+
+
+def run_eig_campaign(
+    a: np.ndarray,
+    *,
+    nb: int = 32,
+    moments: int = 3,
+    seed: int = 0,
+    magnitude: float = 1.0,
+    residual_tol: float | None = None,
+    config: "FTConfig | None" = None,
+    qr_config=None,
+    workers: int = 1,
+    chunksize: int | None = None,
+    spaces: tuple[str, ...] | None = None,
+    phases: tuple[str, ...] | None = None,
+    journal: "str | CampaignJournal | None" = None,
+    resume: "bool | str" = False,
+    trial_timeout: float | None = None,
+    crash_index: int | None = None,
+    crash_once_path: str | None = None,
+    transport: str = "auto",
+) -> CampaignResult:
+    """Fault campaign over the **end-to-end protected eigensolver**:
+    FT reduction → protected Francis QR, with the adversarial grid of
+    :func:`build_eig_adversarial_grid` striking the QR stage.
+
+    Each trial runs the full pipeline under one plan
+    (:func:`~repro.faults.executor.run_one_eig_trial`) and is graded on
+    spectrum distance against the fault-free pipeline's eigenvalues —
+    computed once here, shipped to the workers inside the trial config.
+    The default ``residual_tol`` is ``1e-8`` scaled by the square root
+    of the lane-eps ratio (a corrected rollback replays bit-identical
+    sweeps; the tolerance only needs to absorb masked sub-threshold
+    perturbations and benign shift-path divergence, both far below it).
+
+    ``CampaignResult.baseline_residual`` holds the *external* parity of
+    the clean pipeline — its spectrum distance to
+    ``numpy.linalg.eigvals`` — so a campaign report carries both "we
+    recovered our own answer" and "our answer was right to begin with".
+    Journal/resume, pooling and transport semantics match
+    :func:`run_campaign`.
+    """
+    from repro.core.config import FTConfig
+    from repro.eigen.ft_hqr import QRProtectConfig
+    from repro.utils.precision import lane_scale
+
+    n = a.shape[0]
+    if residual_tol is None:
+        residual_tol = 1e-8 * float(np.sqrt(lane_scale(a.dtype)))
+    if isinstance(resume, (str, bytes)) or hasattr(resume, "__fspath__"):
+        if journal is None:
+            journal = resume
+        resume = True
+    cfg = config or FTConfig(nb=nb, channels=2)
+    qr_cfg = qr_config or QRProtectConfig()
+    ref = baseline_spectrum(a, cfg, qr_cfg)
+    trial_cfg = EigTrialConfig(ft=cfg, qr=qr_cfg, ref_eigvals=ref)
+    tasks = build_eig_adversarial_grid(
+        n,
+        spaces=spaces,
+        phases=phases,
+        moments=moments,
+        seed=seed,
+        magnitude=magnitude,
+    )
+
+    on_result = None
+    precomputed = None
+    if journal is not None:
+        jr = journal if isinstance(journal, CampaignJournal) else CampaignJournal(journal)
+        fp = grid_fingerprint(n, nb, tasks)
+        if resume:
+            precomputed = jr.load(fp)
+        jr.ensure_header(fp)
+        on_result = jr.append
+
+    external = spectrum_distance(
+        ref, np.linalg.eigvals(np.asarray(a, dtype=np.float64))
+    )
+    result = CampaignResult(
+        n=n,
+        nb=nb,
+        baseline_residual=external,
+        resumed=len(precomputed or {}),
+        execution_mode=choose_execution_mode(
+            workers, len(tasks) - len(precomputed or {})
+        ),
+    )
+    result.trials = run_ft_trials(
+        a,
+        tasks,
+        trial_cfg,
+        residual_tol=residual_tol,
+        workers=workers,
+        chunksize=chunksize,
+        trial_timeout=trial_timeout,
+        on_result=on_result,
+        precomputed=precomputed,
+        crash_index=crash_index,
+        crash_once_path=crash_once_path,
+        transport=transport,
+        trial_fn=run_one_eig_trial,
     )
     return result

@@ -52,7 +52,7 @@ import numpy as np
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import EscalationExhausted, ReproError
-from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.injector import QR_SPACES, FaultInjector, FaultSpec
 from repro.resilience.ladder import max_tier as _deepest_tier
 from repro.utils.procpool import ResilientProcessPool
 from repro.utils.shm import SegmentRegistry, SharedMatrix, use_shm_for
@@ -207,6 +207,122 @@ def run_one_trial(
     )
 
 
+@dataclass
+class EigTrialConfig:
+    """Configuration bundle for end-to-end eigensolver trials.
+
+    Carries both stages' configs plus the fault-free reference spectrum
+    (computed once in the parent — workers grade against it instead of
+    re-running the clean pipeline per trial). Exposes ``nb``/``channels``
+    so the worker initializer can presize its arena exactly as it does
+    for a plain :class:`~repro.core.config.FTConfig`.
+    """
+
+    ft: "FTConfig"
+    qr: object  # QRProtectConfig (typed loosely to avoid an import cycle)
+    ref_eigvals: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=complex))
+
+    @property
+    def nb(self) -> int:
+        return self.ft.nb
+
+    @property
+    def channels(self) -> int:
+        return getattr(self.ft, "channels", 1)
+
+
+def spectrum_distance(eigs: np.ndarray, ref: np.ndarray) -> float:
+    """Relative distance between two spectra, paired by the canonical
+    complex sort (conjugate pairs line up under ``np.sort_complex``)."""
+    if eigs.size != ref.size:
+        return float("inf")
+    if eigs.size == 0:
+        return 0.0
+    a = np.sort_complex(np.asarray(eigs, dtype=complex))
+    b = np.sort_complex(np.asarray(ref, dtype=complex))
+    scale = max(float(np.max(np.abs(b))), 1.0)
+    return float(np.max(np.abs(a - b))) / scale
+
+
+def run_one_eig_trial(
+    a: np.ndarray,
+    plan: "FaultSpec | tuple[FaultSpec, ...] | list[FaultSpec]",
+    area: int,
+    cfg: EigTrialConfig,
+    residual_tol: float,
+    *,
+    workspace=None,
+) -> TrialOutcome:
+    """Run the full protected eigensolver pipeline under one fault plan.
+
+    The plan is split by memory space: reduction-stage specs drive an
+    injector through :func:`~repro.core.ft_hessenberg.ft_gehrd`, the
+    ``qr_*`` specs drive a second injector through
+    :func:`~repro.eigen.ft_hqr.ft_hqr` on the extracted Hessenberg form.
+    The grade is the spectrum distance against the fault-free reference
+    eigenvalues carried in *cfg* — a corrected run must reproduce the
+    clean pipeline's spectrum to within *residual_tol*.
+    """
+    from repro.core.ft_hessenberg import ft_gehrd
+    from repro.eigen.ft_hqr import ft_hqr
+    from repro.linalg.verify import extract_hessenberg
+
+    specs = tuple(plan) if isinstance(plan, (tuple, list)) else (plan,)
+    red_specs = [f for f in specs if f.space not in QR_SPACES]
+    qr_specs = [f for f in specs if f.space in QR_SPACES]
+    failure = ""
+    detected = corrected = False
+    residual = float("inf")
+    recov = qcorr = restarts = taurep = 0
+    tier = ""
+    tiers: list[str] = []
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            inj_red = FaultInjector(faults=red_specs) if red_specs else None
+            ft = ft_gehrd(a, cfg.ft, injector=inj_red, workspace=workspace)
+            h = extract_hessenberg(ft.a)
+            inj_qr = FaultInjector(faults=qr_specs) if qr_specs else None
+            fr = ft_hqr(h, cfg.qr, injector=inj_qr, check_input=False)
+            residual = spectrum_distance(fr.eigvals, cfg.ref_eigvals)
+        detected = (
+            ft.detections > 0
+            or (ft.q_report is not None and ft.q_report.count > 0)
+            or ft.tau_repairs > 0
+            or ft.checkpoint_corruptions > 0
+            or fr.detections > 0
+            or fr.checkpoint_corruptions > 0
+        )
+        corrected = residual <= residual_tol
+        recov = len(ft.recoveries) + len(fr.recoveries)
+        qcorr = ft.q_report.count if ft.q_report else 0
+        restarts = ft.restarts
+        taurep = ft.tau_repairs
+        tiers = [r.tier for r in ft.recoveries] + [r.tier for r in fr.recoveries]
+        tier = _deepest_tier(tiers)
+    except EscalationExhausted as exc:  # ladder exhausted: structured refusal
+        detected = True
+        failure = f"EscalationExhausted: {exc}"
+        if exc.report is not None:
+            tier = _deepest_tier(exc.report.attempts)
+    except ReproError as exc:  # recovery machinery failed outright
+        failure = f"{type(exc).__name__}: {exc}"
+    return TrialOutcome(
+        spec=specs[0],
+        area=area,
+        detected=detected,
+        corrected=corrected,
+        residual=residual,
+        recoveries=recov,
+        q_corrections=qcorr,
+        failure=failure,
+        max_tier=tier,
+        restarts=restarts,
+        tau_repairs=taurep,
+        specs=specs,
+    )
+
+
 def _aborted_outcome(plan, area: int, why: str) -> TrialOutcome:
     specs = tuple(plan) if isinstance(plan, (tuple, list)) else (plan,)
     return TrialOutcome(
@@ -229,7 +345,10 @@ _WORKER: dict = {}
 
 
 def _init_worker(
-    a: "np.ndarray | SharedMatrix", cfg: "FTConfig", residual_tol: float
+    a: "np.ndarray | SharedMatrix",
+    cfg: "FTConfig",
+    residual_tol: float,
+    trial_fn: "Callable" = run_one_trial,
 ) -> None:
     from repro.perf.workspace import process_workspace
 
@@ -241,6 +360,7 @@ def _init_worker(
     _WORKER["a"] = a
     _WORKER["cfg"] = cfg
     _WORKER["residual_tol"] = residual_tol
+    _WORKER["trial_fn"] = trial_fn
     # the per-process arena: presized here so the steady state of a
     # warm worker allocates nothing at all between trials
     ws = process_workspace()
@@ -268,12 +388,13 @@ def _run_chunk(payload) -> list:
     a = _WORKER["a"]
     cfg = _WORKER["cfg"]
     residual_tol = _WORKER["residual_tol"]
+    trial_fn = _WORKER.get("trial_fn", run_one_trial)
     ws = _WORKER.get("ws")
     out = []
     for index, plan, area in tasks:
         _maybe_crash(index, crash_index, crash_once_path)
         out.append(
-            (index, run_one_trial(a, plan, area, cfg, residual_tol, workspace=ws))
+            (index, trial_fn(a, plan, area, cfg, residual_tol, workspace=ws))
         )
     return out
 
@@ -306,6 +427,7 @@ def run_ft_trials(
     crash_once_path: str | None = None,
     transport: str = "auto",
     shm_min_bytes: int | None = None,
+    trial_fn: "Callable" = run_one_trial,
 ) -> list[TrialOutcome]:
     """Run every (plan, area) task; order of results matches *tasks*.
 
@@ -325,6 +447,12 @@ def run_ft_trials(
     (see :func:`repro.utils.shm.use_shm_for`), ``"shm"`` forces shared
     memory (raising where unavailable), ``"pickle"`` forces the classic
     serialized path. The serial path has no transport and ignores this.
+
+    ``trial_fn`` is the per-trial driver — :func:`run_one_trial` (the
+    reduction campaign) by default, :func:`run_one_eig_trial` for the
+    end-to-end eigensolver campaign. It must be a picklable module-level
+    callable with the same signature, since it rides the pool
+    initializer to the workers.
     """
     if not tasks:
         return []
@@ -347,7 +475,7 @@ def run_ft_trials(
         ws = Workspace()  # one arena reused across the serial sweep
         for index, plan, area in pending:
             _maybe_crash(index, crash_index, crash_once_path)
-            emit(index, run_one_trial(a, plan, area, cfg, residual_tol, workspace=ws))
+            emit(index, trial_fn(a, plan, area, cfg, residual_tol, workspace=ws))
         return [results[i] for i in range(len(tasks))]
 
     workers = min(workers, len(pending))
@@ -368,7 +496,7 @@ def run_ft_trials(
     pool = ResilientProcessPool(
         workers,
         initializer=_init_worker,
-        initargs=(payload_a, cfg, residual_tol),
+        initargs=(payload_a, cfg, residual_tol, trial_fn),
         registry=registry,
     )
     try:

@@ -32,7 +32,9 @@ import numpy as np
 from repro.errors import FaultConfigError
 from repro.abft.encoding import EncodedMatrix
 
-#: Memory spaces a fault can strike.
+#: Memory spaces a fault can strike. The ``qr_*`` spaces belong to the
+#: Francis QR stage (:mod:`repro.eigen.ft_hqr`); their ``iteration``
+#: indexes the QR driver's outer-step clock, not the blocked reduction.
 SPACES = (
     "matrix",
     "row_checksum",
@@ -41,24 +43,46 @@ SPACES = (
     "tau",
     "panel_v",
     "q_checksum",
+    "qr_matrix",
+    "qr_z",
+    "qr_shift",
+    "qr_deflation",
+    "qr_checkpoint",
 )
-#: Moments within an iteration a fault can strike.
-PHASES = ("boundary", "post_panel", "post_right", "during_recovery")
+#: Moments within a blocked-reduction iteration a fault can strike.
+REDUCTION_PHASES = ("boundary", "post_panel", "post_right", "during_recovery")
+#: Moments within a QR outer step a fault can strike. ``during_recovery``
+#: is shared with the reduction: the strike lands at recovery entry of
+#: whichever stage owns the space.
+QR_PHASES = ("pre_sweep", "post_sweep", "shift", "during_recovery")
+#: Every known phase.
+PHASES = REDUCTION_PHASES + ("pre_sweep", "post_sweep", "shift")
 KINDS = ("add", "set", "bitflip")
 
 #: Which phases make sense per space. The checkpoint buffer and the live
 #: V block do not exist yet at an iteration boundary (the checkpoint is
 #: about to be overwritten by the new save; V is produced by the panel
 #: factorization), so planning them there is a configuration error.
+#: The shift pair only exists while a sweep's shifts are being computed,
+#: and the deflation test reads the iterating matrix before the sweep.
 SPACE_PHASES = {
-    "matrix": PHASES,
-    "row_checksum": PHASES,
-    "col_checksum": PHASES,
+    "matrix": REDUCTION_PHASES,
+    "row_checksum": REDUCTION_PHASES,
+    "col_checksum": REDUCTION_PHASES,
     "checkpoint": ("post_panel", "post_right", "during_recovery"),
-    "tau": PHASES,
+    "tau": REDUCTION_PHASES,
     "panel_v": ("post_panel", "post_right", "during_recovery"),
-    "q_checksum": PHASES,
+    "q_checksum": REDUCTION_PHASES,
+    "qr_matrix": QR_PHASES,
+    "qr_z": QR_PHASES,
+    "qr_shift": ("shift",),
+    "qr_deflation": ("pre_sweep",),
+    "qr_checkpoint": ("pre_sweep", "post_sweep", "during_recovery"),
 }
+
+#: The memory spaces owned by the QR stage (used by drivers to split a
+#: mixed fault plan between the reduction and the eigen stage).
+QR_SPACES = tuple(s for s in SPACES if s.startswith("qr_"))
 
 
 def flip_bit(x: float, bit: int) -> float:
@@ -86,7 +110,12 @@ class FaultSpec:
         *row* indexes the tau array; for ``space="q_checksum"`` set
         ``col=-1`` to hit ``Qr_chk[row]`` or ``row=-1`` to hit
         ``Qc_chk[col]``; for ``space="checkpoint"`` / ``"panel_v"`` the
-        indices address the buffer itself.
+        indices address the buffer itself. For the QR spaces:
+        ``qr_matrix``/``qr_z``/``qr_checkpoint`` address the iterating
+        matrix, the Schur-vector matrix and the checkpoint's saved T;
+        ``qr_deflation`` uses *row* alone to strike the subdiagonal
+        entry ``T[row, row-1]`` the deflation test reads; ``qr_shift``
+        uses ``row`` 0/1 to hit the live (trace, det) shift pair.
     kind, magnitude, bit:
         Corruption model parameters (*magnitude* for add/set, *bit* for
         bitflip).
@@ -153,6 +182,10 @@ class InjectionTargets:
     qprot: object | None = None       # QProtector (qr_chk / qc_chk vectors)
     checkpoint: object | None = None  # DisklessCheckpointStore (.current.panel)
     panel_v: np.ndarray | None = None  # live V block of the running iteration
+    qr_t: np.ndarray | None = None    # iterating quasi-triangular matrix (QR stage)
+    qr_z: np.ndarray | None = None    # accumulated Schur vectors (QR stage)
+    qr_shift: np.ndarray | None = None  # live [trace, det] double-shift pair
+    qr_checkpoint: object | None = None  # QRCheckpointStore (.current.t buffer)
 
     def __post_init__(self) -> None:
         if self.em is not None:
@@ -307,6 +340,77 @@ class FaultInjector:
             old = float(panel[f.row, f.col])
             new = f.corrupt(old)
             panel[f.row, f.col] = new
+        elif f.space in ("qr_matrix", "qr_deflation"):
+            m = t.qr_t
+            if m is None:
+                raise FaultConfigError(
+                    f"{f.space} fault planned but no iterating QR matrix "
+                    "exposed at this phase"
+                )
+            if f.space == "qr_matrix":
+                if not (0 <= f.row < m.shape[0] and 0 <= f.col < m.shape[1]):
+                    raise FaultConfigError(
+                        f"qr_matrix fault target ({f.row}, {f.col}) out of range "
+                        f"for shape {m.shape}"
+                    )
+                row, col = f.row, f.col
+            else:  # qr_deflation: corrupt the subdiagonal entry the test reads
+                if not (1 <= f.row < m.shape[0]):
+                    raise FaultConfigError(
+                        f"qr_deflation fault row {f.row} out of range "
+                        f"(needs 1 <= row < {m.shape[0]})"
+                    )
+                row, col = f.row, f.row - 1
+            old = float(m[row, col])
+            new = f.corrupt(old)
+            m[row, col] = new
+        elif f.space == "qr_z":
+            zt = t.qr_z
+            if zt is None:
+                raise FaultConfigError(
+                    "qr_z fault planned but no Schur-vector matrix exposed "
+                    "at this phase (eigvals-only run?)"
+                )
+            if not (0 <= f.row < zt.shape[0] and 0 <= f.col < zt.shape[1]):
+                raise FaultConfigError(
+                    f"qr_z fault target ({f.row}, {f.col}) out of range "
+                    f"for shape {zt.shape}"
+                )
+            old = float(zt[f.row, f.col])
+            new = f.corrupt(old)
+            zt[f.row, f.col] = new
+        elif f.space == "qr_shift":
+            pair = t.qr_shift
+            if pair is None:
+                raise FaultConfigError(
+                    "qr_shift fault planned but no live shift pair exposed "
+                    "at this phase"
+                )
+            if not (0 <= f.row < pair.size):
+                raise FaultConfigError(
+                    f"qr_shift fault row {f.row} out of range (pair has "
+                    f"{pair.size} entries: trace, det)"
+                )
+            old = float(pair[f.row])
+            new = f.corrupt(old)
+            pair[f.row] = new
+        elif f.space == "qr_checkpoint":
+            store = t.qr_checkpoint
+            cp = getattr(store, "current", None)
+            if cp is None:
+                raise FaultConfigError(
+                    "qr_checkpoint fault planned but no live QR checkpoint "
+                    "exists at this injection point"
+                )
+            buf = cp.t
+            if not (0 <= f.row < buf.shape[0] and 0 <= f.col < buf.shape[1]):
+                raise FaultConfigError(
+                    f"qr_checkpoint fault target ({f.row}, {f.col}) out of "
+                    f"range for the {buf.shape} checkpoint buffer"
+                )
+            old = float(buf[f.row, f.col])
+            new = f.corrupt(old)
+            buf[f.row, f.col] = new
         else:  # pragma: no cover - __post_init__ rejects unknown spaces
             raise FaultConfigError(f"unknown fault space {f.space!r}")
         return InjectionRecord(spec=f, old_value=old, new_value=new)
@@ -337,7 +441,36 @@ class FaultInjector:
             return t.qprot is not None
         if f.space == "checkpoint":
             return getattr(t.checkpoint, "current", None) is not None
+        if f.space in ("qr_matrix", "qr_deflation"):
+            return t.qr_t is not None
+        if f.space == "qr_z":
+            return t.qr_z is not None
+        if f.space == "qr_shift":
+            return t.qr_shift is not None
+        if f.space == "qr_checkpoint":
+            return getattr(t.qr_checkpoint, "current", None) is not None
         return False
+
+    def apply_due(
+        self, iteration: int, phase: str, targets: InjectionTargets
+    ) -> list[InjectionRecord]:
+        """Fire every unfired *phase* fault planned at or before *iteration*.
+
+        Phases that only occur when the driver takes a particular path
+        (a recovery entry, a sweep that computes shifts) cannot promise
+        an exact-iteration match — a recovery at step 12 must still honor
+        a ``during_recovery`` plan for step 10 whose detection lagged to
+        the next verification point. Exact-phase hooks keep using
+        :meth:`apply_phase`."""
+        records = []
+        for idx, f in enumerate(self.faults):
+            if f.phase != phase or f.iteration > iteration or idx in self._fired:
+                continue
+            rec = self._apply_one(f, targets)
+            records.append(rec)
+            self.injected.append(rec)
+            self._fired.add(idx)
+        return records
 
     def apply_pending_after(
         self, targets: InjectionTargets, iteration: int

@@ -15,6 +15,7 @@ from repro.serve.jobs import (
     CANCELLED,
     DONE,
     DRIVERS,
+    EIG_DRIVERS,
     FAILED,
     LANES,
     QUEUED,
@@ -49,6 +50,7 @@ __all__ = [
     "batch_compatible",
     "batch_group_key",
     "DRIVERS",
+    "EIG_DRIVERS",
     "LANES",
     "STATES",
     "TERMINAL_STATES",

@@ -44,8 +44,15 @@ from repro.utils.shm import (
     shm_available,
 )
 
-#: Drivers a job may target.
-DRIVERS = ("gehrd", "hybrid_gehrd", "ft_gehrd", "ft_sytrd", "campaign")
+#: Drivers a job may target. ``ft_eig`` runs the end-to-end protected
+#: eigensolver (FT reduction → protected Francis QR, eigenvalues only);
+#: ``ft_schur`` additionally accumulates and returns the real Schur
+#: form ``A = (QZ) T (QZ)ᵀ``.
+DRIVERS = ("gehrd", "hybrid_gehrd", "ft_gehrd", "ft_sytrd", "campaign",
+           "ft_eig", "ft_schur")
+
+#: Drivers built on the protected Francis QR stage.
+EIG_DRIVERS = ("ft_eig", "ft_schur")
 
 #: Priority lanes, highest first. The scheduler always drains a higher
 #: lane before looking at a lower one.
@@ -115,6 +122,9 @@ class JobSpec:
     moments: int = 2
     adversarial: bool = False
     return_factors: bool = False
+    # eigensolver drivers only: also compute right eigenvectors via
+    # inverse iteration and back-transformation
+    eigvecs: bool = False
     # scheduling metadata (not part of the content key)
     priority: str = "normal"
     submitter: str = "anon"
@@ -163,6 +173,16 @@ class JobSpec:
                 )
             if not self.functional:
                 raise JobSpecError("return_factors needs functional=True")
+            if self.driver == "ft_eig" and not self.eigvecs:
+                raise JobSpecError(
+                    "ft_eig has no factors without eigvecs=True "
+                    "(eigenvalues travel in the payload; use ft_schur for T/Z)"
+                )
+        if self.eigvecs and self.driver not in EIG_DRIVERS:
+            raise JobSpecError(
+                f"eigvecs is only available for {EIG_DRIVERS}, "
+                f"not driver {self.driver!r}"
+            )
         if self.nb < 1:
             raise JobSpecError(f"nb must be >= 1, got {self.nb}")
         if self.channels not in (1, 2):
@@ -241,6 +261,7 @@ class JobSpec:
             "moments": self.moments if self.driver == "campaign" else None,
             "adversarial": self.adversarial if self.driver == "campaign" else None,
             "seed": self.seed if self.driver == "campaign" else None,
+            "eigvecs": self.eigvecs if self.driver in EIG_DRIVERS else None,
         }
 
     @property
@@ -450,6 +471,25 @@ def _injector(spec: JobSpec):
     return FaultInjector(faults=[FaultSpec(**f) for f in spec.faults])
 
 
+def _split_injectors(spec: JobSpec):
+    """Split a fault plan between the two pipeline stages: reduction
+    faults drive :func:`~repro.core.ft_hessenberg.ft_gehrd`, ``qr_*``
+    faults drive :func:`~repro.eigen.ft_hqr.ft_hqr`. Returns
+    ``(reduction_injector, qr_injector)``, either side None when empty."""
+    if not spec.faults:
+        return None, None
+    from repro.faults import FaultInjector, FaultSpec
+    from repro.faults.injector import QR_SPACES
+
+    plan = [FaultSpec(**f) for f in spec.faults]
+    red = [f for f in plan if f.space not in QR_SPACES]
+    qr = [f for f in plan if f.space in QR_SPACES]
+    return (
+        FaultInjector(faults=red) if red else None,
+        FaultInjector(faults=qr) if qr else None,
+    )
+
+
 def _tier_tally(recoveries, restarts: int) -> dict:
     tally: dict[str, int] = {}
     for rec in recoveries:
@@ -457,6 +497,35 @@ def _tier_tally(recoveries, restarts: int) -> dict:
     if restarts:
         tally["restart"] = tally.get("restart", 0) + restarts
     return tally
+
+
+def _eig_payload(spec: JobSpec, res, fr) -> dict:
+    """The payload rows the scalar and batched eigensolver paths share:
+    the spectrum (as ``[re, im]`` pairs, JSON-safe) plus both stages'
+    detection/recovery accounting and the QR checkpoint statistics."""
+    return {
+        "driver": spec.driver,
+        "n": spec.order,
+        "nb": spec.nb,
+        "dtype": spec.lane.name,
+        "eigvals": [[float(z.real), float(z.imag)] for z in fr.eigvals],
+        "seconds_simulated": float(res.seconds),
+        "detections": int(res.detections) + int(fr.detections),
+        "recoveries": len(res.recoveries) + len(fr.recoveries),
+        "restarts": int(res.restarts),
+        "tau_repairs": int(res.tau_repairs),
+        "sweeps": int(fr.sweeps),
+        "qr_verifications": int(fr.verifications),
+        "rollbacks": int(fr.rollbacks),
+        "deep_rollbacks": int(fr.deep_rollbacks),
+        "checkpoint_saves": int(fr.checkpoint_saves),
+        "checkpoint_restores": int(fr.checkpoint_restores),
+        "checkpoint_corruptions": int(fr.checkpoint_corruptions),
+        "verify_every_final": int(fr.verify_every_final),
+        "tier_tally": _tier_tally(
+            list(res.recoveries) + list(fr.recoveries), res.restarts
+        ),
+    }
 
 
 def _pack_factor(arr: np.ndarray, *, shm_factors: bool, shm_min_bytes: int) -> dict:
@@ -480,6 +549,7 @@ def execute_job(
     ladder=None,
     shm_factors: bool = False,
     shm_min_bytes: int = DEFAULT_MIN_BYTES,
+    max_sweeps: int | None = None,
 ) -> dict:
     """Run the job's driver and return a JSON-safe outcome payload.
 
@@ -487,6 +557,9 @@ def execute_job(
     worker / in-thread lane); ``ladder`` overrides the FT driver's
     escalation-ladder budgets — the retry policy passes a stricter one
     after an :class:`~repro.errors.EscalationExhausted` failure.
+    ``max_sweeps`` similarly overrides the eigensolver drivers' Francis
+    stall budget (``max_sweeps_per_eig``) — the retry policy raises it
+    after a :class:`~repro.errors.ConvergenceError`.
     ``shm_factors`` lets a ``return_factors`` job ship its H/Q factors
     back as shared-memory handles instead of inline lists (pool workers
     only — an in-thread job has no process line to cross).
@@ -575,6 +648,54 @@ def execute_job(
         payload["checks"] = int(res.checks)
         payload["tier_tally"] = _tier_tally(res.recoveries, 0)
 
+    elif spec.driver in EIG_DRIVERS:
+        from repro.core import FTConfig, ft_gehrd
+        from repro.eigen import hessenberg_eigvecs
+        from repro.eigen.ft_hqr import QRProtectConfig, ft_hqr
+        from repro.linalg import extract_hessenberg, factorization_residual, orghr
+
+        cfg = FTConfig(
+            nb=spec.nb,
+            channels=spec.channels,
+            audit_every=spec.audit_every,
+            functional=True,
+        )
+        if ladder is not None:
+            cfg.ladder = ladder
+        a = _build_matrix(spec, workspace)
+        red_inj, qr_inj = _split_injectors(spec)
+        res = ft_gehrd(a, cfg, injector=red_inj, workspace=workspace)
+        h = extract_hessenberg(res.a)
+        want_z = spec.driver == "ft_schur"
+        qcfg = QRProtectConfig(want_z=want_z)
+        if max_sweeps:
+            qcfg.max_sweeps_per_eig = max_sweeps
+        if ladder is not None:
+            qcfg.ladder = ladder
+        fr = ft_hqr(h, qcfg, injector=qr_inj, check_input=False)
+        payload.update(_eig_payload(spec, res, fr))
+        q = None
+        if want_z or spec.eigvecs:
+            q = orghr(res.a, res.taus)
+        if want_z:
+            qz = np.asfortranarray(q @ fr.z)
+            # ‖A − (QZ) T (QZ)ᵀ‖₁ / (N ‖A‖₁): the Schur-form analogue of
+            # the Table II factorization residual
+            payload["schur_residual"] = float(factorization_residual(a, qz, fr.t))
+            if spec.return_factors:
+                factors = {"t": np.asarray(fr.t), "z": qz}
+        if spec.eigvecs:
+            xh = hessenberg_eigvecs(h, fr.eigvals, check_input=False)
+            v = q @ xh
+            av = np.asarray(a, dtype=np.float64) @ v
+            lv = v * fr.eigvals[None, :]
+            scale = max(float(np.max(np.abs(a))), 1.0)
+            payload["eigvec_residual"] = float(np.max(np.abs(av - lv)) / scale)
+            if spec.return_factors:
+                factors = dict(factors or {})
+                factors["v_re"] = np.ascontiguousarray(v.real)
+                factors["v_im"] = np.ascontiguousarray(v.imag)
+
     elif spec.driver == "campaign":
         from repro.core import FTConfig
         from repro.faults import run_campaign
@@ -610,22 +731,28 @@ def execute_job(
 # -- batched execution (the serve coalescing lane's fast path) --------------
 
 #: Drivers the stacked engine can run (see :mod:`repro.batch`).
-BATCHABLE_DRIVERS = ("gehrd", "ft_gehrd")
+#: ``ft_eig`` batches its reduction front through the stacked FT engine
+#: and finishes each item with a scalar protected QR — the QR stage is
+#: already O(n³) scalar work, so only the reduction's Python overhead
+#: needed amortizing.
+BATCHABLE_DRIVERS = ("gehrd", "ft_gehrd", "ft_eig")
 
 
 def batch_compatible(spec: JobSpec) -> bool:
     """Can this spec ride the batched fast path at all?
 
-    Static surface only: functional gehrd/ft_gehrd without factors,
-    audits, chaos hooks, or shared-memory inputs. Fault plans *are*
-    allowed — the batched driver ejects faulty items to the scalar
-    resilience ladder, so recovery semantics are unchanged.
+    Static surface only: functional gehrd/ft_gehrd/ft_eig without
+    factors, eigenvectors, audits, chaos hooks, or shared-memory inputs.
+    Fault plans *are* allowed — the batched driver ejects faulty items
+    to the scalar resilience ladder (and QR-stage faults strike the
+    per-item protected QR), so recovery semantics are unchanged.
     """
     return (
         spec.driver in BATCHABLE_DRIVERS
         and spec.functional
         and not spec.crash
         and not spec.return_factors
+        and not spec.eigvecs
         and spec.audit_every == 0
         and not isinstance(spec.matrix, SharedMatrix)
     )
@@ -689,7 +816,35 @@ def execute_jobs_batched(specs: list[JobSpec], *, workspace=None) -> dict:
         hs = extract_hessenberg_batched(a_pack)
         return factorization_residuals_batched(stack[idx], qs, hs)
 
-    if driver == "gehrd":
+    if driver == "ft_eig":
+        from repro.core import FTConfig
+        from repro.eigen.ft_hqr import QRProtectConfig, ft_hqr
+        from repro.linalg import extract_hessenberg
+
+        cfg = FTConfig(nb=nb, channels=channels, audit_every=0, functional=True)
+        split = [_split_injectors(spec) for spec in specs]
+        br = ft_gehrd_batched(
+            stack, cfg, injectors=[s[0] for s in split], workspace=workspace
+        )
+        ejections = len(br.ejected)
+        for i, spec in enumerate(specs):
+            if i in br.errors:
+                outcomes.append({"ok": False, "error": br.errors[i]})
+                continue
+            res = br.results[i]
+            try:
+                fr = ft_hqr(
+                    extract_hessenberg(res.a),
+                    QRProtectConfig(want_z=False),
+                    injector=split[i][1],
+                    check_input=False,
+                )
+            except BaseException as exc:  # noqa: BLE001 - item retry isolation
+                outcomes.append({"ok": False, "error": exc})
+                continue
+            outcomes.append({"ok": True, "payload": _eig_payload(spec, res, fr)})
+
+    elif driver == "gehrd":
         facts = gehrd_batched(stack, nb=nb, workspace=workspace)
         residuals = _residuals(
             list(range(len(specs))),
@@ -767,6 +922,7 @@ def execute_job_pooled(
     ladder=None,
     shm_factors: bool = False,
     shm_min_bytes: int = DEFAULT_MIN_BYTES,
+    max_sweeps: int | None = None,
 ) -> dict:
     """Worker-side wrapper binding the per-process Workspace arena."""
     from repro.perf.workspace import process_workspace
@@ -777,4 +933,5 @@ def execute_job_pooled(
         ladder=ladder,
         shm_factors=shm_factors,
         shm_min_bytes=shm_min_bytes,
+        max_sweeps=max_sweeps,
     )

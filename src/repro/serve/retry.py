@@ -9,6 +9,13 @@ stricter :class:`~repro.resilience.ladder.LadderConfig`
 (``LadderConfig.stricter()``: optimistic tier off, unbounded rollback,
 one more restart) up to a bounded number of escalation retries.
 
+A plain :class:`~repro.errors.ConvergenceError` (the Francis iteration
+stalled past its sweep budget, without the resilience ladder being
+involved) retries once with a **doubled sweep budget** — shift
+strategies occasionally need more room on adversarial spectra — and
+then fails permanently with a structured reason naming the exhausted
+budget.
+
 Infrastructure failures are handled by *where* the retry runs rather
 than *how*: a timeout or a lost worker gets one retry on a fresh worker
 process (the scheduler rebuilds the pool first). Configuration errors —
@@ -27,6 +34,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.errors import (
+    ConvergenceError,
     EscalationExhausted,
     FaultConfigError,
     ReproError,
@@ -37,6 +45,7 @@ from repro.serve.jobs import JobSpecError
 # -- failure classes --------------------------------------------------------
 
 ESCALATION = "escalation_exhausted"
+CONVERGENCE = "convergence"
 TIMEOUT = "timeout"
 WORKER_LOST = "worker_lost"
 FAULT_CONFIG = "fault_config"
@@ -45,7 +54,8 @@ TRANSIENT = "transient"
 UNEXPECTED = "unexpected"
 
 FAILURE_CLASSES = (
-    ESCALATION, TIMEOUT, WORKER_LOST, FAULT_CONFIG, INVALID, TRANSIENT, UNEXPECTED,
+    ESCALATION, CONVERGENCE, TIMEOUT, WORKER_LOST, FAULT_CONFIG, INVALID,
+    TRANSIENT, UNEXPECTED,
 )
 
 
@@ -58,9 +68,18 @@ class WorkerLost(ReproError, RuntimeError):
 
 
 def classify_failure(exc: BaseException) -> str:
-    """Map an exception from a job run onto the retry taxonomy."""
+    """Map an exception from a job run onto the retry taxonomy.
+
+    :class:`EscalationExhausted` subclasses :class:`ConvergenceError`,
+    so the escalation check must come first: a ladder that ran out of
+    budget is a resilience verdict, while a plain ``ConvergenceError``
+    is a genuinely stalled Francis iteration — retried once with a
+    raised sweep budget, then permanent.
+    """
     if isinstance(exc, EscalationExhausted):
         return ESCALATION
+    if isinstance(exc, ConvergenceError):
+        return CONVERGENCE
     if isinstance(exc, JobTimeout):
         return TIMEOUT
     if isinstance(exc, WorkerLost):
@@ -85,6 +104,8 @@ class RetryDecision:
     escalate_ladder: bool = False
     #: rebuild the worker pool before re-running (timeout / lost worker)
     fresh_worker: bool = False
+    #: re-run with a doubled Francis sweep budget (convergence failures)
+    raise_sweeps: bool = False
 
 
 @dataclass(frozen=True)
@@ -92,13 +113,18 @@ class RetryPolicy:
     """Budgets per failure class plus the backoff shape.
 
     ``escalation_retries`` bounds how many times a job may climb back in
-    with a stricter ladder; ``timeout_retries`` / ``worker_lost_retries``
-    are per-job budgets for the two infrastructure classes (the issue's
-    "retried once on a fresh worker"); ``transient_retries`` covers the
+    with a stricter ladder; ``convergence_retries`` how many times a
+    stalled Francis iteration may retry with a doubled sweep budget
+    (once by default — a genuinely non-converging matrix should fail
+    permanently, with the structured reason naming the exhausted
+    budget); ``timeout_retries`` / ``worker_lost_retries`` are per-job
+    budgets for the two infrastructure classes (the issue's "retried
+    once on a fresh worker"); ``transient_retries`` covers the
     remaining retryable library failures.
     """
 
     escalation_retries: int = 2
+    convergence_retries: int = 1
     timeout_retries: int = 1
     worker_lost_retries: int = 1
     transient_retries: int = 1
@@ -117,6 +143,7 @@ class RetryPolicy:
         """Total retries allowed for one job in *failure_class*."""
         return {
             ESCALATION: self.escalation_retries,
+            CONVERGENCE: self.convergence_retries,
             TIMEOUT: self.timeout_retries,
             WORKER_LOST: self.worker_lost_retries,
             TRANSIENT: self.transient_retries,
@@ -140,4 +167,5 @@ class RetryPolicy:
             reason=f"{failure_class}: retry {class_attempts + 1}/{allowed}",
             escalate_ladder=failure_class == ESCALATION,
             fresh_worker=failure_class in (TIMEOUT, WORKER_LOST),
+            raise_sweeps=failure_class == CONVERGENCE,
         )

@@ -151,6 +151,9 @@ class _Work:
     jobs: list[_Job] = field(default_factory=list)
     cancelled: bool = False
     ladder: LadderConfig | None = None
+    # raised Francis sweep budget for convergence retries (None = driver
+    # default); doubled by each raise_sweeps retry decision
+    max_sweeps: int | None = None
     class_failures: dict[str, int] = field(default_factory=dict)
     # inline matrix encoded into shared memory once per work item —
     # every retry of this item re-sends the ~100-byte handle, never the
@@ -252,6 +255,11 @@ class AsyncScheduler:
     async def start(self) -> None:
         if self._runners:
             return
+        # Fork the pool's workers now, before any job traffic exists.
+        # A lazy first fork can land while a batch-lane executor thread
+        # holds a lock mid-execution; the child inherits the locked
+        # mutex and wedges (fork-vs-threads), stranding the job.
+        self._pool.warm()
         self._runners = [
             asyncio.create_task(self._runner(), name=f"serve-runner-{i}")
             for i in range(self.workers)
@@ -660,6 +668,10 @@ class AsyncScheduler:
                 self._counts["retries"] += 1
                 if decision.escalate_ladder:
                     work.ladder = (work.ladder or LadderConfig()).stricter()
+                if decision.raise_sweeps:
+                    # double the Francis stall budget (from the drivers'
+                    # default of 30 sweeps per eigenvalue)
+                    work.max_sweeps = 2 * (work.max_sweeps or 30)
                 if decision.fresh_worker:
                     self._pool.rebuild()
                 for job in work.live_jobs():
@@ -694,9 +706,17 @@ class AsyncScheduler:
         if in_thread:
             async with self._thread_lane:
                 try:
+                    # max_sweeps only rides along once a convergence
+                    # retry raised it (keeps the call signature stable
+                    # for stubbed drivers)
+                    extra = (
+                        {"max_sweeps": work.max_sweeps}
+                        if work.max_sweeps is not None else {}
+                    )
                     return await asyncio.wait_for(
                         asyncio.to_thread(
-                            execute_job, spec, workspace=self._thread_ws, ladder=work.ladder
+                            execute_job, spec, workspace=self._thread_ws,
+                            ladder=work.ladder, **extra,
                         ),
                         timeout,
                     )
@@ -727,7 +747,7 @@ class AsyncScheduler:
         gen = self._pool.generation
         fut = self._pool.submit(
             execute_job_pooled, send_spec, work.ladder,
-            self._shm_factors, self._factor_min_bytes,
+            self._shm_factors, self._factor_min_bytes, work.max_sweeps,
         )
         try:
             return await asyncio.wait_for(asyncio.wrap_future(fut), timeout)

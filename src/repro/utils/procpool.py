@@ -34,6 +34,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.utils.shm import SegmentRegistry
 
 
+def _warm_noop() -> None:
+    """Picklable no-op: the fallback worker-spawn barrier in ``warm``."""
+
+
 class ResilientProcessPool:
     """A rebuildable :class:`ProcessPoolExecutor` wrapper.
 
@@ -71,6 +75,29 @@ class ResilientProcessPool:
                 initargs=self._initargs,
             )
         return self._pool
+
+    def warm(self) -> None:
+        """Fork every worker process now, while the caller knows the
+        process is quiet.
+
+        ``ProcessPoolExecutor`` forks workers lazily on first submit.
+        Under a threaded caller (the serve scheduler's batch lane runs
+        jobs on executor threads) that first fork can happen while
+        another thread holds a lock — the child inherits the locked
+        mutex and wedges forever. Forcing all forks at a known-quiet
+        moment (service startup, right after a rebuild) closes the race.
+        """
+        pool = self.pool
+        try:
+            # under fork this launches every worker process up front, and
+            # in all cases it starts the manager thread that shutdown()
+            # needs to signal the workers to exit (spawning processes
+            # without it leaves them blocked on the call queue forever)
+            with pool._shutdown_lock:
+                pool._start_executor_manager_thread()
+        except AttributeError:  # executor internals moved: best effort
+            for fut in [pool.submit(_warm_noop) for _ in range(self.max_workers)]:
+                fut.result()
 
     @property
     def generation(self) -> int:

@@ -417,9 +417,12 @@ class TestAdversarialAcceptance:
                 assert t.residual < 1e-12
 
     def test_grid_covers_every_space_and_phase(self):
+        from repro.faults.campaign import build_eig_adversarial_grid
         from repro.faults.injector import SPACE_PHASES
 
+        # the reduction grid and the QR-stage grid split the surface
         grid = build_adversarial_grid(128, 32, moments=3, seed=0)
+        grid += build_eig_adversarial_grid(128, moments=3, seed=0)
         seen = {(plan[0].space, plan[0].phase) for plan, _ in grid}
         for space, phases in SPACE_PHASES.items():
             for phase in phases:

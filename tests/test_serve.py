@@ -513,3 +513,107 @@ class TestServiceCrashRecovery:
         assert all(r.status == "done" for r in results), [r.error for r in results]
         assert stats["pool_rebuilds"] >= 1
         assert stats["counts"].get("retries", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Eigensolver drivers: ft_eig / ft_schur through the service
+# ---------------------------------------------------------------------------
+
+
+class TestEigDrivers:
+    def test_convergence_classified_and_retried_with_doubled_sweeps(self):
+        from repro.errors import ConvergenceError
+        from repro.serve.retry import CONVERGENCE
+
+        assert classify_failure(ConvergenceError("stalled")) == CONVERGENCE
+        # the EscalationExhausted subclass must NOT land in this bucket
+        assert classify_failure(EscalationExhausted("out")) == ESCALATION
+        policy = RetryPolicy()
+        first = policy.decide(CONVERGENCE, 0)
+        assert first.retry and first.raise_sweeps and not first.escalate_ladder
+        second = policy.decide(CONVERGENCE, 1)
+        assert not second.retry
+        assert "convergence" in second.reason
+
+    def test_scheduler_doubles_sweep_budget_on_convergence(self, monkeypatch):
+        from repro.errors import ConvergenceError
+
+        seen_sweeps = []
+
+        def stalling(spec, *, workspace=None, ladder=None, max_sweeps=None):
+            seen_sweeps.append(max_sweeps)
+            if len(seen_sweeps) == 1:
+                raise ConvergenceError("Francis iteration stalled")
+            return {"driver": spec.driver, "n": spec.n, "elapsed_s": 0.0}
+
+        monkeypatch.setattr("repro.serve.scheduler.execute_job", stalling)
+        with _service(workers=1, retry=RetryPolicy(backoff_base=0.001)) as svc:
+            sub = svc.submit(JobSpec(driver="ft_eig", n=24, seed=0))
+            res = svc.result(sub.job_id, timeout=30)
+        assert res.status == "done"
+        assert res.retries == 1
+        assert seen_sweeps == [None, 60]  # 2x the drivers' default of 30
+
+    def test_eigvecs_only_for_eig_drivers(self):
+        with pytest.raises(JobSpecError):
+            JobSpec(driver="gehrd", n=16, eigvecs=True).validate()
+        with pytest.raises(JobSpecError):
+            JobSpec(driver="ft_eig", n=16, return_factors=True).validate()
+        JobSpec(driver="ft_eig", n=16, eigvecs=True,
+                return_factors=True).validate()
+        JobSpec(driver="ft_schur", n=16, return_factors=True).validate()
+
+    def test_eigvecs_in_key_only_for_eig_drivers(self):
+        # old drivers' keys must be unchanged by the new field
+        k1 = JobSpec(driver="gehrd", n=16, seed=0).key
+        assert "eigvecs" not in k1
+        a = JobSpec(driver="ft_eig", n=16, seed=0, eigvecs=False).key
+        b = JobSpec(driver="ft_eig", n=16, seed=0, eigvecs=True,
+                    return_factors=True).key
+        assert a != b
+
+    def test_ft_eig_payload_faulted(self):
+        payload = execute_job(JobSpec(
+            driver="ft_eig", n=24, seed=3, nb=8,
+            faults=[{"iteration": 3, "row": 5, "col": 9, "magnitude": 1.0,
+                     "space": "qr_matrix", "phase": "pre_sweep"}]))
+        assert payload["detections"] >= 1
+        assert payload["rollbacks"] >= 1
+        assert payload["tier_tally"].get("reverse_redo", 0) >= 1
+        ref = np.linalg.eigvals(
+            __import__("repro.utils.rng", fromlist=["random_matrix"])
+            .random_matrix(24, seed=3))
+        got = np.array([complex(re, im) for re, im in payload["eigvals"]])
+        dist = np.max(np.abs(np.sort_complex(got) - np.sort_complex(ref)))
+        assert dist < 1e-10
+
+    def test_ft_eig_batched_matches_scalar(self):
+        with HessService(workers=1, small_n_threshold=32, batch_max=4,
+                         batch_linger_ms=5.0) as svc:
+            specs = [JobSpec(driver="ft_eig", n=16, seed=s, nb=8)
+                     for s in range(4)]
+            subs = svc.submit_batch(specs)
+            assert all(s.accepted for s in subs)
+            svc.drain(timeout=300)
+            stats = svc.stats()
+            for spec, sub in zip(specs, subs):
+                res = svc.result(sub.job_id, timeout=60)
+                assert res.status == "done", res.error
+                got = dict(res.payload)
+                ref = execute_job(spec)
+                for k in ("elapsed_s", "seconds_simulated"):
+                    got.pop(k, None), ref.pop(k, None)
+                assert got == ref
+        assert stats["batch_lane"]["batches"] >= 1
+
+    def test_mixed_pipeline_faults_split_between_stages(self):
+        payload = execute_job(JobSpec(
+            driver="ft_eig", n=24, seed=5, nb=8,
+            faults=[
+                {"iteration": 1, "row": 10, "col": 15, "magnitude": 2.0},
+                {"iteration": 2, "row": 4, "col": 8, "magnitude": 1.0,
+                 "space": "qr_matrix", "phase": "pre_sweep"},
+            ]))
+        # one reduction-stage detection plus one QR-stage detection
+        assert payload["detections"] >= 2
+        assert payload["recoveries"] >= 2
