@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the sharded serve tier (``repro.cluster``).
+
+Pushes a 200-job distinct-key batch (no cache or coalescing help —
+every job executes) through a 3-shard :class:`ClusterService` and
+through a 1-shard one with the same per-shard configuration, and
+reports aggregate jobs/sec for both. On a multi-core box the 3-shard
+fleet approaches 3x: the shards' worker pools and in-thread lanes run
+on separate cores and the consistent-hash router spreads the keys
+~K/N per shard. On a 1-CPU container every shard timeshares the same
+core, so the honest expectation is ~1x aggregate throughput plus the
+fleet's routing overhead — the row records ``cpu_count`` so the reader
+can tell which regime produced it.
+
+Run:  PYTHONPATH=src python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from bench_serve import build_distinct_batch  # noqa: E402
+
+from repro.cluster import ClusterService  # noqa: E402
+
+
+def _run_fleet(batch, *, shards: int, n: int) -> dict:
+    t0 = time.perf_counter()
+    with ClusterService(
+        shards=shards, workers=1, max_queue=max(256, len(batch)),
+        small_n_threshold=n, health_interval=1.0,
+    ) as svc:
+        subs = svc.submit_batch(batch)
+        accepted = sum(s.accepted for s in subs)
+        svc.drain(timeout=600)
+        stats = svc.stats()
+    elapsed = time.perf_counter() - t0
+    assert accepted == len(batch), f"only {accepted}/{len(batch)} admitted"
+    counts = stats["router"]["counts"]
+    assert counts["done"] == len(batch), counts
+    return {
+        "elapsed_s": elapsed,
+        "jobs_per_sec": len(batch) / elapsed,
+        "routes": {k: counts[k] for k in ("owner", "spillover", "failover")},
+        "replicated": (stats["replication"] or {}).get("pushed", 0),
+    }
+
+
+def bench_cluster(jobs: int = 200, *, n: int = 32) -> dict:
+    """3-shard vs 1-shard aggregate throughput on distinct keys."""
+    batch = build_distinct_batch(jobs, n=n)
+    one = _run_fleet(batch, shards=1, n=n)
+    three = _run_fleet(batch, shards=3, n=n)
+    return {
+        "jobs": jobs,
+        "n": n,
+        "workers_per_shard": 1,
+        "one_shard_s": one["elapsed_s"],
+        "three_shard_s": three["elapsed_s"],
+        "jobs_per_sec_one_shard": one["jobs_per_sec"],
+        "jobs_per_sec_three_shards": three["jobs_per_sec"],
+        "speedup_3v1": three["jobs_per_sec"] / one["jobs_per_sec"],
+        "routes_three_shards": three["routes"],
+        "replicated_fills": three["replicated"],
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "shards are in-process HessServices: aggregate scaling needs "
+            "one core per shard, so on a 1-CPU container the 3-shard row "
+            "measures routing+replication overhead, not parallel speedup"
+        ) if (os.cpu_count() or 1) < 3 else "",
+    }
+
+
+def main() -> None:
+    print(json.dumps({"cluster": bench_cluster()}, indent=2))
+
+
+if __name__ == "__main__":
+    main()

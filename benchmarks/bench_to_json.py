@@ -34,6 +34,9 @@ at the repository root (plus a copy under ``benchmarks/results/``):
 * ``serve_dataplane`` — inline n=256 matrices through the service under
                         ``transport="pickle"`` vs ``"auto"`` (bytes per
                         submitted job each way; see ``bench_serve.py``);
+* ``cluster``         — a 200-job distinct-key batch through the sharded
+                        serve tier, 3 shards vs 1 shard (aggregate
+                        jobs/sec; see ``bench_cluster.py``);
 * ``ft_eig``          — the full protected eigensolver pipeline
                         (FT reduction + checkpointed Francis QR) vs the
                         unprotected ``hybrid_gehrd`` +
@@ -80,6 +83,7 @@ from repro.perf.reference import (                                # noqa: E402
 from repro.perf.workspace import Workspace                        # noqa: E402
 from repro.utils.rng import random_matrix                         # noqa: E402
 
+from bench_cluster import bench_cluster                           # noqa: E402
 from bench_serve import (                                         # noqa: E402
     bench_serve,
     bench_serve_batched,
@@ -355,6 +359,7 @@ def main() -> None:
         "serve_batched": bench_serve_batched(),
         "serve_batched_fp32": bench_serve_batched_lanes(),
         "serve_dataplane": bench_serve_dataplane(),
+        "cluster": bench_cluster(),
         "ft_eig": bench_ft_eig(),
     }
     payload["campaign_fp32"]["bytes_copied_vs_fp64"] = (

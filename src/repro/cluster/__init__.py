@@ -1,0 +1,38 @@
+"""repro.cluster — the sharded, replicated, self-healing serve tier.
+
+ROADMAP item 4: from one process to a fleet. Each shard is a full
+:class:`repro.serve.service.HessService`; this package adds the layers
+a fleet needs and one service doesn't have:
+
+* :mod:`repro.cluster.ring` — consistent-hash placement of
+  content-addressed job keys, minimal movement on membership change;
+* :mod:`repro.cluster.router` — shard-aware admission with spillover,
+  failover, cross-shard duplicate coalescing, loss-free replay ledger;
+* :mod:`repro.cluster.replicate` — push-on-fill result-cache
+  replication to each key's ring successor, plus restart rehydration;
+* :mod:`repro.cluster.health` — heartbeat monitor that restarts dead
+  shards and replays their in-flight jobs through the serve retry
+  taxonomy;
+* :mod:`repro.cluster.service` — the ``ClusterService`` facade, API-
+  compatible with ``HessService``.
+
+See ``docs/cluster.md`` for routing, replication, and failover
+semantics, and the ``cluster`` CLI subcommand for the batch runner.
+"""
+
+from repro.cluster.health import HealthMonitor
+from repro.cluster.replicate import CacheReplicator
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterRouter, ClusterSubmission
+from repro.cluster.service import ClusterService
+from repro.cluster.shard import Shard
+
+__all__ = [
+    "CacheReplicator",
+    "ClusterRouter",
+    "ClusterService",
+    "ClusterSubmission",
+    "HashRing",
+    "HealthMonitor",
+    "Shard",
+]

@@ -1,0 +1,127 @@
+"""Health monitor: detect dead shards, restart them, replay their work.
+
+The monitor is a single daemon thread beating at ``interval`` seconds.
+Each beat heartbeats every shard; a failed heartbeat triggers the
+revival sequence, whose ordering is the whole point:
+
+1. **evict** — :meth:`ClusterRouter.evict_pending` atomically claims
+   the dead shard's in-flight cluster jobs *before* anything restarts.
+   The replacement ``HessService`` issues job ids from zero; a stale
+   ledger entry left behind would alias a new job's id and collect the
+   wrong result.
+2. **restart** — :meth:`Shard.restart` builds a fresh service from the
+   shard's factory (same config, new generation). This is the cluster
+   analogue of ``ResilientProcessPool``'s rebuild-on-crash: the pool
+   heals a lost *worker process* under a live scheduler; the monitor
+   heals a lost *scheduler* under a live cluster, and the restarted
+   service's own pool machinery takes over worker-level faults again.
+3. **rehydrate** — the replicator replays the ledger of results this
+   shard owned into its fresh cache, so the revived shard is warm and
+   step 4's replays of already-completed keys become cache hits.
+4. **replay** — :meth:`ClusterRouter.replay` re-places the evicted
+   jobs through the serve retry taxonomy (``WORKER_LOST`` budget).
+   Jobs land back on the ring — usually on the restarted owner — and
+   nothing is lost: every evicted job ends terminal, done or an
+   explicit ``worker_lost`` failure.
+
+The paper's transient-fault model maps node-up recovery to exactly this
+backward/forward split: restart-and-rehydrate is the backward step
+(restore state), replay-through-retry is the forward step (redo the
+work the fault interrupted).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cluster.replicate import CacheReplicator
+from repro.cluster.router import ClusterRouter
+from repro.cluster.shard import Shard
+
+
+class HealthMonitor:
+    """Heartbeat loop with automatic shard revival."""
+
+    def __init__(
+        self,
+        shards: "dict[str, Shard]",
+        router: ClusterRouter,
+        *,
+        replicator: CacheReplicator | None = None,
+        interval: float = 0.1,
+        auto_restart: bool = True,
+    ) -> None:
+        self._shards = shards
+        self._router = router
+        self._replicator = replicator
+        self._interval = float(interval)
+        self._auto_restart = auto_restart
+        self._stop = threading.Event()
+        self._revive_lock = threading.Lock()
+        self.checks = 0
+        self.restarts = 0
+        self.replayed = 0
+        self.replay_failed = 0
+        self.rehydrated = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="cluster-health", daemon=True
+        )
+        self._thread.start()
+
+    # -- the beat ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self.checks += 1
+            for shard in list(self._shards.values()):
+                if not shard.heartbeat():
+                    self._revive(shard)
+
+    def _revive(self, shard: Shard) -> None:
+        if not self._auto_restart:
+            return
+        with self._revive_lock:
+            if self._stop.is_set():
+                return  # shutting down; a restart now would leak a service
+            if shard.heartbeat():
+                return  # another path already revived it
+            lost = self._router.evict_pending(shard.shard_id)
+            shard.restart()
+            if self._replicator is not None:
+                self.rehydrated += self._replicator.rehydrate(shard)
+            outcome = self._router.replay(shard.shard_id, lost)
+            self.restarts += 1
+            self.replayed += outcome["replayed"]
+            self.replay_failed += outcome["failed"]
+
+    def revive_now(self, shard: Shard) -> None:
+        """Synchronous revival (tests and the CLI chaos path use this to
+        avoid racing the beat)."""
+        self._revive(shard)
+
+    def stats(self) -> dict:
+        return {
+            "checks": self.checks,
+            "restarts": self.restarts,
+            "replayed": self.replayed,
+            "replay_failed": self.replay_failed,
+            "rehydrated": self.rehydrated,
+            "interval_s": self._interval,
+        }
+
+    def quiesce(self) -> None:
+        """Block until no revival is in flight.
+
+        A revive can sit in the replacement service's pool ``warm()``
+        for seconds on a loaded box; the cluster's close path calls
+        this after stopping the beat so it never tears shards down
+        under a half-finished restart (which would leak the restarted
+        service's pool and shm segments).
+        """
+        with self._revive_lock:
+            pass
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=30)
+        self.quiesce()

@@ -1,0 +1,162 @@
+"""Result-cache replication: a shard loss must not cold-start its cache.
+
+Each shard's `ResultCache` fills with the keys the ring routes to it.
+Lose the shard and — without replication — every one of those keys
+recomputes from scratch on the restarted (empty-cache) service, which
+is exactly the cold-start the consistent-hash ring was chosen to avoid
+on *membership* changes. The replicator closes that hole for *failures*
+with two moves per cache fill:
+
+* **push-on-fill** — when a job completes on any shard, its payload is
+  pushed into the live cache of the key's ring *successor*
+  (``ring.successor(key)``), so a second copy is already warm on the
+  shard that would inherit the key's arc if the owner vanished;
+* **ledger** — the same payload is recorded in an in-process ledger
+  keyed by the *owner* shard, which is what :meth:`rehydrate` replays
+  into a restarted shard's fresh cache so the revived owner comes back
+  warm instead of earning its keys back one miss at a time.
+
+Payloads here are the small JSON-safe residual/telemetry dicts the
+serve cache stores (``return_factors`` jobs bypass caching in the serve
+tier and are skipped here for the same reason — factor matrices are too
+big to double-store). The ledger is byte-budgeted like the caches it
+feeds; eviction is FIFO per owner, oldest fill first.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import Shard
+
+
+class CacheReplicator:
+    """Push-on-fill cache replication plus a rehydration ledger."""
+
+    def __init__(
+        self,
+        ring: HashRing,
+        shards: "dict[str, Shard]",
+        *,
+        ledger_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        self._ring = ring
+        self._shards = shards
+        self._ledger_bytes = int(ledger_bytes)
+        self._lock = threading.Lock()
+        # owner shard id -> key -> (payload, approx bytes), insertion-ordered
+        self._by_owner: dict[str, OrderedDict[str, tuple[dict, int]]] = {}
+        self._bytes = 0
+        self.pushed = 0
+        self.repatriated = 0
+        self.rehydrated = 0
+
+    # -- fill path -----------------------------------------------------------
+
+    @staticmethod
+    def _approx_bytes(payload: dict) -> int:
+        # same rough costing a JSON dump would give; exactness doesn't
+        # matter, only that the ledger budget is bounded
+        try:
+            import json
+
+            return len(json.dumps(payload, default=str))
+        except Exception:
+            return 1024
+
+    def on_fill(self, key: str, payload: dict, *, ran_on: str) -> None:
+        """Record a completed job's cacheable payload.
+
+        ``ran_on`` is the shard that actually executed the job — under
+        spillover or failover that can differ from the ring owner, in
+        which case the payload is also *repatriated* into the owner's
+        cache so the key's home shard serves future hits directly.
+        """
+        owner = self._ring.owner(key)
+        successor = self._ring.successor(key)
+
+        with self._lock:
+            ledger = self._by_owner.setdefault(owner, OrderedDict())
+            if key in ledger:
+                _, old = ledger.pop(key)
+                self._bytes -= old
+            size = self._approx_bytes(payload)
+            ledger[key] = (payload, size)
+            self._bytes += size
+            while self._bytes > self._ledger_bytes and self._any_evictable():
+                self._evict_oldest()
+
+        if successor != ran_on:
+            self._push(successor, key, payload)
+            self.pushed += 1
+        if owner != ran_on and owner != successor:
+            self._push(owner, key, payload)
+            self.repatriated += 1
+
+    def _any_evictable(self) -> bool:
+        return any(self._by_owner.values())
+
+    def _evict_oldest(self) -> None:
+        # FIFO across owners: drop the oldest entry of the fattest ledger
+        owner = max(
+            self._by_owner,
+            key=lambda sid: sum(b for _, b in self._by_owner[sid].values()),
+        )
+        _, (_, size) = self._by_owner[owner].popitem(last=False)
+        self._bytes -= size
+        if not self._by_owner[owner]:
+            del self._by_owner[owner]
+
+    def _push(self, shard_id: str, key: str, payload: dict) -> None:
+        shard = self._shards.get(shard_id)
+        if shard is None or not shard.heartbeat():
+            return
+        cache = shard.service.cache
+        if cache is None:
+            return
+        try:
+            cache.put(key, payload)
+        except Exception:
+            # replication is best-effort: a racing shard death here is
+            # recovered by rehydrate() when the shard comes back
+            pass
+
+    # -- recovery path -------------------------------------------------------
+
+    def rehydrate(self, shard: Shard) -> int:
+        """Warm a restarted shard's fresh cache from the ledger.
+
+        Returns the number of keys restored. Called by the health
+        monitor after ``shard.restart()`` and before replaying the
+        shard's lost in-flight jobs, so replays of already-completed
+        keys resolve as cache hits instead of recomputes.
+        """
+        with self._lock:
+            entries = list(self._by_owner.get(shard.shard_id, {}).items())
+        cache = shard.service.cache
+        if cache is None:
+            return 0
+        restored = 0
+        for key, (payload, _) in entries:
+            try:
+                cache.put(key, payload)
+                restored += 1
+            except Exception:
+                break
+        self.rehydrated += restored
+        return restored
+
+    def stats(self) -> dict:
+        with self._lock:
+            keys = sum(len(v) for v in self._by_owner.values())
+            owners = {sid: len(v) for sid, v in self._by_owner.items()}
+        return {
+            "ledger_keys": keys,
+            "ledger_bytes": self._bytes,
+            "by_owner": owners,
+            "pushed": self.pushed,
+            "repatriated": self.repatriated,
+            "rehydrated": self.rehydrated,
+        }

@@ -1,0 +1,133 @@
+"""Consistent-hash ring: stable key→shard placement with minimal movement.
+
+The cluster tier places jobs by their content-addressed keys
+(:attr:`repro.serve.jobs.JobSpec.key`), so the same computation always
+lands on the same shard and that shard's result cache accumulates
+exactly the keys it owns — cache affinity for free. A plain
+``hash(key) % n_shards`` would give the same affinity but reshuffles
+almost every key when a shard joins or leaves; the consistent-hash ring
+moves only the keys whose arc the membership change touched — ``K/N``
+of them in expectation — so scaling the fleet (or restarting a dead
+shard) does not cold-start every cache at once.
+
+Mechanics: each shard contributes ``vnodes`` points to a 64-bit ring
+(SHA-256 of ``"{shard}#{i}"``); a key hashes to a point and is owned by
+the first shard point at or clockwise of it. Virtual nodes smooth the
+arc lengths so the key load per shard concentrates around ``K/N``
+(tested in ``tests/test_ring.py``); they also make the *movement* on
+add/remove fine-grained — the new shard takes ``vnodes`` small slices
+from everyone instead of one giant slice from one victim.
+
+``preference(key)`` walks the ring clockwise from the key and returns
+each distinct shard in encounter order — the router's failover and
+spillover order, and the replication hook's definition of the key's
+"successor" (``preference[1]``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _hash(token: str) -> int:
+    """A stable 64-bit ring position for *token* (shard vnode or job key)."""
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over shard ids, with virtual nodes.
+
+    Membership operations (:meth:`add` / :meth:`remove`) are O(vnodes ·
+    log points); lookups are one hash plus a bisect. The ring is not
+    thread-safe by itself — the cluster router serializes membership
+    changes and lookups under its own lock.
+    """
+
+    def __init__(self, shards: "tuple | list" = (), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._points: list[int] = []   # sorted ring positions
+        self._owners: list[str] = []   # parallel: shard owning each position
+        self._shards: set[str] = set()
+        for shard_id in shards:
+            self.add(shard_id)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, shard_id: str) -> None:
+        """Insert a shard's virtual nodes (idempotence is an error:
+        double-adding would double the shard's arc share silently)."""
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} is already on the ring")
+        for i in range(self.vnodes):
+            point = _hash(f"{shard_id}#{i}")
+            at = bisect.bisect_left(self._points, point)
+            self._points.insert(at, point)
+            self._owners.insert(at, shard_id)
+        self._shards.add(shard_id)
+
+    def remove(self, shard_id: str) -> None:
+        """Drop a shard's virtual nodes; its arcs fall to their successors."""
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id!r} is not on the ring")
+        keep = [(p, s) for p, s in zip(self._points, self._owners) if s != shard_id]
+        self._points = [p for p, _ in keep]
+        self._owners = [s for _, s in keep]
+        self._shards.discard(shard_id)
+
+    @property
+    def shards(self) -> list[str]:
+        """Current membership, sorted for stable display."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    # -- lookups -------------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The shard owning *key* (first point clockwise of its hash)."""
+        if not self._points:
+            raise LookupError("the ring has no shards")
+        at = bisect.bisect_right(self._points, _hash(key)) % len(self._points)
+        return self._owners[at]
+
+    def preference(self, key: str, k: int | None = None) -> list[str]:
+        """The first *k* distinct shards clockwise of *key*.
+
+        ``preference(key)[0]`` is the owner; the rest is the failover /
+        spillover order the router walks when the owner is saturated or
+        dead, and ``preference(key)[1]`` is where the replication hook
+        pushes the key's cached result. Defaults to every shard.
+        """
+        if not self._points:
+            raise LookupError("the ring has no shards")
+        want = len(self._shards) if k is None else min(int(k), len(self._shards))
+        start = bisect.bisect_right(self._points, _hash(key))
+        order: list[str] = []
+        for i in range(len(self._points)):
+            shard_id = self._owners[(start + i) % len(self._points)]
+            if shard_id not in order:
+                order.append(shard_id)
+                if len(order) >= want:
+                    break
+        return order
+
+    def successor(self, key: str) -> str:
+        """The next distinct shard after *key*'s owner — the replica
+        target. On a single-shard ring this is the owner itself."""
+        order = self.preference(key, 2)
+        return order[1] if len(order) > 1 else order[0]
+
+    def stats(self) -> dict:
+        """JSON-safe ring description for cluster stats dumps."""
+        return {
+            "shards": self.shards,
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }

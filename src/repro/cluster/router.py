@@ -1,0 +1,406 @@
+"""Cluster router: place jobs on shards, collect results, lose nothing.
+
+The router is the cluster's control plane. It owns the hash ring, a
+ledger of every accepted cluster job, and a background collector thread
+that polls each shard for completed work. Placement for a job key walks
+``ring.preference(key)`` and takes the first shard that accepts:
+
+* the **owner** (``preference[0]``) in the common case — cache affinity;
+* **spillover** to later preference entries when the owner's queue
+  depth is at the spill threshold (the shard would reject or queue the
+  job behind a long backlog; its ring successor is idle capacity with
+  the second-best chance of a replica cache hit);
+* **failover** past shards whose heartbeat is down — a dead owner must
+  not make its keys unroutable while the health monitor restarts it.
+
+**Cross-shard coalescing.** Each shard's scheduler already coalesces
+duplicate keys *within* the shard; spillover and failover can place the
+same key on two different shards, so the router adds its own layer:
+while a key has a non-terminal leader job anywhere, new submissions for
+that key attach to it as followers and are resolved by copy when the
+leader finishes.
+
+**Zero lost jobs.** The ledger maps every in-flight cluster job to the
+``(shard, generation, shard_job_id)`` executing it. When a shard dies,
+:meth:`evict_pending` atomically claims those entries (under the router
+lock, *before* the shard restarts — the replacement service reuses job
+ids from zero, so stale ids must be off the books first) and
+:meth:`replay` re-places each one, charging the attempt against the
+serve tier's ``WORKER_LOST`` retry budget via the shared
+:class:`~repro.serve.retry.RetryPolicy`. A job only fails when that
+budget is exhausted — and then it fails *explicitly*, with a
+``worker_lost`` JobResult, never by vanishing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.replicate import CacheReplicator
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import Shard
+from repro.serve.jobs import FAILED, JobResult, JobSpec
+from repro.serve.retry import WORKER_LOST, RetryPolicy
+from repro.serve.scheduler import Submission
+
+
+@dataclass(frozen=True)
+class ClusterSubmission:
+    """Admission outcome for one cluster submit (mirrors serve's
+    :class:`~repro.serve.scheduler.Submission`, plus placement)."""
+
+    accepted: bool
+    job_id: int | None = None
+    key: str = ""
+    shard: str = ""
+    route: str = ""          # "owner" | "spillover" | "failover" | "coalesced"
+    reason: str = ""
+
+
+@dataclass
+class _ClusterJob:
+    """Ledger entry for one accepted cluster job."""
+
+    cluster_id: int
+    spec: JobSpec
+    shard_id: str = ""
+    generation: int = -1
+    shard_job_id: int | None = None
+    route: str = ""
+    result: JobResult | None = None
+    replays: int = 0
+    followers: list = field(default_factory=list)  # follower _ClusterJobs
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.result is not None and self.result.terminal
+
+
+class ClusterRouter:
+    """Shard-aware placement, cross-shard coalescing, loss-free replay."""
+
+    def __init__(
+        self,
+        ring: HashRing,
+        shards: "dict[str, Shard]",
+        *,
+        retry: RetryPolicy | None = None,
+        replicator: CacheReplicator | None = None,
+        spill_threshold: int | None = None,
+        poll: float = 0.01,
+    ) -> None:
+        self.ring = ring
+        self.shards = shards
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.replicator = replicator
+        self.spill_threshold = spill_threshold
+        self._poll = float(poll)
+        self._lock = threading.RLock()
+        self._done = threading.Condition(self._lock)
+        self._ids = itertools.count(1)
+        self._jobs: dict[int, _ClusterJob] = {}
+        self._by_key: dict[str, _ClusterJob] = {}      # key -> live leader
+        # shard id -> shard job id -> cluster job (awaiting collection)
+        self._pending: dict[str, dict[int, _ClusterJob]] = {
+            sid: {} for sid in shards
+        }
+        self.counts = {
+            "accepted": 0, "rejected": 0, "coalesced": 0,
+            "owner": 0, "spillover": 0, "failover": 0,
+            "replayed": 0, "replay_exhausted": 0, "done": 0, "failed": 0,
+        }
+        self._closed = False
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="cluster-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> ClusterSubmission:
+        """Validate, coalesce across shards, then place on the ring."""
+        try:
+            spec.validate()
+        except Exception as exc:
+            with self._lock:
+                self.counts["rejected"] += 1
+            return ClusterSubmission(False, reason=f"invalid: {exc}")
+
+        key = spec.key
+        with self._lock:
+            if self._closed:
+                return ClusterSubmission(False, key=key,
+                                         reason="unavailable: cluster closed")
+            leader = self._by_key.get(key)
+            if leader is not None and not leader.terminal:
+                follower = _ClusterJob(
+                    cluster_id=next(self._ids), spec=spec,
+                    shard_id=leader.shard_id, route="coalesced",
+                    submitted_at=time.monotonic(),
+                )
+                leader.followers.append(follower)
+                self._jobs[follower.cluster_id] = follower
+                self.counts["accepted"] += 1
+                self.counts["coalesced"] += 1
+                return ClusterSubmission(True, follower.cluster_id, key,
+                                         shard=leader.shard_id, route="coalesced")
+
+            cjob = _ClusterJob(cluster_id=next(self._ids), spec=spec,
+                               submitted_at=time.monotonic())
+            placed = self._place(cjob)
+            if not placed.accepted:
+                self.counts["rejected"] += 1
+                return placed
+            self._jobs[cjob.cluster_id] = cjob
+            self._by_key[key] = cjob
+            self.counts["accepted"] += 1
+            self.counts[cjob.route] += 1
+            return placed
+
+    def _place(self, cjob: _ClusterJob) -> ClusterSubmission:
+        """Walk the key's preference list; first accepting shard wins.
+
+        Caller holds the router lock. Routes: ``owner`` when the first
+        live, unsaturated preference entry is the ring owner;
+        ``spillover`` when the owner was alive but saturated;
+        ``failover`` when the owner was dead.
+        """
+        key = cjob.spec.key
+        order = self.ring.preference(key)
+        owner_alive = False
+        last_reason = "unavailable: no live shard"
+        for rank, shard_id in enumerate(order):
+            shard = self.shards.get(shard_id)
+            if shard is None or not shard.heartbeat():
+                continue
+            if rank == 0:
+                owner_alive = True
+            if (
+                self.spill_threshold is not None
+                and rank + 1 < len(order)      # last resort takes anything
+                and shard.queue_depth() >= self.spill_threshold
+            ):
+                last_reason = f"backpressure: shard {shard_id} saturated"
+                continue
+            sub: Submission = shard.service.submit(cjob.spec)
+            if sub.accepted:
+                cjob.shard_id = shard_id
+                cjob.generation = shard.generation
+                cjob.shard_job_id = sub.job_id
+                cjob.route = (
+                    "owner" if rank == 0
+                    else ("spillover" if owner_alive else "failover")
+                )
+                self._pending[shard_id][sub.job_id] = cjob
+                return ClusterSubmission(True, cjob.cluster_id, key,
+                                         shard=shard_id, route=cjob.route)
+            last_reason = sub.reason
+            if not sub.reason.startswith("backpressure"):
+                # invalid spec or stopped scheduler — trying other
+                # shards can't fix an invalid spec, but a stopped
+                # scheduler is that shard's problem; keep walking
+                if sub.reason.startswith("invalid"):
+                    return ClusterSubmission(False, key=key, reason=sub.reason)
+        return ClusterSubmission(False, key=key, reason=last_reason)
+
+    # -- collection ----------------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed and not any(self._pending.values()):
+                    return
+                batch = [
+                    (sid, sjid, cjob)
+                    for sid, table in self._pending.items()
+                    for sjid, cjob in table.items()
+                ]
+            finished = []
+            for sid, sjid, cjob in batch:
+                shard = self.shards.get(sid)
+                if shard is None or shard.generation != cjob.generation:
+                    continue  # stale entry; evict_pending owns it
+                if not shard.heartbeat():
+                    continue  # health monitor will evict + replay
+                try:
+                    res = shard.service.peek(sjid)
+                except Exception:
+                    continue
+                if res is not None and res.terminal:
+                    finished.append((sid, sjid, cjob, res))
+            if finished:
+                with self._lock:
+                    for sid, sjid, cjob, res in finished:
+                        if self._pending.get(sid, {}).pop(sjid, None) is None:
+                            continue  # raced with evict_pending
+                        self._finish(cjob, res)
+            time.sleep(self._poll)
+
+    def _finish(self, cjob: _ClusterJob, res: JobResult) -> None:
+        """Resolve a leader and its followers. Caller holds the lock."""
+        cjob.result = res
+        cjob.finished_at = time.monotonic()
+        self.counts["done" if res.status != FAILED else "failed"] += 1
+        for follower in cjob.followers:
+            follower.result = res
+            follower.finished_at = cjob.finished_at
+        cjob.followers.clear()
+        if self._by_key.get(cjob.spec.key) is cjob:
+            del self._by_key[cjob.spec.key]
+        if (
+            self.replicator is not None
+            and res.status != FAILED
+            and res.payload is not None
+            and not cjob.spec.return_factors
+        ):
+            # outside the hot path it would be nicer to push without the
+            # lock held, but put() on a live cache is cheap and the lock
+            # keeps fill ordering consistent with the ledger
+            self.replicator.on_fill(cjob.spec.key, res.payload,
+                                    ran_on=cjob.shard_id)
+        self._done.notify_all()
+
+    # -- failure recovery ----------------------------------------------------
+
+    def evict_pending(self, shard_id: str) -> "list[_ClusterJob]":
+        """Atomically claim a dead shard's in-flight cluster jobs.
+
+        Must run *before* the shard restarts: the replacement service
+        issues job ids from zero, and a stale ledger entry with a
+        colliding id would collect the wrong job's result.
+        """
+        with self._lock:
+            table = self._pending.get(shard_id, {})
+            lost = list(table.values())
+            table.clear()
+            return lost
+
+    def replay(self, shard_id: str, lost: "list[_ClusterJob]") -> dict:
+        """Re-place a dead shard's lost jobs through the retry taxonomy.
+
+        Each lost job charges one ``WORKER_LOST`` attempt. Within
+        budget it is re-placed on the ring exactly like a fresh submit
+        (the restarted shard is usually back and owns its keys again;
+        rehydrated cache entries turn replays of completed-elsewhere
+        keys into hits). Budget exhausted, or no shard accepting → the
+        job resolves FAILED with a synthesized ``worker_lost`` result.
+        """
+        out = {"replayed": 0, "failed": 0}
+        for cjob in lost:
+            with self._lock:
+                if cjob.terminal:
+                    continue
+                # class_attempts counts *prior* same-class failures, so a
+                # first loss decides with 0 against the worker_lost budget
+                decision = self.retry.decide(WORKER_LOST, cjob.replays,
+                                             key=cjob.spec.key)
+                cjob.replays += 1
+                if decision.retry:
+                    placed = self._place(cjob)
+                    if placed.accepted:
+                        self.counts["replayed"] += 1
+                        out["replayed"] += 1
+                        continue
+                    reason = f"replay placement failed: {placed.reason}"
+                else:
+                    self.counts["replay_exhausted"] += 1
+                    reason = (
+                        f"shard {shard_id} lost the job and the "
+                        f"{WORKER_LOST} retry budget is exhausted "
+                        f"({decision.reason})"
+                    )
+                self._finish(cjob, JobResult(
+                    job_id=cjob.shard_job_id if cjob.shard_job_id is not None
+                    else -1,
+                    key=cjob.spec.key, status=FAILED,
+                    error=reason, failure_class=WORKER_LOST,
+                    retries=cjob.replays,
+                ))
+                out["failed"] += 1
+        return out
+
+    # -- queries -------------------------------------------------------------
+
+    def peek(self, cluster_id: int) -> JobResult | None:
+        with self._lock:
+            cjob = self._jobs.get(cluster_id)
+            return cjob.result if cjob is not None else None
+
+    def describe(self, cluster_id: int) -> dict | None:
+        """Cluster-level metadata the per-shard JobResult can't know."""
+        with self._lock:
+            cjob = self._jobs.get(cluster_id)
+            if cjob is None:
+                return None
+            out = {
+                "cluster_id": cjob.cluster_id,
+                "key": cjob.spec.key,
+                "shard": cjob.shard_id,
+                "route": cjob.route,
+                "replays": cjob.replays,
+                "terminal": cjob.terminal,
+            }
+            if cjob.terminal:
+                out["latency_s"] = round(cjob.finished_at - cjob.submitted_at, 6)
+                out["status"] = cjob.result.status
+            return out
+
+    def result(self, cluster_id: int, timeout: float | None = None) -> JobResult:
+        """Block until the cluster job is terminal."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._done:
+            if cluster_id not in self._jobs:
+                raise KeyError(f"unknown cluster job id {cluster_id}")
+            while True:
+                cjob = self._jobs[cluster_id]
+                if cjob.terminal:
+                    return cjob.result
+                wait = None if deadline is None else deadline - time.monotonic()
+                if wait is not None and wait <= 0:
+                    raise TimeoutError(
+                        f"cluster job {cluster_id} not terminal within {timeout}s"
+                    )
+                self._done.wait(timeout=wait if wait is not None else 0.5)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Wait until every accepted cluster job is terminal."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._done:
+            while any(not j.terminal for j in self._jobs.values()):
+                wait = None if deadline is None else deadline - time.monotonic()
+                if wait is not None and wait <= 0:
+                    raise TimeoutError("cluster drain timed out")
+                self._done.wait(timeout=wait if wait is not None else 0.5)
+
+    def latencies(self) -> "list[float]":
+        """Completed-job latencies (seconds), for tail-latency checks."""
+        with self._lock:
+            return sorted(
+                j.finished_at - j.submitted_at
+                for j in self._jobs.values()
+                if j.terminal and j.finished_at > 0
+            )
+
+    def stats(self) -> dict:
+        with self._lock:
+            pending = {sid: len(t) for sid, t in self._pending.items() if t}
+            return {
+                "counts": dict(self.counts),
+                "pending": pending,
+                "jobs": len(self._jobs),
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            for table in self._pending.values():
+                table.clear()
+            self._done.notify_all()
+        self._collector.join(timeout=5)

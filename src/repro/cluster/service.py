@@ -1,0 +1,230 @@
+"""`ClusterService` — the one-handle facade over the sharded serve tier.
+
+Mirrors :class:`repro.serve.service.HessService` shape-for-shape —
+``submit`` / ``submit_batch`` / ``submit_wait`` / ``result`` /
+``drain`` / ``stats`` / ``close`` / context manager — so anything
+written against one service scales to a fleet by swapping the
+constructor. Each shard is a full ``HessService`` built from the same
+keyword set; the cluster adds the ring, the router, cache replication,
+and the health monitor on top.
+
+    with ClusterService(shards=3, workers=1, small_n_threshold=64) as svc:
+        subs = svc.submit_batch(specs)
+        svc.drain(timeout=120)
+        res = svc.result(subs[0].job_id)
+        print(svc.stats()["router"]["counts"])
+
+``kill_shard(i)`` is the chaos hook the failover test and the CLI's
+``--chaos-kill-shard`` flag use: it fails one shard the way a node loss
+would and (by default) lets the health monitor revive it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.cluster.health import HealthMonitor
+from repro.cluster.replicate import CacheReplicator
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterRouter, ClusterSubmission
+from repro.cluster.shard import Shard
+from repro.serve.jobs import JobResult, JobSpec
+from repro.serve.retry import RetryPolicy
+from repro.serve.service import HessService
+
+
+class ClusterService:
+    """A sharded, replicated, self-healing batch-reduction service.
+
+    ``shards`` is the fleet size; the remaining serve keywords are
+    applied to every shard. ``spill_threshold`` is the per-shard queue
+    depth at which the router spills a job to the key's ring successor
+    (defaults to ``max_queue`` — spill only when the owner would
+    reject). ``replicate=False`` turns off the cache-replication hook;
+    ``auto_restart=False`` leaves dead shards down (the chaos tests
+    use both to isolate behaviours).
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 3,
+        vnodes: int = 64,
+        workers: int = 1,
+        max_queue: int = 64,
+        cache_bytes: int = 8 * 1024 * 1024,
+        retry: RetryPolicy | None = None,
+        small_n_threshold: int = 0,
+        default_timeout: float | None = None,
+        transport: str = "auto",
+        batch_max: int = 0,
+        batch_linger_ms: float = 5.0,
+        replicate: bool = True,
+        spill_threshold: int | None = None,
+        health_interval: float = 0.1,
+        auto_restart: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+
+        def factory() -> HessService:
+            return HessService(
+                workers=workers,
+                max_queue=max_queue,
+                cache_bytes=cache_bytes,
+                retry=retry,
+                small_n_threshold=small_n_threshold,
+                default_timeout=default_timeout,
+                transport=transport,
+                batch_max=batch_max,
+                batch_linger_ms=batch_linger_ms,
+            )
+
+        self.shards: dict[str, Shard] = {}
+        self.ring = HashRing(vnodes=vnodes)
+        for i in range(shards):
+            shard_id = f"shard-{i}"
+            self.shards[shard_id] = Shard(shard_id, factory)
+            self.ring.add(shard_id)
+
+        self.replicator = (
+            CacheReplicator(self.ring, self.shards)
+            if replicate and cache_bytes > 0 else None
+        )
+        self.router = ClusterRouter(
+            self.ring,
+            self.shards,
+            retry=retry,
+            replicator=self.replicator,
+            spill_threshold=(
+                spill_threshold if spill_threshold is not None else max_queue
+            ),
+        )
+        self.monitor = HealthMonitor(
+            self.shards,
+            self.router,
+            replicator=self.replicator,
+            interval=health_interval,
+            auto_restart=auto_restart,
+        )
+        self._closed = False
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> ClusterSubmission:
+        """Admit one job onto the fleet (never blocks)."""
+        return self.router.submit(spec)
+
+    def submit_batch(self, specs: Iterable[JobSpec]) -> list[ClusterSubmission]:
+        return [self.submit(spec) for spec in specs]
+
+    def submit_wait(self, spec: JobSpec, *, poll: float = 0.02,
+                    attempts: int = 10_000) -> ClusterSubmission:
+        """Submit, waiting out fleet-wide backpressure (every shard
+        saturated) by polling; invalid specs reject immediately."""
+        import time
+
+        last = self.submit(spec)
+        tries = 0
+        while not last.accepted and last.reason.startswith("backpressure") and tries < attempts:
+            time.sleep(poll)
+            last = self.submit(spec)
+            tries += 1
+        return last
+
+    # -- queries / control ---------------------------------------------------
+
+    def peek(self, job_id: int) -> JobResult | None:
+        return self.router.peek(job_id)
+
+    def result(self, job_id: int, timeout: float | None = None) -> JobResult:
+        """Block until the cluster job is terminal."""
+        return self.router.result(job_id, timeout)
+
+    def describe(self, job_id: int) -> dict | None:
+        """Placement metadata: shard, route, replays, latency."""
+        return self.router.describe(job_id)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Wait until every accepted cluster job is terminal."""
+        self.router.drain(timeout)
+
+    def stats(self) -> dict:
+        """Fleet-wide stats: ring, router, per-shard, replication, health."""
+        return {
+            "ring": self.ring.stats(),
+            "router": self.router.stats(),
+            "shards": {sid: s.stats() for sid, s in self.shards.items()},
+            "replication": (
+                self.replicator.stats() if self.replicator is not None else None
+            ),
+            "health": self.monitor.stats(),
+        }
+
+    def events(self) -> Iterator[dict]:
+        """Merged progress events from every live shard (best-effort:
+        shards that restart re-subscribe on the next call)."""
+        import queue as _queue
+
+        qs = [
+            (sid, shard.service.subscribe())
+            for sid, shard in self.shards.items()
+            if shard.heartbeat()
+        ]
+        while not self._closed:
+            idle = True
+            for sid, q in qs:
+                try:
+                    event = q.get_nowait()
+                except _queue.Empty:
+                    continue
+                idle = False
+                event = dict(event)
+                event["shard"] = sid
+                yield event
+            if idle:
+                import time
+
+                time.sleep(0.05)
+
+    # -- chaos ---------------------------------------------------------------
+
+    def kill_shard(self, index_or_id: "int | str") -> str:
+        """Fail one shard as a node loss would (chaos hook).
+
+        With ``auto_restart`` on, the health monitor revives it within
+        about one heartbeat interval; the shard's in-flight jobs replay
+        through the retry budget. Returns the killed shard's id.
+        """
+        shard_id = (
+            index_or_id if isinstance(index_or_id, str)
+            else f"shard-{index_or_id}"
+        )
+        shard = self.shards[shard_id]
+        shard.kill()
+        return shard_id
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        if self._closed:
+            return
+        if drain:
+            try:
+                self.router.drain(timeout)
+            except TimeoutError:
+                pass
+        self._closed = True
+        self.monitor.close()
+        self.router.close()
+        for shard in self.shards.values():
+            try:
+                shard.close(drain=False, timeout=timeout)
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)

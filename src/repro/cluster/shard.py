@@ -1,0 +1,111 @@
+"""One cluster shard: a full `HessService` plus lifecycle metadata.
+
+A shard is the cluster's unit of failure and recovery. It wraps a
+:class:`repro.serve.service.HessService` (scheduler + resilient pool +
+result cache) with the three things the routing and health layers need
+and the service itself deliberately doesn't track:
+
+* **identity** — a stable ``shard_id`` that survives restarts, because
+  the hash ring and the replica ledger are keyed by it;
+* **generation** — bumped on every restart, so a router holding job ids
+  issued by the *old* service instance can tell they are stale (the new
+  service restarts its job-id counter from zero and would otherwise
+  alias them);
+* **a factory** — the zero-argument callable that builds a replacement
+  ``HessService`` with the same configuration, which is what makes
+  :meth:`restart` possible without the health layer knowing any serve
+  parameters.
+
+``kill()`` is the chaos hook: it marks the shard dead *first* and then
+tears the service down without draining, which is the closest
+in-process analogue of a node loss that still releases the service's
+worker processes and shm segments (the test suite's leak guard treats a
+leaked segment as a failure, and a real SIGKILL here would orphan the
+pool of the shard's own children).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.serve.service import HessService
+
+
+class Shard:
+    """A named, restartable `HessService` slot in the cluster."""
+
+    def __init__(self, shard_id: str, factory: Callable[[], HessService]) -> None:
+        self.shard_id = shard_id
+        self._factory = factory
+        self.service = factory()
+        self.alive = True
+        self.generation = 0
+        self.restarts = 0
+
+    # -- health --------------------------------------------------------------
+
+    def heartbeat(self) -> bool:
+        """Is the shard taking work? False once killed or once the
+        service's loop thread has died underneath it."""
+        return self.alive and self.service.alive
+
+    def queue_depth(self) -> int:
+        """Admission pressure; dead shards report +inf so routing math
+        never prefers them."""
+        if not self.heartbeat():
+            return 1 << 30
+        return self.service.queue_depth()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def kill(self) -> None:
+        """Chaos hook: fail the shard as a node loss would.
+
+        Marks the shard dead before touching the service so concurrent
+        heartbeats observe the failure immediately, then tears the
+        service down without draining — in-flight jobs are abandoned,
+        exactly what the router's replay path exists to recover.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        try:
+            self.service.close(drain=False, timeout=5)
+        except Exception:
+            # a wedged close is part of the failure being simulated;
+            # the replacement service comes from restart()
+            pass
+
+    def restart(self) -> HessService:
+        """Build a fresh service in this slot (new generation)."""
+        if self.alive:
+            # crash-restart path for a service whose loop died on its own
+            try:
+                self.service.close(drain=False, timeout=5)
+            except Exception:
+                pass
+        self.service = self._factory()
+        self.generation += 1
+        self.restarts += 1
+        self.alive = True
+        return self.service
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Orderly shutdown (cluster close path, not a failure)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.service.close(drain=drain, timeout=timeout)
+
+    def stats(self) -> dict:
+        """JSON-safe shard description for cluster stats dumps."""
+        out = {
+            "shard_id": self.shard_id,
+            "alive": self.heartbeat(),
+            "generation": self.generation,
+            "restarts": self.restarts,
+        }
+        if self.heartbeat():
+            out["uptime_s"] = round(self.service.uptime_s(), 3)
+            out["queue_depth"] = self.service.queue_depth()
+        return out

@@ -55,7 +55,12 @@ from repro.errors import EscalationExhausted, ReproError
 from repro.faults.injector import QR_SPACES, FaultInjector, FaultSpec
 from repro.resilience.ladder import max_tier as _deepest_tier
 from repro.utils.procpool import ResilientProcessPool
-from repro.utils.shm import SegmentRegistry, SharedMatrix, use_shm_for
+from repro.utils.shm import (
+    SegmentRegistry,
+    SharedMatrix,
+    sweep_stale_segments,
+    use_shm_for,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
     from repro.core.config import FTConfig
@@ -488,8 +493,12 @@ def run_ft_trials(
     payload_a: "np.ndarray | SharedMatrix" = a
     registry = None
     if use_shm_for(a.nbytes, transport, min_bytes=shm_min_bytes):
-        registry = SegmentRegistry()
+        registry = SegmentRegistry()  # its constructor sweeps stale segments
         payload_a = SharedMatrix.create(a, registry=registry)
+    else:
+        # the pickle path builds no registry, so nothing else reclaims
+        # dead-pid segments a previous crashed run left in /dev/shm
+        sweep_stale_segments()
 
     queue = list(range(len(chunks)))
     attempts = {ci: 0 for ci in queue}

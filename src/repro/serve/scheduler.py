@@ -249,12 +249,18 @@ class AsyncScheduler:
         self._t0 = time.perf_counter()
         self._counts = collections.Counter()
         self._tier_tally: collections.Counter = collections.Counter()
+        self._swept_at_start = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
         if self._runners:
             return
+        # Reclaim dead-pid shm segments from a previous crashed run now,
+        # not on the first pool rebuild: a SIGKILLed service leaves
+        # orphans that would otherwise sit in /dev/shm until this
+        # scheduler's first worker crash.
+        self._swept_at_start = self._registry.sweep()
         # Fork the pool's workers now, before any job traffic exists.
         # A lazy first fork can land while a batch-lane executor thread
         # holds a lock mid-execution; the child inherits the locked
@@ -300,6 +306,22 @@ class AsyncScheduler:
 
     def _now(self) -> float:
         return time.perf_counter() - self._t0
+
+    # -- gauges (cheap, lock-free reads for health checks) --------------------
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this scheduler was constructed."""
+        return self._now()
+
+    @property
+    def queue_depth(self) -> int:
+        """Work items currently queued or running (admission pressure).
+
+        The gauge a health/routing layer polls per submission — a plain
+        attribute read, unlike :meth:`stats` which builds a full dict.
+        """
+        return self._queued + self._running
 
     # -- submission ----------------------------------------------------------
 
@@ -828,12 +850,14 @@ class AsyncScheduler:
             "max_queue": self.max_queue,
             "queued": self._queued,
             "running": self._running,
+            "queue_depth": self.queue_depth,
             "counts": counts,
             "pool_rebuilds": self._pool.rebuilds,
             "data_plane": {
                 "transport": self.transport,
                 "shm_min_bytes": self.shm_min_bytes,
                 "shm_available": shm_available(),
+                "swept_at_start": self._swept_at_start,
                 **self._registry.stats(),
             },
             "tier_tally": dict(self._tier_tally),

@@ -19,6 +19,8 @@ class TestParser:
             ["demo", "--n", "96"],
             ["submit", "--jobs", "jobs.jsonl", "--workers", "4"],
             ["serve", "--jobs", "-", "--max-queue", "8", "--cache-mb", "16"],
+            ["cluster", "--jobs", "jobs.jsonl", "--shards", "3",
+             "--chaos-kill-shard", "0", "--chaos-kill-after", "4"],
             ["trace", "--n", "256", "--chrome", "t.json", "--csv", "t.csv"],
         ):
             assert p.parse_args(args).command == args[0]
@@ -147,6 +149,39 @@ class TestSubmitCommand:
         jobs.write_text('{"driver": "gehrd", "n": 32}\n{not json}\n')
         with pytest.raises(SystemExit):
             main(["submit", "--jobs", str(jobs)])
+
+
+class TestClusterCommand:
+    def test_cluster_runs_jsonl_batch(self, capsys, tmp_path):
+        import json
+
+        jobs = tmp_path / "jobs.jsonl"
+        lines = []
+        for seed in range(8):
+            lines.append(json.dumps({"driver": "ft_gehrd", "n": 32,
+                                     "seed": seed}))
+        jobs.write_text("\n".join(lines) + "\n")
+        stats_file = tmp_path / "stats.json"
+        assert main(
+            [
+                "cluster", "--jobs", str(jobs), "--shards", "2",
+                "--small-n", "64", "--stats", str(stats_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cluster of 2 shards" in out
+        assert "routes: owner=8" in out
+        stats = json.loads(stats_file.read_text())
+        assert stats["jobs"] == 8
+        assert stats["stats"]["router"]["counts"]["done"] == 8
+        assert stats["p99_latency_s"] is not None
+
+    def test_cluster_chaos_kill_index_validated(self, tmp_path):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text('{"driver": "ft_gehrd", "n": 32, "seed": 0}\n')
+        with pytest.raises(SystemExit, match="not a shard index"):
+            main(["cluster", "--jobs", str(jobs), "--shards", "2",
+                  "--chaos-kill-shard", "5"])
 
 
 class TestCoverageCommand:

@@ -1,0 +1,262 @@
+"""Tests for the sharded serve tier (``repro.cluster``).
+
+The chaos scenario here is the subsystem's acceptance gate: kill a
+shard while its jobs are in flight and the cluster must (a) lose zero
+jobs — every accepted submission reaches a terminal state, the lost
+ones replayed through the ``worker_lost`` retry budget; (b) restart
+the shard automatically; and (c) serve at least one cache hit for a
+key the dead shard owned, out of the replicated/rehydrated cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterService, HashRing
+from repro.serve import JobSpec, RetryPolicy
+from repro.serve.jobs import DONE, FAILED
+from repro.serve.retry import WORKER_LOST
+
+
+def key_owned_by(svc: ClusterService, shard_id: str, *, n: int = 24) -> JobSpec:
+    """A small job whose content key the given shard owns."""
+    for seed in range(500):
+        spec = JobSpec(driver="ft_gehrd", n=n, seed=seed)
+        if svc.ring.owner(spec.key) == shard_id:
+            return spec
+    raise AssertionError(f"no key owned by {shard_id} in 500 seeds")
+
+
+class TestRouting:
+    def test_batch_places_by_ring_owner_and_completes(self):
+        with ClusterService(shards=3, workers=1, small_n_threshold=64,
+                            health_interval=5.0) as svc:
+            specs = [JobSpec(driver="ft_gehrd", n=24, seed=s) for s in range(12)]
+            subs = svc.submit_batch(specs)
+            assert all(s.accepted for s in subs)
+            for spec, sub in zip(specs, subs):
+                assert sub.route == "owner"
+                assert sub.shard == svc.ring.owner(spec.key)
+            svc.drain(timeout=60)
+            results = [svc.result(s.job_id) for s in subs]
+            assert all(r.status == DONE for r in results)
+
+    def test_duplicate_key_hits_shard_cache(self):
+        with ClusterService(shards=2, workers=1, small_n_threshold=64,
+                            health_interval=5.0) as svc:
+            spec = JobSpec(driver="ft_gehrd", n=24, seed=7)
+            first = svc.submit(spec)
+            assert svc.result(first.job_id, timeout=60).status == DONE
+            again = svc.submit(JobSpec(driver="ft_gehrd", n=24, seed=7))
+            res = svc.result(again.job_id, timeout=60)
+            assert res.status == DONE
+            assert res.cache_hit  # same shard via the ring => warm cache
+
+    def test_cross_shard_coalescing_while_leader_in_flight(self):
+        # in-thread lane keeps the leader busy long enough on 1 CPU for
+        # the duplicate to arrive while it is non-terminal
+        with ClusterService(shards=2, workers=1, small_n_threshold=256,
+                            health_interval=5.0) as svc:
+            spec = JobSpec(driver="ft_gehrd", n=160, seed=1)
+            leader = svc.submit(spec)
+            dup = svc.submit(JobSpec(driver="ft_gehrd", n=160, seed=1))
+            svc.drain(timeout=120)
+            assert svc.result(leader.job_id).status == DONE
+            assert svc.result(dup.job_id).status == DONE
+            if dup.route == "coalesced":
+                # both ids resolve to the same underlying result
+                assert (svc.result(dup.job_id).payload
+                        == svc.result(leader.job_id).payload)
+            else:
+                # leader already finished: duplicate must be a cache hit
+                assert svc.result(dup.job_id).cache_hit
+
+    def test_invalid_spec_rejected_with_reason(self):
+        with ClusterService(shards=2, workers=1, small_n_threshold=64,
+                            health_interval=5.0) as svc:
+            sub = svc.submit(JobSpec(driver="ft_gehrd", n=-3, seed=0))
+            assert not sub.accepted
+            assert sub.reason.startswith("invalid")
+
+    def test_unknown_job_id_raises(self):
+        with ClusterService(shards=1, workers=1, small_n_threshold=64,
+                            health_interval=5.0) as svc:
+            with pytest.raises(KeyError):
+                svc.result(999)
+
+    def test_spillover_when_owner_saturated(self):
+        # spill_threshold=0 treats every non-last-resort shard as
+        # saturated, so the owner is always skipped: pure spillover
+        with ClusterService(shards=2, workers=1, small_n_threshold=64,
+                            spill_threshold=0, health_interval=5.0) as svc:
+            spec = JobSpec(driver="ft_gehrd", n=24, seed=3)
+            sub = svc.submit(spec)
+            assert sub.accepted
+            assert sub.route == "spillover"
+            assert sub.shard != svc.ring.owner(spec.key)
+            assert svc.result(sub.job_id, timeout=60).status == DONE
+
+    def test_describe_reports_placement(self):
+        with ClusterService(shards=2, workers=1, small_n_threshold=64,
+                            health_interval=5.0) as svc:
+            sub = svc.submit(JobSpec(driver="ft_gehrd", n=24, seed=11))
+            svc.drain(timeout=60)
+            d = svc.describe(sub.job_id)
+            assert d["shard"] == sub.shard
+            assert d["route"] == "owner"
+            assert d["terminal"] and d["status"] == DONE
+            assert d["latency_s"] > 0
+            assert svc.describe(12345) is None
+
+
+class TestReplication:
+    def test_push_on_fill_lands_in_successor_cache(self):
+        with ClusterService(shards=3, workers=1, small_n_threshold=64,
+                            health_interval=5.0) as svc:
+            spec = JobSpec(driver="ft_gehrd", n=24, seed=5)
+            sub = svc.submit(spec)
+            assert svc.result(sub.job_id, timeout=60).status == DONE
+            succ = svc.ring.successor(spec.key)
+            assert succ != sub.shard
+            replica = svc.shards[succ].service.cache.get(spec.key)
+            assert replica is not None
+            assert replica == svc.result(sub.job_id).payload
+
+    def test_replicate_false_disables_the_hook(self):
+        with ClusterService(shards=2, workers=1, small_n_threshold=64,
+                            replicate=False, health_interval=5.0) as svc:
+            assert svc.replicator is None
+            sub = svc.submit(JobSpec(driver="ft_gehrd", n=24, seed=5))
+            assert svc.result(sub.job_id, timeout=60).status == DONE
+            assert svc.stats()["replication"] is None
+
+
+class TestFailover:
+    def test_dead_shard_keys_route_to_survivors(self):
+        with ClusterService(shards=3, workers=1, small_n_threshold=64,
+                            auto_restart=False, health_interval=5.0) as svc:
+            spec = key_owned_by(svc, "shard-1")
+            svc.kill_shard(1)
+            sub = svc.submit(spec)
+            assert sub.accepted
+            assert sub.route == "failover"
+            assert sub.shard != "shard-1"
+            assert svc.result(sub.job_id, timeout=60).status == DONE
+
+    def test_all_shards_dead_is_a_structured_rejection(self):
+        with ClusterService(shards=2, workers=1, small_n_threshold=64,
+                            auto_restart=False, health_interval=5.0) as svc:
+            svc.kill_shard(0)
+            svc.kill_shard(1)
+            sub = svc.submit(JobSpec(driver="ft_gehrd", n=24, seed=0))
+            assert not sub.accepted
+            assert "no live shard" in sub.reason
+
+
+class TestChaos:
+    def test_kill_mid_batch_loses_nothing_and_replica_serves(self):
+        with ClusterService(shards=3, workers=1, small_n_threshold=0,
+                            health_interval=0.05) as svc:
+            # a key shard-0 owns, completed and therefore replicated
+            probe = key_owned_by(svc, "shard-0")
+            assert svc.result(svc.submit(probe).job_id, timeout=120).status == DONE
+
+            # heavy pool-lane jobs so shard-0 has work in flight to lose
+            specs = [JobSpec(driver="ft_gehrd", n=384, seed=1000 + i)
+                     for i in range(9)]
+            subs = svc.submit_batch(specs)
+            assert all(s.accepted for s in subs)
+            svc.kill_shard(0)
+            svc.drain(timeout=240)
+
+            # (a) zero lost jobs: every submission is terminal and done
+            results = [svc.result(s.job_id) for s in subs]
+            assert all(r.status == DONE for r in results)
+
+            # (b) the shard came back and its losses were replayed
+            health = svc.stats()["health"]
+            assert health["restarts"] >= 1
+            assert svc.shards["shard-0"].heartbeat()
+            replayed = [svc.describe(s.job_id)["replays"] for s in subs]
+            assert sum(replayed) >= 1
+
+            # (c) a key the dead shard owned serves from the replicated
+            # (rehydrated) cache rather than recomputing
+            again = svc.submit(probe)
+            res = svc.result(again.job_id, timeout=120)
+            assert res.status == DONE
+            assert res.cache_hit
+
+            # bounded tail: no completed job waited unreasonably long
+            latencies = svc.router.latencies()
+            assert latencies and latencies[-1] < 240
+
+    def test_replay_budget_exhaustion_fails_explicitly(self):
+        # worker_lost_retries=0 => the first loss is final, but it must
+        # surface as a classified failure, never a hang or a lost job
+        policy = RetryPolicy(worker_lost_retries=0)
+        with ClusterService(shards=2, workers=1, small_n_threshold=0,
+                            retry=policy, health_interval=0.05) as svc:
+            specs = [JobSpec(driver="ft_gehrd", n=384, seed=2000 + i)
+                     for i in range(6)]
+            subs = svc.submit_batch(specs)
+            pending = {
+                sid: len(t) for sid, t in svc.router._pending.items()
+            }
+            svc.kill_shard(0)
+            svc.drain(timeout=240)
+            results = [svc.result(s.job_id) for s in subs]
+            assert all(r.terminal for r in results)
+            if pending.get("shard-0", 0) > 0:
+                lost = [r for r in results if r.status == FAILED]
+                assert lost, "in-flight jobs on the killed shard must fail"
+                assert all(r.failure_class == WORKER_LOST for r in lost)
+                assert all("exhausted" in r.error for r in lost)
+
+
+class TestLifecycle:
+    def test_stats_shape(self):
+        with ClusterService(shards=2, workers=1, small_n_threshold=64,
+                            health_interval=5.0) as svc:
+            st = svc.stats()
+            assert st["ring"]["shards"] == ["shard-0", "shard-1"]
+            assert set(st["shards"]) == {"shard-0", "shard-1"}
+            for shard_stats in st["shards"].values():
+                assert shard_stats["alive"]
+                assert shard_stats["uptime_s"] >= 0
+                assert shard_stats["queue_depth"] == 0
+            assert st["router"]["counts"]["accepted"] == 0
+            assert st["health"]["interval_s"] == 5.0
+
+    def test_submit_after_close_rejected(self):
+        svc = ClusterService(shards=1, workers=1, small_n_threshold=64,
+                             health_interval=5.0)
+        svc.close()
+        sub = svc.submit(JobSpec(driver="ft_gehrd", n=24, seed=0))
+        assert not sub.accepted
+        assert "closed" in sub.reason
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClusterService(shards=0)
+
+    def test_close_is_idempotent_and_quick(self):
+        svc = ClusterService(shards=2, workers=1, small_n_threshold=64,
+                             health_interval=5.0)
+        t0 = time.monotonic()
+        svc.close()
+        svc.close()
+        assert time.monotonic() - t0 < 30
+
+
+class TestRingIntegration:
+    def test_cluster_uses_content_keys_not_job_ids(self):
+        # the ring sees JobSpec.key, so logically identical specs from
+        # different submitters land on the same shard
+        ring = HashRing(["s0", "s1", "s2"])
+        a = JobSpec(driver="ft_gehrd", n=96, seed=3, submitter="alice")
+        b = JobSpec(driver="ft_gehrd", n=96, seed=3, submitter="bob")
+        assert a.key == b.key
+        assert ring.owner(a.key) == ring.owner(b.key)

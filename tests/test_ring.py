@@ -1,0 +1,118 @@
+"""Tests for the consistent-hash ring (``repro.cluster.ring``).
+
+The two properties the cluster tier leans on are tested directly:
+*uniformity* — with virtual nodes, each shard owns about K/N of a key
+population, so no shard becomes a hot spot; and *minimal movement* —
+a membership change remaps only the keys whose arcs it touched (about
+K/N of them), so scaling or restarting the fleet doesn't cold-start
+every shard's cache at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HashRing
+
+KEYS = [f"job-key-{i:05d}" for i in range(4000)]
+
+
+class TestMembership:
+    def test_add_remove_roundtrip(self):
+        ring = HashRing(["a", "b"])
+        assert ring.shards == ["a", "b"]
+        assert len(ring) == 2 and "a" in ring
+        ring.add("c")
+        assert ring.shards == ["a", "b", "c"]
+        ring.remove("b")
+        assert ring.shards == ["a", "c"]
+
+    def test_double_add_is_an_error(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add("a")
+
+    def test_remove_unknown_is_an_error(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            HashRing(["a"]).remove("b")
+
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(LookupError):
+            HashRing().owner("k")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestPlacement:
+    def test_owner_is_deterministic(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order is irrelevant
+        for key in KEYS[:200]:
+            assert a.owner(key) == b.owner(key)
+
+    def test_preference_starts_at_owner_and_covers_fleet(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for key in KEYS[:100]:
+            order = ring.preference(key)
+            assert order[0] == ring.owner(key)
+            assert sorted(order) == ring.shards  # every shard, no dupes
+
+    def test_successor_differs_from_owner_on_multi_shard_ring(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        for key in KEYS[:100]:
+            assert ring.successor(key) != ring.owner(key)
+
+    def test_successor_on_single_shard_ring_is_the_owner(self):
+        ring = HashRing(["only"])
+        assert ring.successor("k") == "only"
+
+    def test_uniform_distribution(self):
+        """Every shard's share stays within 2x of the ideal K/N."""
+        shards = [f"s{i}" for i in range(4)]
+        ring = HashRing(shards)
+        counts = {sid: 0 for sid in shards}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        ideal = len(KEYS) / len(shards)
+        for sid, got in counts.items():
+            assert 0.5 * ideal <= got <= 1.5 * ideal, (sid, counts)
+
+
+class TestMinimalMovement:
+    def test_add_moves_at_most_its_fair_share_and_only_to_itself(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.add("s3")
+        moved = [key for key in KEYS if ring.owner(key) != before[key]]
+        # the strong form of the consistent-hashing contract: a key
+        # either stays put or moves to the new shard, never between
+        # survivors
+        assert all(ring.owner(key) == "s3" for key in moved)
+        # and the new shard takes about K/N, not the whole population
+        assert len(moved) <= 1.5 * len(KEYS) / 4
+        assert len(moved) >= 0.5 * len(KEYS) / 4  # it does take real load
+
+    def test_remove_moves_only_the_dead_shards_keys(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.remove("s3")
+        for key in KEYS:
+            if before[key] != "s3":
+                # survivors keep every key they had
+                assert ring.owner(key) == before[key]
+            else:
+                assert ring.owner(key) != "s3"
+
+    def test_add_then_remove_is_identity(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {key: ring.owner(key) for key in KEYS[:500]}
+        ring.add("s3")
+        ring.remove("s3")
+        assert {key: ring.owner(key) for key in KEYS[:500]} == before
+
+    def test_stats_shape(self):
+        ring = HashRing(["a", "b"], vnodes=16)
+        assert ring.stats() == {"shards": ["a", "b"], "vnodes": 16,
+                                "points": 32}

@@ -617,3 +617,57 @@ class TestEigDrivers:
         # one reduction-stage detection plus one QR-stage detection
         assert payload["detections"] >= 2
         assert payload["recoveries"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# Health gauges + startup shm sweep (the cluster tier's inputs)
+# ---------------------------------------------------------------------------
+
+
+class TestHealthGauges:
+    def test_alive_uptime_and_queue_depth(self):
+        svc = HessService(workers=1, small_n_threshold=64)
+        try:
+            assert svc.alive
+            assert svc.uptime_s() >= 0.0
+            assert svc.queue_depth() == 0
+            before = svc.uptime_s()
+            time.sleep(0.05)
+            assert svc.uptime_s() > before
+        finally:
+            svc.close()
+        assert not svc.alive
+
+    def test_queue_depth_tracks_inflight_work(self):
+        with HessService(workers=1, small_n_threshold=0) as svc:
+            subs = svc.submit_batch(
+                JobSpec(driver="ft_gehrd", n=96, seed=s) for s in range(3)
+            )
+            assert all(s.accepted for s in subs)
+            # gauge reads without an event-loop hop, while work is queued
+            assert svc.queue_depth() >= 1
+            assert svc.stats()["queue_depth"] == svc.queue_depth()
+            svc.drain(timeout=120)
+            assert svc.queue_depth() == 0
+
+    def test_startup_sweep_reclaims_dead_pid_segments(self, tmp_path):
+        import os
+        import subprocess
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        # a segment named for a real-but-dead creator pid: what a
+        # SIGKILLed previous run leaves behind
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        stale = f"/dev/shm/repro-shm-{proc.pid}-feedbeef"
+        with open(stale, "wb") as fh:
+            fh.write(b"\0" * 64)
+        try:
+            with HessService(workers=1, small_n_threshold=64) as svc:
+                stats = svc.stats()
+            assert not os.path.exists(stale)
+            assert stats["data_plane"]["swept_at_start"] >= 0
+        finally:
+            if os.path.exists(stale):
+                os.unlink(stale)
