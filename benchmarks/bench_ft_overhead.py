@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Driver-level protection overhead: ``ft_gehrd`` vs unprotected ``gehrd``.
+
+The FT-GEMM papers report protection cost as a single number — the
+wall-clock overhead of the protected kernel against the unprotected one.
+This benchmark produces that number for the *whole reduction driver* (the
+paper's Fig. 6 metric): ``ft_gehrd(functional=True)`` — ABFT encoding,
+checksum-fused updates, per-iteration detection — against the plain
+``hybrid_gehrd`` on the same matrix, for both precision lanes.  Both
+sides pay the same simulated-runtime tax, so the delta is pure
+protection work.
+
+Each lane also reports the *measured flop* share of the ABFT categories
+from the instrumented driver's :class:`~repro.linalg.flops.FlopCounter`
+(the §V ``FLOP_extra / FLOP_total`` ratio), so wall-clock overhead can
+be read against the arithmetic the protection actually added.
+
+Run:  PYTHONPATH=src python benchmarks/bench_ft_overhead.py
+      [--quick] [--json PATH]
+
+``--quick`` shrinks the problem (n=128, fewer repeats) for CI smoke
+jobs; the full run uses the paper's n=512, nb=32.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import FTConfig, HybridConfig, ft_gehrd, hybrid_gehrd  # noqa: E402
+from repro.linalg.verify import extract_hessenberg                     # noqa: E402
+from repro.utils.rng import random_matrix                              # noqa: E402
+
+_ABFT_CATEGORIES = ("abft_init", "abft_maintain", "abft_detect", "abft_qprotect")
+
+
+def _best_of(fn, *, repeats: int) -> float:
+    """Best wall-clock of several runs (noise floor, not an average)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _lane(n: int, nb: int, dtype, *, repeats: int) -> dict:
+    a = random_matrix(n, seed=4, dtype=dtype)
+
+    def unprotected():
+        return hybrid_gehrd(a, HybridConfig(nb=nb))
+
+    def protected():
+        return ft_gehrd(a, FTConfig(nb=nb, functional=True))
+
+    res_plain = unprotected()
+    res_ft = protected()
+    h_plain = extract_hessenberg(res_plain.a)
+    h_ft = extract_hessenberg(res_ft.a)
+    hess_diff = float(
+        np.max(np.abs(h_ft - h_plain)) / max(float(np.max(np.abs(h_plain))), 1.0)
+    )
+    counter = res_ft.counter
+    abft_flops = counter.category_total(*_ABFT_CATEGORIES)
+    t_plain = _best_of(unprotected, repeats=repeats)
+    t_ft = _best_of(protected, repeats=repeats)
+    return {
+        "dtype": str(np.dtype(dtype)),
+        "gehrd_ms": t_plain * 1e3,
+        "ft_gehrd_ms": t_ft * 1e3,
+        "overhead_pct": (t_ft / t_plain - 1.0) * 100.0,
+        "abft_flop_pct": 100.0 * abft_flops / counter.total,
+        "hess_diff_rel": hess_diff,
+        "recoveries": len(res_ft.recoveries),
+    }
+
+
+def bench_ft_overhead(
+    n: int = 512, nb: int = 32, *, repeats: int = 3, quick: bool = False
+) -> dict:
+    """The ``ft_overhead`` BENCH row: both lanes at one problem size."""
+    if quick:
+        n, repeats = min(n, 128), min(repeats, 2)
+    return {
+        "n": n,
+        "nb": nb,
+        "fp64": _lane(n, nb, np.float64, repeats=repeats),
+        "fp32": _lane(n, nb, np.float32, repeats=repeats),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small-n smoke mode for CI (n=128, 2 repeats)")
+    ap.add_argument("--n", type=int, default=512)
+    ap.add_argument("--nb", type=int, default=32)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="also write the row to this JSON file")
+    args = ap.parse_args(argv)
+    row = bench_ft_overhead(args.n, args.nb, repeats=args.repeats, quick=args.quick)
+    text = json.dumps({"ft_overhead": row}, indent=2)
+    if args.json is not None:
+        args.json.write_text(text + "\n")
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,10 @@
 #!/usr/bin/env python
 """Before/after timings for the throughput layer, emitted as JSON.
 
-Runs three comparisons on this machine and writes ``BENCH_kernels.json``
-at the repository root (plus a copy under ``benchmarks/results/``):
+Runs the comparisons below on this machine and writes
+``BENCH_kernels.json`` at the repository root — the single source of
+truth; ``benchmarks/results/BENCH_kernels.json`` is maintained as a
+relative symlink to it so the two can never drift:
 
 * ``panel``           — ``lahr2``: frozen pre-pooling reference vs the
                         workspace-pooled kernel (n=512, nb=32, first panel);
@@ -41,7 +43,11 @@ at the repository root (plus a copy under ``benchmarks/results/``):
                         (FT reduction + checkpointed Francis QR) vs the
                         unprotected ``hybrid_gehrd`` +
                         ``hessenberg_eigvals`` path (fault-free
-                        overhead %, n=192).
+                        overhead %, n=192);
+* ``ft_overhead``     — the reduction driver alone: ``ft_gehrd`` vs
+                        unprotected ``hybrid_gehrd`` at the paper's
+                        n=512, both precision lanes, with the measured
+                        ABFT flop share (see ``bench_ft_overhead.py``).
 
 Honest wall-clock numbers: speedups are whatever this host produces —
 on a single-core box the campaign rows will show pool overhead, not
@@ -84,6 +90,7 @@ from repro.perf.workspace import Workspace                        # noqa: E402
 from repro.utils.rng import random_matrix                         # noqa: E402
 
 from bench_cluster import bench_cluster                           # noqa: E402
+from bench_ft_overhead import bench_ft_overhead                   # noqa: E402
 from bench_serve import (                                         # noqa: E402
     bench_serve,
     bench_serve_batched,
@@ -361,16 +368,23 @@ def main() -> None:
         "serve_dataplane": bench_serve_dataplane(),
         "cluster": bench_cluster(),
         "ft_eig": bench_ft_eig(),
+        "ft_overhead": bench_ft_overhead(),
     }
     payload["campaign_fp32"]["bytes_copied_vs_fp64"] = (
         payload["campaign"]["bytes_copied_shm"]
         / payload["campaign_fp32"]["bytes_copied_shm"]
     )
     text = json.dumps(payload, indent=2)
+    # Single writer: the root file is the only real copy. The results/
+    # entry is a relative symlink so the two can never disagree.
     (ROOT / "BENCH_kernels.json").write_text(text + "\n")
     results = ROOT / "benchmarks" / "results"
     results.mkdir(exist_ok=True)
-    (results / "BENCH_kernels.json").write_text(text + "\n")
+    link = results / "BENCH_kernels.json"
+    target = pathlib.Path("..") / ".." / "BENCH_kernels.json"
+    if not (link.is_symlink() and link.readlink() == target):
+        link.unlink(missing_ok=True)
+        link.symlink_to(target)
     print(text)
 
 

@@ -8,10 +8,18 @@ is F-contiguous (see :mod:`repro.batch.stack`) and a stacked matmul
 performs the identical per-item GEMM, the results agree with B scalar
 calls byte for byte.
 
-The only genuinely scalar piece of DLARFG — ``beta``/``tau`` from
+The only delicate piece of DLARFG — ``beta``/``tau`` from
 ``math.hypot``/``math.copysign`` (Python's hypot is correctly rounded;
-``np.hypot`` may differ by 1 ulp) — runs as a tiny per-item Python
-loop; the O(n) work (norm, scaling) stays vectorized.  Zero-norm items
+``np.hypot`` is allowed to differ by 1 ulp) — is vectorized through
+``np.hypot`` only after a one-time byte-parity probe
+(:func:`hypot_vectorizes_exactly`) proves that this platform's
+``np.hypot`` agrees bit-for-bit with ``math.hypot`` across an
+adversarial magnitude grid (denormals, near-overflow magnitudes,
+huge/tiny mixes) plus dense ordinary-mantissa pairs.  On platforms
+where the probe finds any mismatch, only the hypot itself falls back to
+a per-item ``math.hypot`` sweep — beta/tau/denominator stay vectorized
+— so batched-vs-scalar byte parity is preserved either way.  Zero-norm
+items
 take the LAPACK identity branch (``tau = 0``), enforced by masking the
 scaling so no ``0/0`` poisons the batch.
 """
@@ -30,6 +38,56 @@ from repro.linalg.lahr2 import PanelFactors
 from repro.perf.workspace import Workspace
 
 from repro.batch.stack import stack_buf
+
+#: Cached verdict of the np.hypot-vs-math.hypot byte-parity probe
+#: (``None`` until first use).
+_HYPOT_PARITY: bool | None = None
+
+
+def hypot_vectorizes_exactly() -> bool:
+    """One-time probe: does ``np.hypot`` match ``math.hypot`` bit-for-bit?
+
+    Python's ``math.hypot`` is correctly rounded by contract; C library
+    ``hypot`` (which ``np.hypot`` dispatches to) is correctly rounded on
+    every mainstream libm but is not *guaranteed* to be.  The probe
+    sweeps an adversarial magnitude grid — exact zeros, denormals,
+    values near the overflow/underflow thresholds, and huge/tiny mixed
+    pairs whose naive ``sqrt(a*a + b*b)`` would overflow or lose the
+    small operand — and compares the raw result bytes.  The verdict is
+    cached for the process; :func:`larfg_batched` only takes its
+    vectorized ``np.hypot`` tail when the probe passes, so a platform
+    with a sloppy libm silently keeps the byte-exact per-item loop.
+    """
+    global _HYPOT_PARITY
+    if _HYPOT_PARITY is None:
+        mags = np.array(
+            [
+                0.0,
+                5e-324,          # smallest subnormal
+                1e-310,          # subnormal
+                2.2250738585072014e-308,  # smallest normal
+                1e-300, 1e-155, 1e-30, 1e-16,
+                0.5, 1.0, 1.5, 3.0, 6.25, 1e3,
+                1e16, 1e30, 1e155, 1e300,
+                8.988465674311579e307,    # ~DBL_MAX/2
+            ]
+        )
+        a = np.repeat(mags, mags.size)
+        c = np.tile(mags, mags.size)
+        # Ordinary full-mantissa pairs are essential: NumPy builds where
+        # np.hypot is an in-house SIMD kernel rather than libm miss
+        # correct rounding on a dense fraction (~0.5%) of *typical*
+        # operands while agreeing on every special-magnitude case above,
+        # so a grid-only probe would pass exactly where it must fail.
+        rng = np.random.default_rng(0x5AFE)
+        ra = rng.standard_normal(8192) * np.exp(rng.uniform(-20, 20, 8192))
+        rc = np.abs(rng.standard_normal(8192)) * np.exp(rng.uniform(-20, 20, 8192))
+        a = np.concatenate([a, ra])
+        c = np.concatenate([c, rc])
+        got = np.hypot(a, c)
+        want = np.array([math.hypot(x, y) for x, y in zip(a.tolist(), c.tolist())])
+        _HYPOT_PARITY = got.tobytes() == want.tobytes()
+    return _HYPOT_PARITY
 
 
 @dataclass
@@ -89,16 +147,25 @@ def larfg_batched(
     xnorm = np.sqrt(np.matmul(x[:, None, :], x[:, :, None])[:, 0, 0])
     active = xnorm != 0.0
     denom = np.ones(b, dtype=x.dtype)
-    for i in range(b):
-        al = alpha[i]
-        if active[i]:
-            bt = -math.copysign(math.hypot(float(al), float(xnorm[i])), float(al))
-            beta[i] = bt
-            bt_c = beta[i]
-            tau[i] = (bt_c - al) / bt_c
-            denom[i] = al - bt_c
-        else:
-            beta[i] = al
+    # Vectorized tail.  The scalar kernel runs hypot/copysign on Python
+    # floats (i.e. in float64) and casts the result once into the lane
+    # dtype before deriving tau and the scaling denominator — reproduced
+    # here operation for operation, so the bytes match B scalar calls
+    # exactly.  Only the hypot itself is conditional: np.hypot when the
+    # one-time probe proved bit-parity with math.hypot, otherwise a
+    # per-item math.hypot sweep (hypot(|al|, 0) == |al| exactly, so
+    # running it for inactive items too is harmless — beta is
+    # overwritten with alpha for those below).
+    a64 = np.asarray(alpha, dtype=np.float64)
+    x64 = xnorm.astype(np.float64)
+    if hypot_vectorizes_exactly():
+        h64 = np.hypot(a64, x64)
+    else:
+        h64 = np.array([math.hypot(p, q) for p, q in zip(a64.tolist(), x64.tolist())])
+    beta[:] = alpha
+    np.copyto(beta, (-np.copysign(h64, a64)).astype(x.dtype), where=active)
+    np.divide(beta - alpha, beta, out=tau, where=active)
+    np.subtract(alpha, beta, out=denom, where=active)
     if active.all():
         x /= denom[:, None]
     else:
@@ -140,12 +207,19 @@ def lahr2_batched(
     v_full = stack_buf(workspace, "blahr2.v_full", b, rows, ib, zero=True, dtype=dt)
     y = stack_buf(workspace, "blahr2.y", b, n, ib, dtype=dt)
     t = stack_buf(workspace, "blahr2.t", b, ib, ib, zero=True, dtype=dt)
-    taus = np.zeros((b, ib), dtype=dt)
     g = stack_buf(workspace, "blahr2.g", b, m1, 1, dtype=dt)
     wj = stack_buf(workspace, "blahr2.wj", b, ib, 1, dtype=dt)
     wj2 = stack_buf(workspace, "blahr2.wj2", b, ib, 1, dtype=dt)
     v = v_full[:, p + 1 : n, :]
-    ei = np.zeros(b, dtype=dt)
+    # taus/ei are panel-lifetime outputs like v/t/y: pooled when an arena
+    # is supplied (the batched drivers copy them out right after the
+    # panel), freshly allocated otherwise.
+    if workspace is not None:
+        taus = workspace.buf("blahr2.taus", (b, ib), zero=True, dtype=dt)
+        ei = workspace.buf("blahr2.ei", (b,), zero=True, dtype=dt)
+    else:
+        taus = np.zeros((b, ib), dtype=dt)
+        ei = np.zeros(b, dtype=dt)
 
     for j in range(ib):
         c = p + j  # global column of reflector j

@@ -6,19 +6,26 @@ path (the workspace/BLAS path every production driver takes):
 * :func:`right_update_encoded_batched` /
   :func:`left_update_encoded_batched` mirror
   :mod:`repro.abft.checksums`' in-place GEMM forms — the stacked
-  ``[Y; Ychk][V2; Vce]^T`` product, the padded ``V_full (T^T V_full^T C)``
-  left apply, and the checksum-row corrections;
+  ``[Y; Ychk][V2; Vce]^T`` product and the fully-fused FT-GEMM left
+  apply (active-row-window projection, ``Vce`` stacked into the
+  checksum rows of ``v_full`` so data and checksum rows ride the same
+  apply GEMM);
 * :func:`apply_right_updates_batched` / :func:`apply_left_update_batched`
   mirror :mod:`repro.linalg.gehrd`'s fused updates;
 * :func:`gehd2_batched` is the stacked unblocked clean-up pass
   (DGEHD2): per column, one batched reflector generation plus the
   right/left similarity applications as stacked outer-product updates.
 
-``C -= A @ B^T`` into a scratch stack followed by an in-place subtract
-is bit-identical to the scalar ``dgemm(alpha=-1, beta=1)`` calls (IEEE
-addition of the negated product — same per-element operations, same
-accumulation order inside the per-item GEMM), which keeps the batched
-fast path byte-compatible with the scalar drivers.
+The apply products run as in-place per-item ``dgemm(alpha=-1, beta=1)``
+calls straight into the F-contiguous item slices of the stacks — no
+full-size ``prod``/``wrow`` temporaries, no extra memory sweep.  When
+scipy's BLAS wrapper is unavailable (or a caller hands a stack whose
+item slices are not F-contiguous) the kernels fall back to ``C -= A@B``
+through a pooled scratch stack, which is bit-identical to the in-place
+form (IEEE addition of the negated product — same per-element
+operations, same accumulation order inside the per-item GEMM).  Either
+way the batched fast path stays byte-compatible with the scalar
+drivers.
 """
 
 from __future__ import annotations
@@ -28,10 +35,17 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.linalg import flops as F
 from repro.linalg.flops import FlopCounter
-from repro.perf.workspace import Workspace
+from repro.perf.workspace import DGEMM, Workspace, gemm_inplace
 
 from repro.batch.panel import PanelFactorsBatch, larfg_batched
 from repro.batch.stack import EncodedMatrixBatch, stack_buf
+
+
+def _item_gemm_ok(stack: np.ndarray) -> bool:
+    """True when the per-item in-place DGEMM path may run on *stack*:
+    the BLAS wrapper is importable and the item slices are F-contiguous
+    (always the case for full-column slices of ``fstack`` storage)."""
+    return DGEMM is not None and (len(stack) == 0 or stack[0].flags.f_contiguous)
 
 # ---------------------------------------------------------------------------
 # checksum-extended updates (stacked repro.abft.checksums)
@@ -109,13 +123,17 @@ def right_update_encoded_batched(
     n, p, ib, k, b = emb.n, pf.p, pf.ib, emb.k, emb.b
     _check_blocks(emb, pf, vce, ychk)
     if counter is not None:
+        # mirrors the scalar kernel's FT-GEMM accounting: checksum
+        # columns/rows are operand extensions of the fused apply GEMM.
         counter.add("right_update", F.batched_flops(b, F.gemm_flops(n, n - p - ib, ib)))
-        counter.add("abft_maintain", F.batched_flops(b, k * F.gemv_flops(n, ib)))
+        counter.add("abft_maintain", F.batched_flops(b, F.gemm_flops(n, k, ib)))
         if ib > 1:
             counter.add(
                 "right_update", F.batched_flops(b, F.trmm_flops(p + 1, ib - 1, False))
             )
-        counter.add("abft_maintain", F.batched_flops(b, k * F.gemv_flops(n - p - ib, ib)))
+        counter.add(
+            "abft_maintain", F.batched_flops(b, F.abft_fused_rows_flops(k, n - p - ib, ib))
+        )
 
     nt = n - p - ib
     dt = emb.ext.dtype
@@ -125,9 +143,14 @@ def right_update_encoded_batched(
     v2ce = stack_buf(workspace, "bupd.v2ce", b, nt + k, ib, dtype=dt)
     v2ce[:, :nt, :] = pf.v[:, ib - 1 :, :]
     v2ce[:, nt:, :] = vce
-    prod = stack_buf(workspace, "bupd.right_prod", b, n + k, nt + k, dtype=dt)
-    np.matmul(yce, v2ce.transpose(0, 2, 1), out=prod)
-    emb.ext[:, :, p + ib : n + k] -= prod
+    cfull = emb.ext[:, :, p + ib : n + k]
+    if _item_gemm_ok(cfull):
+        for i in range(b):
+            gemm_inplace(-1.0, yce[i], v2ce[i], cfull[i], trans_b=True)
+    else:
+        prod = stack_buf(workspace, "bupd.right_prod", b, n + k, nt + k, dtype=dt)
+        np.matmul(yce, v2ce.transpose(0, 2, 1), out=prod)
+        cfull -= prod
     if ib > 1:
         w = stack_buf(workspace, "bupd.panel_top", b, p + 1, ib - 1, dtype=dt)
         np.matmul(
@@ -147,8 +170,14 @@ def left_update_encoded_batched(
     workspace: Workspace | None = None,
 ) -> None:
     """Stacked checksum-extended left update (Algorithm 3 line 11) in
-    the padded full-column form: ``C -= V_full (T^T (V_full^T C))`` over
-    the trailing extended columns, plus the checksum-row correction."""
+    the fully-fused FT-GEMM form of the scalar kernel: the projection
+    ``W = T^T (V^T C)`` runs on the active row window ``[p+1, n)`` (the
+    reference operands), then ``Vce`` is written into the checksum rows
+    of ``v_full`` so the single apply product updates data rows and
+    checksum rows together — zero separate checksum-row matmuls.  The
+    (k x k) corners absorb the ``Vce W`` spill over the checksum columns
+    (scratch by contract); ``v_full``'s zero-row contract is restored
+    before returning."""
     n, p, ib, k, b = emb.n, pf.p, pf.ib, emb.k, emb.b
     _check_blocks(emb, pf, vce, None)
     if counter is not None:
@@ -163,22 +192,36 @@ def left_update_encoded_batched(
                 + F.gemm_flops(m, ncols, ib),
             ),
         )
-        counter.add("abft_maintain", F.batched_flops(b, k * F.gemv_flops(ncols, ib)))
+        counter.add(
+            "abft_maintain", F.batched_flops(b, F.abft_fused_rows_flops(k, ncols, ib))
+        )
 
     cfull = emb.ext[:, :, p + ib : n + k]
     ncf = n + k - (p + ib)
     rows = emb.ext.shape[1]
     dt = emb.ext.dtype
-    w1 = stack_buf(workspace, "bupd.w1", b, ib, ncf, dtype=dt)
-    w2 = stack_buf(workspace, "bupd.w2", b, ib, ncf, dtype=dt)
-    np.matmul(pf.v_full.transpose(0, 2, 1), cfull, out=w1)
+    # per-item C-ordered intermediates mirror the scalar kernel's buffer
+    # order — the projection chain must see the reference's exact BLAS
+    # dispatch to keep the batched bytes equal to the scalar ones
+    if workspace is not None:
+        w1 = workspace.buf("bupd.w1c", (b, ib, ncf), order="C", dtype=dt)
+        w2 = workspace.buf("bupd.w2c", (b, ib, ncf), order="C", dtype=dt)
+    else:
+        w1 = np.empty((b, ib, ncf), dtype=dt)
+        w2 = np.empty((b, ib, ncf), dtype=dt)
+    np.matmul(pf.v.transpose(0, 2, 1), emb.ext[:, p + 1 : n, p + ib : n + k], out=w1)
     np.matmul(pf.t.transpose(0, 2, 1), w1, out=w2)
-    prod = stack_buf(workspace, "bupd.left_prod", b, rows, ncf, dtype=dt)
-    np.matmul(pf.v_full, w2, out=prod)
-    cfull -= prod
-    wrow = stack_buf(workspace, "bupd.wrow", b, k, n - p - ib, dtype=dt)
-    np.matmul(vce, w2[:, :, : n - p - ib], out=wrow)
-    emb.ext[:, n:, p + ib : n] -= wrow
+    pf.v_full[:, n:, :] = vce
+    try:
+        if _item_gemm_ok(cfull):
+            for i in range(b):
+                gemm_inplace(-1.0, pf.v_full[i], w2[i], cfull[i])
+        else:
+            prod = stack_buf(workspace, "bupd.left_prod", b, rows, ncf, dtype=dt)
+            np.matmul(pf.v_full, w2, out=prod)
+            cfull -= prod
+    finally:
+        pf.v_full[:, n:, :] = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -200,9 +243,16 @@ def apply_right_updates_batched(
     p, ib, b = pf.p, pf.ib, a.shape[0]
     if p + ib < n:
         v2 = pf.v[:, ib - 1 :, :]
-        prod = stack_buf(workspace, "bupd.right_prod", b, n, n - p - ib, dtype=a.dtype)
-        np.matmul(pf.y, v2.transpose(0, 2, 1), out=prod)
-        a[:, 0:n, p + ib : n] -= prod
+        target = a[:, 0:n, p + ib : n]
+        if _item_gemm_ok(target):
+            for i in range(b):
+                gemm_inplace(-1.0, pf.y[i], v2[i], target[i], trans_b=True)
+        else:
+            prod = stack_buf(
+                workspace, "bupd.right_prod", b, n, n - p - ib, dtype=a.dtype
+            )
+            np.matmul(pf.y, v2.transpose(0, 2, 1), out=prod)
+            target -= prod
         if counter is not None:
             counter.add(category, F.batched_flops(b, F.gemm_flops(n, n - p - ib, ib)))
     if ib > 1 and p + 1 > 0:
@@ -228,8 +278,9 @@ def apply_left_update_batched(
     workspace: Workspace | None = None,
 ) -> None:
     """Stacked mirror of :func:`repro.linalg.gehrd.apply_left_update`'s
-    fused padded form: ``C -= V_full (T^T (V_full^T C))`` over the
-    trailing full columns."""
+    fused form: the projection runs on the active row window
+    ``[p+1, n)`` and the padded apply ``C -= V_full W`` lands in-place
+    on the full-column item slices."""
     p, ib, b = pf.p, pf.ib, a.shape[0]
     ncols = a.shape[2] if ncols is None else ncols
     if p + ib >= ncols:
@@ -238,11 +289,15 @@ def apply_left_update_batched(
     ncf = ncols - (p + ib)
     w1 = stack_buf(workspace, "bupd.w1", b, ib, ncf, dtype=a.dtype)
     w2 = stack_buf(workspace, "bupd.w2", b, ib, ncf, dtype=a.dtype)
-    np.matmul(pf.v_full.transpose(0, 2, 1), cfull, out=w1)
+    np.matmul(pf.v.transpose(0, 2, 1), a[:, p + 1 : n, p + ib : ncols], out=w1)
     np.matmul(pf.t.transpose(0, 2, 1), w1, out=w2)
-    prod = stack_buf(workspace, "bupd.left_prod", b, a.shape[1], ncf, dtype=a.dtype)
-    np.matmul(pf.v_full, w2, out=prod)
-    cfull -= prod
+    if _item_gemm_ok(cfull):
+        for i in range(b):
+            gemm_inplace(-1.0, pf.v_full[i], w2[i], cfull[i])
+    else:
+        prod = stack_buf(workspace, "bupd.left_prod", b, a.shape[1], ncf, dtype=a.dtype)
+        np.matmul(pf.v_full, w2, out=prod)
+        cfull -= prod
     if counter is not None:
         m = n - p - 1
         counter.add(

@@ -74,6 +74,20 @@ def larfg_flops(n: int) -> int:
     return 3 * n
 
 
+def abft_fused_rows_flops(k: int, n: int, ib: int) -> int:
+    """Flops charged to *k* checksum rows riding a fused FT-GEMM apply.
+
+    In the FT-GEMM style updates (:mod:`repro.abft.checksums`) the
+    checksum rows are not maintained by separate per-channel GEMVs; they
+    are *k* extra operand rows of the same rank-*ib* apply GEMM over
+    *n* columns.  The honest charge is therefore the GEMM-row extension
+    ``gemm_flops(k, n, ib)`` — numerically equal to the old
+    ``k * gemv_flops(n, ib)`` phantom-GEMV charge, so re-deriving the
+    categories preserves every total.
+    """
+    return gemm_flops(k, n, ib)
+
+
 def batched_flops(b: int, per_item: int | float) -> int | float:
     """Flops for a batched op: *b* independent items, each *per_item* flops.
 

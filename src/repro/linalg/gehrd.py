@@ -134,13 +134,17 @@ def apply_left_update(
     if p + ib >= ncols:
         return
     if _can_fuse(a, pf, workspace):
-        # Padded form over full columns: rows outside p+1..n-1 of v_full
-        # are zero, so they contribute nothing and stay untouched.
+        # The projection W = Tᵀ(VᵀC) runs on the active row window
+        # [p+1, n) only — padding it with v_full's zero rows would waste
+        # O(p·ncols·ib) flops per iteration for identical results modulo
+        # lane-shifted rounding.  The apply keeps the padded v_full so it
+        # can update the F-contiguous full-column slice in place (the
+        # zero rows only receive a bitwise no-op -0.0*w subtraction).
         cfull = a[:, p + ib : ncols]
         ncf = ncols - (p + ib)
         w1 = workspace.buf("upd.w1", (ib, ncf), dtype=a.dtype)
         w2 = workspace.buf("upd.w2", (ib, ncf), dtype=a.dtype)
-        gemm_inplace(1.0, pf.v_full, cfull, w1, trans_a=True, beta=0.0)
+        np.matmul(pf.v.T, a[p + 1 : n, p + ib : ncols], out=w1)
         gemm_inplace(1.0, pf.t, w1, w2, trans_a=True, beta=0.0)
         gemm_inplace(-1.0, pf.v_full, w2, cfull)
         if counter is not None:

@@ -129,17 +129,23 @@ def lahr2(
         t = workspace.buf("lahr2.t", (ib, ib), zero=True, dtype=dt)
         taus = workspace.vec("lahr2.taus", ib, zero=True, dtype=dt)
         g = workspace.vec("lahr2.g", m1, dtype=dt)
-        wj = workspace.vec("lahr2.wj", ib, dtype=dt)
-        wj2 = workspace.vec("lahr2.wj2", ib, dtype=dt)
+        wjs = workspace.buf("lahr2.wjs", (ib, 2), dtype=dt)
     else:
         v_full = np.zeros((rows, ib), order="F", dtype=dt)
         y = np.empty((n, ib), order="F", dtype=dt)
         t = np.zeros((ib, ib), order="F", dtype=dt)
         taus = np.zeros(ib, dtype=dt)
         g = np.empty(m1, dtype=dt)
-        wj = np.empty(ib, dtype=dt)
-        wj2 = np.empty(ib, dtype=dt)
+        wjs = np.empty((ib, 2), order="F", dtype=dt)
+    # the VᵀvⱼTᵀ projection chain runs through one stacked (ib, 2) block:
+    # column 0 holds the raw projection, column 1 the T-scaled result —
+    # a single pooled temporary (each column is a contiguous vector).
+    wj = wjs[:, 0]
+    wj2 = wjs[:, 1]
     v = v_full[p + 1 : n, :]
+    # loop-invariant row windows, hoisted out of the per-column hot loop
+    arows = a[p + 1 : n]
+    ya = y[p + 1 : n]
     ei = 0.0
 
     for j in range(ib):
@@ -149,15 +155,15 @@ def lahr2(
             # (global row p+j) is row j-1 of the dense block — identical
             # to the packed storage row, unit entry included (it is still
             # 1.0 in storage at this point).
-            np.matmul(y[p + 1 : n, :j], v[j - 1, :j], out=g)
-            a[p + 1 : n, c] -= g
+            np.matmul(ya[:, :j], v[j - 1, :j], out=g)
+            arows[:, c] -= g
             if counter is not None:
                 counter.add(category, F.gemv_flops(n - p - 1, j))
 
             # (2) left update: apply (I - V Tᵀ Vᵀ) to this column. The
             # dense V (explicit units, explicit zeros) turns the
             # triangular/rectangular split of LAPACK into two GEMVs.
-            bcol = a[p + 1 : n, c]
+            bcol = arows[:, c]
             np.matmul(v[:, :j].T, bcol, out=wj[:j])
             np.matmul(t[:j, :j].T, wj[:j], out=wj2[:j])
             np.matmul(v[:, :j], wj2[:j], out=g)
@@ -181,11 +187,11 @@ def lahr2(
         v[j:, j] = vj  # incremental dense V (rows above j are already zero)
 
         # Y[p+1:n, j] = tau_j * ( A[p+1:n, p+j+1:n] @ vj  -  Y[p+1:n, :j] @ (V2ᵀ vj) )
-        ycol = y[p + 1 : n, j]
-        np.matmul(a[p + 1 : n, pivot_row:n], vj, out=ycol)
+        ycol = ya[:, j]
+        np.matmul(arows[:, pivot_row:n], vj, out=ycol)
         if j > 0:
             np.matmul(v[j:, :j].T, vj, out=wj[:j])  # tcol
-            np.matmul(y[p + 1 : n, :j], wj[:j], out=g)
+            np.matmul(ya[:, :j], wj[:j], out=g)
             ycol -= g
             # T[:j, j] = T[:j,:j] @ (-tau_j * tcol)
             np.multiply(wj[:j], -refl.tau, out=wj2[:j])

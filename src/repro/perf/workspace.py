@@ -111,14 +111,18 @@ class Workspace:
         self.buf("lahr2.t", (nb, nb), dtype=dtype)
         self.buf("lahr2.taus", (nb,), dtype=dtype)
         self.vec("lahr2.g", n, dtype=dtype)
-        self.vec("lahr2.wj", nb, dtype=dtype)
-        self.vec("lahr2.wj2", nb, dtype=dtype)
+        self.buf("lahr2.wjs", (nb, 2), dtype=dtype)
         self.buf("lahr2.ytop", (n, nb), dtype=dtype)
         self.buf("lahr2.ytop2", (n, nb), dtype=dtype)
         self.buf("upd.yce", (rows, nb), dtype=dtype)
         self.buf("upd.v2ce", (rows, nb), dtype=dtype)
         self.buf("upd.w1", (nb, rows), dtype=dtype)
+        self.buf("upd.w1c", (nb, rows), order="C", dtype=dtype)
         self.buf("upd.w2", (nb, rows), dtype=dtype)
+        self.buf("upd.w2c", (nb, rows), order="C", dtype=dtype)
+        # wrow is only used by the reverse (recovery) kernels now — the
+        # forward left update carries the checksum rows inside its fused
+        # apply GEMM — but recovery must stay allocation-free too.
         self.buf("upd.wrow", (max(k, 1), n), dtype=dtype)
         self.buf("upd.panel_top", (n, nb), dtype=dtype)
 

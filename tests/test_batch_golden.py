@@ -395,3 +395,125 @@ def test_service_batch_lane_fault_job_ejects_in_lane():
     got = dict(fault_res.payload)
     got.pop("elapsed_s"), ref.pop("elapsed_s")
     assert got == ref
+
+
+# ---------------------------------------------------------------------------
+# larfg_batched hypot parity + fused batched left update invocations
+# ---------------------------------------------------------------------------
+
+
+class TestLarfgHypotParity:
+    """The vectorized ``larfg_batched`` tail is gated by a byte-parity
+    probe of ``np.hypot`` against correctly-rounded ``math.hypot``; the
+    kernel must stay bitwise equal to the scalar ``larfg`` no matter
+    which branch the probe picks — including adversarial magnitudes."""
+
+    # denormals, eps-scale mixes, huge/tiny pairings, overflow-adjacent
+    MAGS = [
+        0.0, 5e-324, 1e-310, 2.2250738585072014e-308, 1e-300, 1e-155,
+        1e-30, 1e-16, 0.5, 1.0, 1.5, 3.0, 1e3, 1e16, 1e30, 1e155,
+        1e300, 8.988465674311579e307,
+    ]
+
+    def _sweep(self, dtype):
+        from repro.linalg.householder import larfg
+        from repro.batch.panel import larfg_batched
+
+        rng = np.random.default_rng(99)
+        cols = []
+        for m in self.MAGS:
+            for mx in (self.MAGS[0], 1e-300, 1.0, 1e300):
+                v = rng.standard_normal(6)
+                v[0] = m
+                v[1] = mx
+                cols.append(v)
+        # dense ordinary-mantissa columns — the regime where a SIMD
+        # hypot actually diverges from the correctly-rounded one
+        for _ in range(256):
+            cols.append(rng.standard_normal(6) * np.exp(rng.uniform(-20, 20)))
+        arr = np.array(cols, dtype=dtype)  # (B, 6) item rows
+        alphas = arr[:, 0].copy()
+        xs = arr[:, 1:].copy()
+        beta_b, tau_b = larfg_batched(alphas.copy(), xs.copy())
+        for i in range(arr.shape[0]):
+            x = arr[i, 1:].copy()
+            ref = larfg(alphas[i], x)
+            assert beta_b[i] == ref.beta or (
+                np.isnan(beta_b[i]) and np.isnan(ref.beta)
+            ), f"beta mismatch at col {i}: {beta_b[i]!r} vs {ref.beta!r}"
+            assert tau_b[i] == ref.tau or (
+                np.isnan(tau_b[i]) and np.isnan(ref.tau)
+            ), f"tau mismatch at col {i}: {tau_b[i]!r} vs {ref.tau!r}"
+
+    def test_fp64_sweep(self):
+        self._sweep(np.float64)
+
+    def test_fp32_sweep(self):
+        self._sweep(np.float32)
+
+    def test_probe_is_cached_and_consistent(self):
+        from repro.batch import panel
+
+        first = panel.hypot_vectorizes_exactly()
+        assert panel.hypot_vectorizes_exactly() is first  # cached bool
+        # the probe's verdict must match a direct dense-pair comparison
+        import math
+
+        rng = np.random.default_rng(0xBEEF)
+        a = rng.standard_normal(4096) * np.exp(rng.uniform(-20, 20, 4096))
+        c = np.abs(rng.standard_normal(4096)) * np.exp(rng.uniform(-20, 20, 4096))
+        got = np.hypot(a, c)
+        want = np.array([math.hypot(x, y) for x, y in zip(a.tolist(), c.tolist())])
+        if first:
+            assert np.array_equal(got, want)
+        # if the probe said False we cannot assert mismatch here (the
+        # probe grid is wider), but the kernels must still be bitwise —
+        # covered by the sweeps above either way.
+
+
+def test_batched_fused_left_update_invocation_count(monkeypatch):
+    """Batched mirror of the scalar invocation-count pin: the stacked
+    fused left update issues exactly two stacked projection matmuls plus
+    one in-place apply GEMM per item — and nothing that produces a
+    standalone k-row checksum product."""
+    import repro.batch.updates as U
+    from repro.batch.panel import lahr2_batched
+    from repro.batch.stack import EncodedMatrixBatch
+
+    n, nb, b, k = 48, 16, 3, 2
+    mats = _mats(n, b, seed=5)
+    emb = EncodedMatrixBatch(as_item_f_stack(mats), channels=k)
+    ws = Workspace()
+    p, ib = nb, nb
+    pf = lahr2_batched(emb.ext, p, ib, n, workspace=ws)
+    vce = U.v_col_checksums_batched(pf, emb)
+
+    calls = []
+    real_matmul = np.matmul
+
+    def counting_matmul(x, y, out=None, **kw):
+        r = real_matmul(x, y, out=out, **kw)
+        calls.append(("matmul", r.shape))
+        return r
+
+    class _NP:
+        def __getattr__(self, name):
+            return getattr(np, name)
+
+    shim = _NP()
+    shim.matmul = counting_matmul
+    real_gemm = U.gemm_inplace
+
+    def counting_gemm(alpha, x, y, c, **kw):
+        calls.append(("gemm_inplace", c.shape))
+        return real_gemm(alpha, x, y, c, **kw)
+
+    monkeypatch.setattr(U, "np", shim)
+    monkeypatch.setattr(U, "gemm_inplace", counting_gemm)
+    U.left_update_encoded_batched(emb, pf, vce, workspace=ws)
+    mm = [s for kind, s in calls if kind == "matmul"]
+    gm = [s for kind, s in calls if kind == "gemm_inplace"]
+    assert len(mm) == 2 and len(gm) == b
+    # no standalone checksum-row product: nothing with k rows in the
+    # trailing matrix dims
+    assert all(s[-2] != k for s in mm + gm)

@@ -179,3 +179,125 @@ def test_fused_flop_accounting_matches_reference():
     left_update_encoded(em_new, pf_new, vce_new, counter=c_new, workspace=ws)
 
     assert c_new.total == c_ref.total
+
+
+# ---------------------------------------------------------------------------
+# v2 fused left update: byte-for-byte pinning against the frozen reference
+# ---------------------------------------------------------------------------
+
+def _fused_left_setup(n, p, ib, channels, dtype=np.float64, seed=21):
+    """One pooled panel factorization; two byte-identical encoded copies
+    sharing the same PanelFactors — the setup that makes a bitwise
+    reference comparison meaningful."""
+    from repro.abft.checksums import _can_fuse
+
+    a0 = random_matrix(n, seed=seed, dtype=dtype)
+    em_new = EncodedMatrix(a0.copy(), channels=channels)
+    ws = Workspace()
+    pf = lahr2(em_new.ext, p, ib, n, workspace=ws)
+    assert _can_fuse(em_new, pf, ws)
+    em_ref = EncodedMatrix(a0.copy(), channels=channels)
+    em_ref.ext[...] = em_new.ext  # identical post-panel bytes
+    vce = v_col_checksums(pf, em_new)
+    return em_ref, em_new, pf, vce, ws
+
+
+def _assert_encoded_bitwise(em_ref, em_new):
+    """Data rows and row-checksum columns bit-for-bit — the blocks the
+    driver's outputs are computed from.  The column-checksum rows are an
+    independent redundancy channel: BLAS dispatches a standalone k-row
+    product through a different kernel than the same rows riding inside
+    the fused apply GEMM, so they agree to a few ulps, not bytes (the
+    fused right update has always had this property; the thresholded
+    detector and the per-segment refresh absorb it)."""
+    n = em_ref.n
+    assert np.array_equal(em_new.data, em_ref.data)
+    assert np.array_equal(em_new.ext[:n, n:], em_ref.ext[:n, n:])
+    eps = np.finfo(em_ref.ext.dtype).eps
+    scale = max(1.0, float(np.max(np.abs(em_ref.ext[n:, :n]))))
+    np.testing.assert_allclose(
+        em_new.ext[n:, :n], em_ref.ext[n:, :n], rtol=0, atol=256 * eps * scale
+    )
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+@pytest.mark.parametrize(
+    "n,ib,channels", [(96, 16, 1), (96, 32, 2), (64, 8, 3), (97, 13, 2)]
+)
+def test_fused_left_update_bitwise_vs_reference(n, ib, channels, dtype):
+    """The fully-fused FT-GEMM left update ([V; Vce] operand stacking +
+    active-row-window projection) must reproduce the frozen reference's
+    data rows and row-checksum columns BYTE-for-byte — roundoff-free
+    equivalence on everything that feeds the driver output, not just
+    tight tolerance."""
+    em_ref, em_new, pf, vce, ws = _fused_left_setup(n, ib, ib, channels, dtype=dtype)
+    left_update_encoded_reference(em_ref, pf, vce)
+    left_update_encoded(em_new, pf, vce, workspace=ws)
+    _assert_encoded_bitwise(em_ref, em_new)
+
+
+def test_fused_left_update_restores_v_full_contract():
+    """The fused apply writes Vce into v_full's checksum rows for the
+    duration of one GEMM; the zero-row contract (reverse kernels project
+    against v_full) must be restored on every exit."""
+    n, p, ib, channels = 96, 16, 16, 2
+    em_ref, em_new, pf, vce, ws = _fused_left_setup(n, p, ib, channels)
+    left_update_encoded(em_new, pf, vce, workspace=ws)
+    assert not pf.v_full[n:].any()
+    assert not pf.v_full[: p + 1].any()
+    np.testing.assert_array_equal(pf.v_full[p + 1 : n], pf.v)
+
+
+@pytest.mark.parametrize("channels", [1, 2])
+def test_left_update_no_workspace_fallback_bitwise(channels):
+    """Without a workspace the kernel must take the unfused fallback and
+    still match the reference bit-for-bit."""
+    n, p, ib = 96, 16, 16
+    em_ref, em_new, pf, vce, _ = _fused_left_setup(n, p, ib, channels, seed=33)
+    left_update_encoded_reference(em_ref, pf, vce)
+    left_update_encoded(em_new, pf, vce)  # workspace=None -> fallback
+    # the fallback IS the reference computation: every block bitwise,
+    # column-checksum rows included
+    nn = em_ref.n
+    assert np.array_equal(em_new.data, em_ref.data)
+    assert np.array_equal(em_new.ext[:nn, nn:], em_ref.ext[:nn, nn:])
+    assert np.array_equal(em_new.ext[nn:, :nn], em_ref.ext[nn:, :nn])
+
+
+def test_fused_left_update_invocation_count(monkeypatch):
+    """The fused left update is exactly three BLAS invocations — the
+    two projection matmuls and ONE in-place apply GEMM — with NO
+    separate checksum-row product (no call writes a k-row output)."""
+    import repro.abft.checksums as C
+
+    n, p, ib, channels = 96, 16, 16, 2
+    _, em_new, pf, vce, ws = _fused_left_setup(n, p, ib, channels, seed=9)
+
+    calls = []
+    real_matmul = np.matmul
+
+    def counting_matmul(a, b, out=None, **kw):
+        r = real_matmul(a, b, out=out, **kw)
+        calls.append(("matmul", r.shape))
+        return r
+
+    class _NP:
+        def __getattr__(self, name):
+            return getattr(np, name)
+
+    shim = _NP()
+    shim.matmul = counting_matmul
+    real_gemm = C.gemm_inplace
+
+    def counting_gemm(alpha, a, b, c, **kw):
+        calls.append(("gemm_inplace", c.shape))
+        return real_gemm(alpha, a, b, c, **kw)
+
+    monkeypatch.setattr(C, "np", shim)
+    monkeypatch.setattr(C, "gemm_inplace", counting_gemm)
+    C.left_update_encoded(em_new, pf, vce, workspace=ws)
+    assert len(calls) == 3
+    assert sum(1 for kind, _ in calls if kind == "gemm_inplace") == 1
+    # the k checksum rows ride inside the fused apply — nothing produces
+    # a standalone (k, ...) block
+    assert all(shape[0] != channels for _, shape in calls)

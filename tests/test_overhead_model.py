@@ -89,3 +89,37 @@ class TestModelVsMeasured:
         res = ft_gehrd(random_matrix(n, seed=2), FTConfig(nb=32))
         base = res.counter.category_total("panel", "right_update", "left_update")
         assert base == pytest.approx(flop_orig(n), rel=0.3)
+
+
+class TestExactMaintainModel:
+    """``flop_abft_maintain`` is not an order-of-magnitude §V form: it
+    must equal the instrumented functional driver's ``abft_maintain``
+    counter EXACTLY, under the fused FT-GEMM accounting (checksum rows
+    charged as operand extensions of the apply GEMMs)."""
+
+    @pytest.mark.parametrize("n,nb,channels", [(64, 16, 1), (96, 32, 2), (128, 32, 3)])
+    def test_model_matches_measured_counter_exactly(self, n, nb, channels):
+        from repro.analysis import flop_abft_maintain
+        from repro.core import FTConfig, ft_gehrd
+        from repro.utils.rng import random_matrix
+
+        res = ft_gehrd(
+            random_matrix(n, seed=7), FTConfig(nb=nb, channels=channels, functional=True)
+        )
+        assert res.detections == 0
+        measured = res.counter.by_category["abft_maintain"]
+        assert flop_abft_maintain(n, nb, channels) == measured
+
+    def test_model_matches_fp32_lane_too(self):
+        import numpy as np
+
+        from repro.analysis import flop_abft_maintain
+        from repro.core import FTConfig, ft_gehrd
+        from repro.utils.rng import random_matrix
+
+        n, nb = 96, 16
+        res = ft_gehrd(
+            random_matrix(n, seed=9, dtype=np.float32), FTConfig(nb=nb, functional=True)
+        )
+        # flop accounting is dtype-independent: same counts on both lanes
+        assert flop_abft_maintain(n, nb, 1) == res.counter.by_category["abft_maintain"]
