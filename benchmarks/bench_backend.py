@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""The ``backend_gehrd`` BENCH row: NumPy engines vs the backend lane.
+
+Times the Hessenberg reduction three ways per backend:
+
+* **scalar** — one matrix at the paper's n=256/512 (the latency story),
+* **batched** — a ``(B, n, n)`` stack of small items (the throughput
+  story: batched small-n is where an accelerator actually wins),
+
+for each registered backend that is importable on this host:
+
+* ``numpy`` — the production engines (blocked in-place ``gehrd`` /
+  ``gehrd_batched``), the baseline every other lane is judged against;
+* ``numpy_functional`` — the whole-stack functional kernels on the
+  NumPy namespace: the *same code* the JAX backend jits, eager. The gap
+  between this row and ``numpy`` is the cost of the functional
+  formulation; the gap between this row and ``jax`` is what XLA buys.
+* ``jax`` — the jit'd CPU lane, reported as first-call wall (compile +
+  run) *and* steady-state best-of, so compile amortization is visible.
+
+Backends that are not importable report ``{"available": false}`` with
+the probe's reason — the row never lies about what actually ran.
+
+Run:  PYTHONPATH=src python benchmarks/bench_backend.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.backend import backend_probe, get_backend               # noqa: E402
+from repro.batch import gehrd_batched, gehrd_stack                 # noqa: E402
+from repro.linalg import gehrd                                     # noqa: E402
+from repro.utils.rng import random_matrix                          # noqa: E402
+
+NB = 32
+
+
+def _best_of(fn, *, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _scalar_inputs(sizes) -> dict[int, np.ndarray]:
+    return {n: random_matrix(n, seed=11) for n in sizes}
+
+
+def _lane_numpy(sizes, batch_b, batch_n, repeats) -> dict:
+    """The production engines: blocked scalar gehrd + stacked engine."""
+    mats = _scalar_inputs(sizes)
+    scalar_ms = {
+        str(n): _best_of(lambda a=a: gehrd(a.copy(order="F"), nb=NB),
+                         repeats=repeats) * 1e3
+        for n, a in mats.items()
+    }
+    stack = np.stack([random_matrix(batch_n, seed=100 + i) for i in range(batch_b)])
+    batched_ms = _best_of(lambda: gehrd_batched(stack, nb=NB), repeats=repeats) * 1e3
+    return {
+        "available": True,
+        "version": np.__version__,
+        "engine": "blocked in-place (production)",
+        "scalar_ms": scalar_ms,
+        "batched_ms": batched_ms,
+    }
+
+
+def _lane_stack(name, sizes, batch_b, batch_n, repeats) -> dict:
+    """The whole-stack functional lane on backend *name* (eager or jit).
+
+    First-call wall includes trace+compile on jit backends; steady-state
+    is best-of after warm-up. Kernels cache per shape key, so scalar and
+    batched shapes each pay one compile.
+    """
+    ok, version, reason = backend_probe(name)
+    if not ok:
+        return {"available": False, "reason": reason}
+    bk = get_backend(name)
+    row: dict = {
+        "available": True,
+        "version": version,
+        "engine": "whole-stack functional" + (" + jit" if name == "jax" else " (eager)"),
+        "scalar_ms": {},
+        "scalar_first_call_ms": {},
+    }
+    for n, a in _scalar_inputs(sizes).items():
+        stack1 = a[None, :, :]
+        t0 = time.perf_counter()
+        gehrd_stack(stack1, backend=bk, nb=NB)
+        row["scalar_first_call_ms"][str(n)] = (time.perf_counter() - t0) * 1e3
+        row["scalar_ms"][str(n)] = _best_of(
+            lambda s=stack1: gehrd_stack(s, backend=bk, nb=NB), repeats=repeats
+        ) * 1e3
+    stack = np.stack([random_matrix(batch_n, seed=100 + i) for i in range(batch_b)])
+    t0 = time.perf_counter()
+    gehrd_stack(stack, backend=bk, nb=NB)
+    row["batched_first_call_ms"] = (time.perf_counter() - t0) * 1e3
+    row["batched_ms"] = _best_of(
+        lambda: gehrd_stack(stack, backend=bk, nb=NB), repeats=repeats
+    ) * 1e3
+    return row
+
+
+def bench_backend_gehrd(*, quick: bool = False, repeats: int = 2) -> dict:
+    """The ``backend_gehrd`` BENCH row (see module docstring)."""
+    sizes = (128,) if quick else (256, 512)
+    batch_b, batch_n = (8, 32) if quick else (16, 64)
+    return {
+        "nb": NB,
+        "scalar_sizes": list(sizes),
+        "batched": {"b": batch_b, "n": batch_n},
+        "backends": {
+            "numpy": _lane_numpy(sizes, batch_b, batch_n, repeats),
+            "numpy_functional": _lane_stack(
+                "numpy_functional", sizes, batch_b, batch_n, repeats
+            ),
+            "jax": _lane_stack("jax", sizes, batch_b, batch_n, repeats),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small-n smoke mode for CI (n=128, B=8×32)")
+    ap.add_argument("--repeats", type=int, default=2)
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="also write the row to this JSON file")
+    args = ap.parse_args(argv)
+    row = bench_backend_gehrd(quick=args.quick, repeats=args.repeats)
+    text = json.dumps({"backend_gehrd": row}, indent=2)
+    if args.json is not None:
+        args.json.write_text(text + "\n")
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -47,7 +47,13 @@ relative symlink to it so the two can never drift:
 * ``ft_overhead``     — the reduction driver alone: ``ft_gehrd`` vs
                         unprotected ``hybrid_gehrd`` at the paper's
                         n=512, both precision lanes, with the measured
-                        ABFT flop share (see ``bench_ft_overhead.py``).
+                        ABFT flop share and a per-phase wall breakdown
+                        (see ``bench_ft_overhead.py``);
+* ``backend_gehrd``   — the array-namespace backend lane: production
+                        NumPy engines vs the whole-stack functional
+                        kernels (eager NumPy reference and, when
+                        importable, jit'd JAX-CPU with compile vs
+                        steady-state; see ``bench_backend.py``).
 
 Honest wall-clock numbers: speedups are whatever this host produces —
 on a single-core box the campaign rows will show pool overhead, not
@@ -89,6 +95,7 @@ from repro.perf.reference import (                                # noqa: E402
 from repro.perf.workspace import Workspace                        # noqa: E402
 from repro.utils.rng import random_matrix                         # noqa: E402
 
+from bench_backend import bench_backend_gehrd                     # noqa: E402
 from bench_cluster import bench_cluster                           # noqa: E402
 from bench_ft_overhead import bench_ft_overhead                   # noqa: E402
 from bench_serve import (                                         # noqa: E402
@@ -349,12 +356,21 @@ def bench_ft_eig(n: int = 192, nb: int = 32, *, repeats: int = 3) -> dict:
 
 
 def main() -> None:
+    from repro.backend import backend_probe, canonical_backend_name
+
+    # the host's default backend (REPRO_BACKEND or "numpy") and its
+    # version stamp the run, so rows are attributable to the lane that
+    # actually produced them
+    active = canonical_backend_name(None)
+    _, active_version, _ = backend_probe(active)
     payload = {
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "cpu_count": os.cpu_count(),
+            "backend": active,
+            "backend_version": active_version,
         },
         "panel": bench_panel(),
         "encoded_updates": bench_encoded_updates(),
@@ -369,6 +385,7 @@ def main() -> None:
         "cluster": bench_cluster(),
         "ft_eig": bench_ft_eig(),
         "ft_overhead": bench_ft_overhead(),
+        "backend_gehrd": bench_backend_gehrd(),
     }
     payload["campaign_fp32"]["bytes_copied_vs_fp64"] = (
         payload["campaign"]["bytes_copied_shm"]

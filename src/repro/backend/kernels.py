@@ -1,0 +1,165 @@
+"""Whole-stack functional Hessenberg kernels over an array namespace.
+
+This is the accelerator-facing mirror of the batched engine: instead of
+the scalar drivers' blocked, in-place LAPACK shape (panel factorization
++ fused BLAS-3 updates on mutable Fortran storage), the reduction is
+expressed as a **masked, unblocked Householder sweep over the whole
+``(B, m, m)`` stack** — the shape XLA wants (see the pyscf-ipu
+Hessenberg exemplar in SNIPPETS.md):
+
+* every column step is the same fixed-shape program (masks select the
+  active sub-column, so nothing in the trace depends on the loop index),
+* one column step costs three batched rank-1 GEMMs over the full stack
+  (left reflector, right reflector, Q accumulation),
+* the loop body is a ``fori_loop`` with *dynamic* bounds, compiled
+  **once** per ``(backend, B, m, dtype)`` shape key and then re-entered
+  chunk by chunk, so the driver can strike faults and run Σ-detection
+  at iteration boundaries without retracing.
+
+Checksums ride the same matmuls (the FT-GEMM observation): with the
+checksum-extended operand ``ext = [[A, c], [rᵀ, s]]`` (``c = A·e``,
+``r = eᵀA``, ``s = eᵀA·e``) and the padded reflectors ``v̂ = [v; 0]``,
+``ṽ = [v; Σv]``, the two-sided update
+
+    ``ext ← ext − τ·ṽ·(v̂ᵀ ext)``  then  ``ext ← ext − τ·(ext·v̂)·ṽᵀ``
+
+applies the exact Householder similarity to the data block *and* keeps
+both checksum banks consistent — no separate maintenance pass exists to
+be skipped or corrupted. (Algebra: for the left update,
+``c' = c − τ(vᵀc)v = A'e`` and ``r' = r − τΣv·(vᵀA) = eᵀA'``; the right
+update is symmetric. Unit checksum weights only — this lane is
+``channels=1``.)
+
+Reflector convention matches the scalar ``larfg`` byte-for-byte in
+structure (LAPACK dlarfg): ``beta = −copysign(hypot(alpha, ‖x‖), alpha)``,
+``tau = (beta − alpha)/beta``, ``v = x/(alpha − beta)`` with unit pivot;
+a zero sub-column takes the ``tau = 0`` identity branch (masked, so one
+converged item cannot poison the batch). Results agree with the scalar
+driver to rounding — parity is asserted at ``≤ c·n·eps`` per lane, not
+byte-identity, because the update order (whole-matrix rank-1 vs blocked
+WY) legitimately reassociates the arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import Backend
+
+#: Compiled chunk kernels, one per (backend, B, m, encoded, dtype) shape
+#: key. JAX retraces on new shapes only; NumPy backends store the plain
+#: function. ``compiled_cache_info`` exposes the cache to tests/benches.
+_COMPILED: dict[tuple, object] = {}
+
+
+def compiled_cache_info() -> tuple[int, tuple[tuple, ...]]:
+    """(number of compiled kernels, their shape keys) — test/bench hook."""
+    return len(_COMPILED), tuple(_COMPILED)
+
+
+def clear_compiled_cache() -> None:
+    """Drop every compiled kernel (tests isolate cache-count assertions)."""
+    _COMPILED.clear()
+
+
+def _build_chunk(backend: Backend, b: int, n: int, encoded: bool, dtype) -> object:
+    """Compile the column-sweep chunk for one stack shape.
+
+    Returns ``chunk(a, q, lo, hi) -> (a, q)`` applying reflector columns
+    ``lo .. hi-1`` to the ``(B, m, m)`` operand stack (``m = n+1`` when
+    *encoded*) and accumulating ``Q = H_lo · H_{lo+1} · …`` into the
+    ``(B, n, n)`` stack ``q``. ``lo``/``hi`` are dynamic — one compile
+    serves every chunking of the sweep.
+    """
+    xp = backend.xp
+    dt = np.dtype(dtype)
+    rows = np.arange(n)
+
+    def col_body(j, carry):
+        a, q = carry
+        pivot = j + 1
+        col = a[:, :n, j]                        # data part of column j
+        alpha = a[:, pivot, j]
+        below = rows > pivot                     # mask: the sub-column to zero
+        x = xp.where(below[None, :], col, xp.zeros((), dtype=dt))
+        xnorm2 = xp.sum(x * x, axis=1)
+        beta = -xp.copysign(xp.hypot(alpha, xp.sqrt(xnorm2)), alpha)
+        live = xnorm2 > 0.0                      # zero sub-column → identity
+        tau = xp.where(live, (beta - alpha) / xp.where(beta == 0.0, 1.0, beta), 0.0)
+        v = x / xp.where(live, alpha - beta, 1.0)[:, None]
+        v = backend.at_set(v, (slice(None), pivot), xp.ones((b,), dtype=dt))
+
+        if encoded:
+            zero_pad = xp.zeros((b, 1), dtype=dt)
+            v_hat = xp.concatenate([v, zero_pad], axis=1)
+            v_tilde = xp.concatenate([v, xp.sum(v, axis=1, keepdims=True)], axis=1)
+        else:
+            v_hat = v_tilde = v
+        t = tau[:, None, None]
+
+        # left:  ext ← ext − τ·ṽ·(v̂ᵀ ext)   (data + both checksum banks)
+        w = xp.matmul(v_hat[:, None, :], a)
+        a = a - t * xp.matmul(v_tilde[:, :, None], w)
+        # right: ext ← ext − τ·(ext·v̂)·ṽᵀ
+        u = xp.matmul(a, v_hat[:, :, None])
+        a = a - t * xp.matmul(u, v_tilde[:, None, :])
+        # accumulate Q = H₁H₂⋯ :  q ← q − τ·(q·v)·vᵀ
+        qu = xp.matmul(q, v[:, :, None])
+        q = q - t * xp.matmul(qu, v[:, None, :])
+        return (a, q)
+
+    def chunk(a, q, lo, hi):
+        return backend.fori_loop(lo, hi, col_body, (a, q))
+
+    return backend.jit(chunk)
+
+
+def get_chunk_kernel(
+    backend: Backend, b: int, n: int, *, encoded: bool, dtype
+) -> object:
+    """The (cached) compiled chunk kernel for one stack shape."""
+    key = (backend.name, int(b), int(n), bool(encoded), np.dtype(dtype).name)
+    fn = _COMPILED.get(key)
+    if fn is None:
+        fn = _build_chunk(backend, int(b), int(n), bool(encoded), dtype)
+        _COMPILED[key] = fn
+    return fn
+
+
+def encode_stack(backend: Backend, a_stack: np.ndarray):
+    """Checksum-extend a host ``(B, n, n)`` stack on the backend.
+
+    Returns the ``(B, n+1, n+1)`` device stack
+    ``[[A, A·e], [eᵀA, eᵀA·e]]`` — unit-weight (channels=1) encoding,
+    matching :class:`repro.abft.encoding.EncodedMatrix` bank layout:
+    ``ext[:, :n, n]`` is the row-checksum column, ``ext[:, n, :n]`` the
+    column-checksum row.
+    """
+    xp = backend.xp
+    b, n, _ = a_stack.shape
+    a = backend.asarray(np.ascontiguousarray(a_stack))
+    ext = xp.zeros((b, n + 1, n + 1), dtype=a.dtype)
+    ext = backend.at_set(ext, (slice(None), slice(0, n), slice(0, n)), a)
+    rowc = xp.sum(a, axis=2)
+    colc = xp.sum(a, axis=1)
+    ext = backend.at_set(ext, (slice(None), slice(0, n), n), rowc)
+    ext = backend.at_set(ext, (slice(None), n, slice(0, n)), colc)
+    ext = backend.at_set(ext, (slice(None), n, n), xp.sum(rowc, axis=1))
+    return ext
+
+
+def identity_stack(backend: Backend, b: int, n: int, dtype):
+    """``(B, n, n)`` stack of identities on the backend."""
+    xp = backend.xp
+    eye = xp.eye(n, dtype=np.dtype(dtype))
+    return xp.tile(eye[None, :, :], (b, 1, 1))
+
+
+def checksum_banks(backend: Backend, ext) -> tuple[np.ndarray, np.ndarray]:
+    """Host copies of both checksum banks of an encoded ``(B,n+1,n+1)``
+    stack: ``(row_checksums (B,n), col_checksums (B,n))``. O(B·n)
+    transfer — detection never pulls the O(B·n²) data block."""
+    n = ext.shape[1] - 1
+    rc = backend.to_numpy(ext[:, :n, n])
+    cc = backend.to_numpy(ext[:, n, :n])
+    return np.asarray(rc, dtype=np.float64), np.asarray(cc, dtype=np.float64)
